@@ -1,0 +1,91 @@
+"""ABL-DRIFT -- ablation: clock drift vs the deterministic guarantee.
+
+The bounds assume ideal clocks; real crystals drift by tens of ppm.
+Drift perturbs the exact tiling of an optimal schedule -- coverage
+images shift slowly, so an offset that was covered by the last beacon of
+a cycle can slip out -- but it also *breaks ties* (the aligned-offset
+deadlocks disappear).  This ablation sweeps the relative drift of an
+optimal symmetric pair and measures:
+
+* the discovery rate over a phase-offset grid (including offset 0),
+* the worst observed latency relative to the ideal-clock guarantee.
+
+Measured shape (recorded in EXPERIMENTS.md): any non-zero relative
+drift *repairs* the self-blocking deadlocks (the aligned offsets where
+identical schedules jam each other forever, Appendix A.5) because the
+relative motion breaks the tie -- but it also breaks the exact disjoint
+tiling, so a slipped offset can wait one extra coverage cycle: the worst
+case grows to as much as ~2x the ideal guarantee, largely independent of
+the drift magnitude.  Determinism is traded between two failure modes,
+not degraded smoothly.
+"""
+
+import random
+
+import pytest
+
+from repro.core.optimal import synthesize_symmetric
+from repro.simulation import simulate_pair
+
+OMEGA = 32
+ETA = 0.05
+DRIFTS_PPM = [0, 20, 50, 100, 1_000, 10_000]
+N_OFFSETS = 60
+
+
+def drift_row(drift_ppm, protocol, design):
+    guarantee = design.worst_case_latency
+    horizon = guarantee * 5
+    period = int(design.beacons.period * design.k)
+    # Off-lattice random offsets: a uniform grid can alias with the
+    # schedule's integer lattice and wildly over-sample the deadlock set.
+    rng = random.Random(1905)
+    worst = 0
+    failures = 0
+    for _ in range(N_OFFSETS):
+        offset = rng.randrange(period)
+        outcome = simulate_pair(
+            protocol,
+            protocol,
+            offset,
+            horizon,
+            drift_ppm_e=drift_ppm,
+            drift_ppm_f=-drift_ppm,
+        )
+        if outcome.one_way is None:
+            failures += 1
+        else:
+            worst = max(worst, outcome.one_way)
+    return [
+        drift_ppm,
+        failures / N_OFFSETS,
+        worst,
+        worst / guarantee,
+    ]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_abl_drift(benchmark, emit):
+    protocol, design = synthesize_symmetric(OMEGA, ETA)
+
+    def run():
+        return [drift_row(ppm, protocol, design) for ppm in DRIFTS_PPM]
+
+    rows = benchmark(run)
+    emit(
+        "ABL-DRIFT",
+        f"Optimal symmetric pair (eta={ETA:g}) under +-ppm relative drift",
+        ["drift [ppm]", "failure fraction", "worst latency [us]", "x guarantee"],
+        rows,
+    )
+
+    by_ppm = {row[0]: row for row in rows}
+    # Ideal clocks: only the Appendix-A.5 self-blocking sliver fails
+    # (Eq. 31 predicts omega / (M sum d) = 2% of offsets at this config).
+    assert by_ppm[0][1] <= 0.10
+    # Any relative drift repairs the deadlocks...
+    for ppm in DRIFTS_PPM[1:]:
+        assert by_ppm[ppm][1] == 0.0
+    # ...at the cost of up to one extra coverage cycle on slipped offsets.
+    for ppm in DRIFTS_PPM[1:]:
+        assert by_ppm[ppm][3] <= 2.2

@@ -1,0 +1,100 @@
+"""ABL-OVH -- ablation: non-ideal radios (Appendix A.2).
+
+Two design choices the appendix calls out:
+
+* switching overheads inflate the bound by ``(1 + d_oRx/d_1)`` and
+  ``(omega + d_oTx)/omega``: swept over realistic overhead ranges;
+* the overhead term scales with the number of reception windows per
+  period ``n_C``, so single-window periods are the efficient shape --
+  quantified by comparing effective duty-cycles of 1..8-window layouts
+  at equal nominal listening time.
+"""
+
+import pytest
+
+from repro.core.bounds import nonideal_unidirectional_bound, unidirectional_bound
+from repro.core.power import effective_duty_cycles, PowerModel
+from repro.core.sequences import ReceptionSchedule
+
+OMEGA = 32e-6
+BETA = GAMMA = 0.01
+OVERHEADS = [0.0, 0.5, 1.0, 2.0, 4.0]  # in units of omega
+WINDOW = 3.2e-3  # d_1 = 100 omega
+
+
+def overhead_rows():
+    rows = []
+    ideal = unidirectional_bound(OMEGA, BETA, GAMMA)
+    for tx_factor in OVERHEADS:
+        for rx_factor in OVERHEADS:
+            bound = nonideal_unidirectional_bound(
+                OMEGA,
+                BETA,
+                GAMMA,
+                overhead_tx=tx_factor * OMEGA,
+                overhead_rx=rx_factor * OMEGA * 100,  # windows are ~100x longer
+                window_duration=WINDOW,
+            )
+            rows.append([tx_factor, rx_factor, bound, bound / ideal])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_abl_overheads_bound_inflation(benchmark, emit):
+    rows = benchmark(overhead_rows)
+    emit(
+        "ABL-OVH",
+        "Equation 27: bound inflation under switching overheads",
+        ["d_oTx/omega", "d_oRx/(100 omega)", "bound [s]", "x ideal"],
+        rows,
+    )
+    ideal = unidirectional_bound(OMEGA, BETA, GAMMA)
+    for tx_factor, rx_factor, bound, ratio in rows:
+        expected = (
+            ideal
+            * (1 + tx_factor)
+            * (1 + rx_factor * OMEGA * 100 / WINDOW)
+        )
+        assert bound == pytest.approx(expected)
+        assert ratio >= 1 - 1e-12
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_abl_window_count(benchmark, emit):
+    """More windows per period cost more switching energy at identical
+    nominal listening time -- the Appendix A.2 case for n_C = 1."""
+    radio = PowerModel(
+        tx_power=17.7, rx_power=16.5, switch_rx=130.0, name="ble-like"
+    )
+    total_listen = 8_000  # us per period
+    period = 800_000
+
+    def run():
+        rows = []
+        for n_windows in (1, 2, 4, 8):
+            piece = total_listen // n_windows
+            spacing = period // n_windows
+            schedule = ReceptionSchedule.from_pairs(
+                [(i * spacing, piece) for i in range(n_windows)], period
+            )
+            _, gamma_eff = effective_duty_cycles(radio, None, schedule)
+            rows.append([
+                n_windows,
+                schedule.duty_cycle,
+                gamma_eff,
+                gamma_eff / schedule.duty_cycle,
+            ])
+        return rows
+
+    rows = benchmark(run)
+    emit(
+        "ABL-OVH-windows",
+        "Effective reception duty-cycle vs windows per period "
+        "(equal nominal listening time)",
+        ["n_C", "nominal gamma", "effective gamma", "overhead factor"],
+        rows,
+    )
+    factors = [row[3] for row in rows]
+    assert factors == sorted(factors)
+    assert factors[0] == pytest.approx(1 + 130 / 8_000)
+    assert factors[-1] == pytest.approx(1 + 8 * 130 / 8_000)

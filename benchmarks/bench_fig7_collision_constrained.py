@@ -1,0 +1,86 @@
+"""FIG7 -- Figure 7: latency bounds with the collision rate capped at 1%.
+
+For S in {2, 10, 100, 1000} interfering senders, cap the channel
+utilization so a fresh beacon collides with probability at most 1%
+(Equation 12), then evaluate Theorem 5.6 over the duty-cycle range.  The
+paper's observations to reproduce:
+
+* below a per-S kink (the circles in the figure), the constraint is
+  inactive and all curves coincide with the unconstrained bound;
+* beyond it, the bound deteriorates by up to about two orders of
+  magnitude for S = 1000.
+"""
+
+import math
+
+import pytest
+
+from repro.core.bounds import symmetric_bound
+from repro.core.collisions import (
+    beta_max_for_collision_probability,
+    constrained_latency_curve,
+)
+
+OMEGA = 32e-6
+PC = 0.01
+SENDERS = [2, 10, 100, 1000]
+ETAS = [round(10 ** (-3 + i * 0.125), 10) for i in range(25)]  # 0.1% .. 100%
+
+
+def fig7_series():
+    table = {}
+    for s in SENDERS:
+        table[s] = constrained_latency_curve(ETAS, PC, s, OMEGA)
+    return table
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_constrained_bounds(benchmark, emit):
+    table = benchmark(fig7_series)
+    headers = ["eta", "unconstrained [s]"] + [f"S={s} [s]" for s in SENDERS]
+    rows = []
+    for i, eta in enumerate(ETAS):
+        if eta > 1:
+            continue
+        row = [eta, symmetric_bound(OMEGA, eta)]
+        for s in SENDERS:
+            row.append(table[s][i][1])
+        rows.append(row)
+    emit("FIG7", f"Theorem 5.6 bounds with Pc <= {PC:.0%}", headers, rows)
+
+    kink_rows = [
+        [s, beta_max_for_collision_probability(PC, s),
+         2 * beta_max_for_collision_probability(PC, s)]
+        for s in SENDERS
+    ]
+    emit(
+        "FIG7-kinks",
+        "Channel-utilization caps and kink duty-cycles (the circles)",
+        ["S", "beta_max", "kink eta = 2*alpha*beta_max"],
+        kink_rows,
+    )
+
+    # --- shape assertions -------------------------------------------------
+    for s in SENDERS:
+        beta_max = beta_max_for_collision_probability(PC, s)
+        kink = 2 * beta_max
+        for (eta, bound, binding), expected_eta in zip(table[s], ETAS):
+            assert eta == expected_eta
+            unconstrained = symmetric_bound(OMEGA, eta)
+            if eta <= kink:
+                assert not binding
+                assert bound == pytest.approx(unconstrained)
+            else:
+                assert binding
+                assert bound > unconstrained
+
+    # Two-orders-of-magnitude deterioration for S=1000 at high duty-cycle.
+    eta_high = ETAS[-1] if ETAS[-1] <= 1 else 1.0
+    s1000 = dict((eta, bound) for eta, bound, _ in table[1000])
+    ratio = s1000[eta_high] / symmetric_bound(OMEGA, eta_high)
+    assert ratio > 100
+
+    # More senders -> worse bound at every binding duty-cycle.
+    for i, eta in enumerate(ETAS):
+        values = [table[s][i][1] for s in SENDERS]
+        assert values == sorted(values)

@@ -1,0 +1,68 @@
+"""EQ18/EQ19 -- Section 6.1.1: slotted bounds versus the fundamental bound.
+
+Sweeps the TX/RX power ratio ``alpha`` and compares:
+
+* Equation 18 (one beacon per slot, [16, 17]) -- ties the fundamental
+  bound only at ``alpha = 1``;
+* Equation 19 (two beacons per slot, [6, 7]) -- "lower in terms of slots
+  ... but identical or larger in terms of time": ties only at
+  ``alpha = 1/2``;
+* the crossover between the two families at ``alpha = sqrt(1/2)``.
+"""
+
+import math
+
+import pytest
+
+from repro.core.bounds import symmetric_bound
+from repro.core.slotted_bounds import (
+    slotted_bound_one_beacon,
+    slotted_bound_two_beacons,
+)
+
+OMEGA = 32e-6
+ETA = 0.01
+ALPHAS = [0.25, 0.4, 0.5, math.sqrt(0.5), 0.8, 1.0, 1.5, 2.0, 3.0]
+
+
+def gap_rows():
+    rows = []
+    for alpha in ALPHAS:
+        fundamental = symmetric_bound(OMEGA, ETA, alpha)
+        one = slotted_bound_one_beacon(OMEGA, ETA, alpha)
+        two = slotted_bound_two_beacons(OMEGA, ETA, alpha)
+        rows.append(
+            [alpha, fundamental, one, two, one / fundamental, two / fundamental]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="slotted-gap")
+def test_eq18_eq19_alpha_sweep(benchmark, emit):
+    rows = benchmark(gap_rows)
+    emit(
+        "EQ18-19",
+        f"Slotted latency bounds vs fundamental bound (eta={ETA:g})",
+        [
+            "alpha", "Thm 5.5 [s]", "Eq 18 (1 beacon) [s]",
+            "Eq 19 (2 beacons) [s]", "Eq18/bound", "Eq19/bound",
+        ],
+        rows,
+    )
+
+    by_alpha = {row[0]: row for row in rows}
+    # Equality points.
+    assert by_alpha[1.0][4] == pytest.approx(1.0)
+    assert by_alpha[0.5][5] == pytest.approx(1.0)
+    # Everywhere else both exceed the fundamental bound.
+    for row in rows:
+        assert row[4] >= 1 - 1e-12 and row[5] >= 1 - 1e-12
+    # Eq 19 beats Eq 18 in time exactly below alpha = sqrt(1/2).
+    for row in rows:
+        alpha = row[0]
+        if alpha < math.sqrt(0.5) - 1e-9:
+            assert row[3] < row[2]
+        elif alpha > math.sqrt(0.5) + 1e-9:
+            assert row[3] > row[2]
+        else:
+            assert row[3] == pytest.approx(row[2])

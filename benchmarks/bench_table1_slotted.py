@@ -1,0 +1,82 @@
+"""TAB1 -- Table 1: worst-case latencies of slotted protocols.
+
+Evaluates the paper's four closed-form rows (Diffcodes, Disco,
+Searchlight-Striped, U-Connect) over an (eta, beta) grid and reproduces
+the classification: Diffcodes tie the slotted optimum
+``omega/(eta beta - alpha beta^2)`` -- which below the utilization kink
+*is* the fundamental Theorem-5.6 bound -- while the others pay their
+constant factors (2x Searchlight, 8x Disco, U-Connect in between).
+"""
+
+import pytest
+
+from repro.core.bounds import constrained_bound
+from repro.core.slotted_bounds import TABLE1_PROTOCOLS
+
+OMEGA = 32e-6
+GRID = [
+    (0.01, 0.001),
+    (0.02, 0.002),
+    (0.05, 0.005),
+    (0.05, 0.02),
+    (0.10, 0.01),
+]
+
+
+def table1_rows():
+    rows = []
+    for eta, beta in GRID:
+        fundamental = constrained_bound(OMEGA, eta, beta)
+        row = [eta, beta, fundamental]
+        for formula in TABLE1_PROTOCOLS.values():
+            row.append(formula(OMEGA, eta, beta))
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_latencies(benchmark, emit):
+    rows = benchmark(table1_rows)
+    headers = ["eta", "beta", "Thm 5.6 bound [s]"] + [
+        f"{name} [s]" for name in TABLE1_PROTOCOLS
+    ]
+    emit("TAB1", "Worst-case latencies of slotted protocols", headers, rows)
+
+    names = list(TABLE1_PROTOCOLS)
+    for row in rows:
+        fundamental = row[2]
+        values = dict(zip(names, row[3:]))
+        # Diffcodes == the bound; Searchlight exactly 2x; Disco exactly 8x.
+        assert values["Diffcodes"] == pytest.approx(fundamental)
+        assert values["Searchlight-S"] == pytest.approx(2 * fundamental)
+        assert values["Disco"] == pytest.approx(8 * fundamental)
+        # U-Connect strictly between the bound and Disco.
+        assert fundamental < values["U-Connect"] < values["Disco"]
+        # Paper's ranking holds on every grid point.
+        assert (
+            values["Diffcodes"]
+            < values["Searchlight-S"]
+            < values["Disco"]
+        )
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_ratios(benchmark, emit):
+    def ratios():
+        rows = []
+        for eta, beta in GRID:
+            fundamental = constrained_bound(OMEGA, eta, beta)
+            rows.append(
+                [eta, beta]
+                + [
+                    formula(OMEGA, eta, beta) / fundamental
+                    for formula in TABLE1_PROTOCOLS.values()
+                ]
+            )
+        return rows
+
+    rows = benchmark(ratios)
+    headers = ["eta", "beta"] + [f"{n} / bound" for n in TABLE1_PROTOCOLS]
+    emit("TAB1-ratios", "Optimality ratios (1.0 = optimal)", headers, rows)
+    for row in rows:
+        assert min(row[2:]) == pytest.approx(1.0)  # Diffcodes

@@ -1,0 +1,93 @@
+"""Protocol shootout: the zoo versus the fundamental bounds.
+
+Run with::
+
+    python examples/protocol_shootout.py
+
+Reproduces the paper's Section-6 classification with concrete
+configurations: for each protocol, the worst-case latency, the
+duty-cycle, the channel utilization, and the two gap ratios --
+
+* against the unconstrained bound ``4 alpha omega / eta^2`` (Thm 5.5),
+* against the bound at the protocol's own channel utilization (Thm 5.6,
+  the Table-1 metric).
+
+The paper's conclusions emerge: slotted protocols never reach the
+unconstrained bound (their utilization is tiny because beacons are a
+sliver of each slot); Diffcodes alone reach the utilization-matched
+bound; the slotless optimal construction reaches both.
+"""
+
+from repro.analysis import (
+    format_seconds,
+    format_table,
+    gap_for_protocol,
+    gap_table_rows,
+)
+from repro.protocols import (
+    Birthday,
+    Diffcodes,
+    Disco,
+    GridQuorum,
+    Nihao,
+    OptimalSlotless,
+    Role,
+    Searchlight,
+    UConnect,
+)
+
+OMEGA = 32
+SLOT = 25_000  # 25 ms slots: large enough that I >> omega
+
+
+def main() -> None:
+    zoo = [
+        Disco(37, 43, slot_length=SLOT, omega=OMEGA),
+        UConnect(31, slot_length=SLOT, omega=OMEGA),
+        Searchlight(40, slot_length=SLOT, omega=OMEGA),
+        GridQuorum(6, slot_length=SLOT, omega=OMEGA),
+        Diffcodes(9, slot_length=SLOT, omega=OMEGA),
+        Nihao(n=40, slot_length=1_300, omega=OMEGA),
+        OptimalSlotless(eta=0.05, omega=OMEGA),
+    ]
+    gaps = [gap_for_protocol(p, omega=OMEGA) for p in zoo]
+    print(format_table(
+        [
+            "protocol", "eta", "beta",
+            "worst case [s]", "Thm 5.5 bound [s]",
+            "x unconstrained", "x util-matched",
+        ],
+        gap_table_rows(gaps),
+        title=f"Worst-case latency vs the fundamental bounds (omega={OMEGA} us, I={SLOT} us)",
+        precision=3,
+    ))
+
+    print(
+        "\nReading the ratios (Section 6):\n"
+        "  * 'x util-matched' ~ 1.0 -> optimal in the latency/duty-cycle/"
+        "channel-utilization metric (Diffcodes, optimal slotless).\n"
+        "  * 'x unconstrained' >> 1 for every slotted protocol: with "
+        "I >> omega their channel utilization is far below eta/2, so the "
+        "unconstrained optimum is out of reach (the paper's key negative "
+        "result for slotted designs).\n"
+    )
+
+    # The probabilistic baseline has no worst case -- report its quantiles.
+    birthday = Birthday(p_tx=0.025, p_rx=0.025, slot_length=SLOT, omega=OMEGA)
+    q50 = birthday.latency_quantile_slots(0.5) * SLOT
+    q999 = birthday.latency_quantile_slots(0.999) * SLOT
+    print(format_table(
+        ["protocol", "eta", "median", "99.9th percentile", "worst case"],
+        [[
+            "Birthday",
+            f"{birthday.device(Role.E).eta:.4f}",
+            format_seconds(q50),
+            format_seconds(q999),
+            "unbounded",
+        ]],
+        title="The probabilistic baseline for contrast",
+    ))
+
+
+if __name__ == "__main__":
+    main()

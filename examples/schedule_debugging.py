@@ -1,0 +1,101 @@
+"""Debugging ND schedules: coverage maps, timelines and collision locks.
+
+Run with::
+
+    python examples/schedule_debugging.py
+
+Shows the library's introspection tools on a real failure hunt:
+
+1. render the coverage map of a schedule to *see* why it is (or is not)
+   deterministic -- the paper's Figure-3 pictures, in your terminal;
+2. trace a simulated pair event by event;
+3. diagnose the nastiest field bug deterministic ND has: two devices
+   whose beacon trains boot within one packet of each other collide on
+   every single beacon, forever (Lemma 5.2's dark side), and only
+   advDelay-style randomization dissolves the lock.
+"""
+
+from repro.analysis import render_coverage_map, render_schedule
+from repro.core.coverage import CoverageMap
+from repro.core.optimal import synthesize_symmetric, synthesize_unidirectional
+from repro.simulation import (
+    Channel,
+    EventKind,
+    IdealClock,
+    Node,
+    Simulator,
+    simulate_network,
+    TraceRecorder,
+)
+from repro.workloads import gradual_join
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Coverage maps: a correct tiling vs a broken stride.
+    # ------------------------------------------------------------------
+    good = synthesize_unidirectional(omega=32, window=320, k=8, stride=9)
+    print(render_coverage_map(
+        CoverageMap([i * good.beacons.period for i in range(8)], good.reception),
+        width=64,
+    ))
+    print()
+    # A stride sharing a factor with k covers half the offsets twice and
+    # half never -- the classic mistake the Overlap Theorem forbids.
+    broken_gap = 10 * 320  # stride 10, gcd(10 mod 8, 8) = 2
+    print(render_coverage_map(
+        CoverageMap([i * broken_gap for i in range(8)], good.reception),
+        width=64,
+    ))
+
+    # ------------------------------------------------------------------
+    # 2. One device's schedule on a time axis ('!' TX, '=' RX, 'X' both).
+    # ------------------------------------------------------------------
+    print()
+    print(render_schedule(good.beacons, good.reception,
+                          span=int(good.reception.period)))
+
+    # ------------------------------------------------------------------
+    # 3. Event-by-event trace of a discovering pair.
+    # ------------------------------------------------------------------
+    protocol, design = synthesize_symmetric(omega=32, eta=0.05)
+    sim, channel, recorder = Simulator(), Channel(), TraceRecorder()
+    node_a = Node("A", protocol, sim, channel, clock=IdealClock(0))
+    node_b = Node("B", protocol, sim, channel, clock=IdealClock(12_345))
+    recorder.attach(node_a)
+    recorder.attach(node_b)
+    node_a.activate()
+    node_b.activate()
+    sim.run_until(design.worst_case_latency)
+    print()
+    discoveries = recorder.of_kind(EventKind.DISCOVERY)
+    print(f"trace: {len(recorder.events)} events, "
+          f"{len(discoveries)} discoveries")
+    for event in discoveries:
+        print(f"  {event.time:>9} us  {event.node} discovered "
+              f"{event.peer} ({event.detail})")
+
+    # ------------------------------------------------------------------
+    # 4. The permanent-collision lock and its cure.
+    # ------------------------------------------------------------------
+    scenario = gradual_join(n_devices=4, eta=0.05, seed=2)
+    locked = simulate_network(
+        scenario.protocols, scenario.phases, horizon=scenario.horizon,
+        start_times=scenario.start_times,
+    )
+    cured = simulate_network(
+        scenario.protocols, scenario.phases, horizon=scenario.horizon,
+        start_times=scenario.start_times, advertising_jitter=200, seed=5,
+    )
+    print()
+    print("gradual join, 4 devices (seed 2: two trains boot 14 us apart "
+          "mod the beacon gap):")
+    print(f"  deterministic schedules : {locked.pairs_discovered}/"
+          f"{locked.pairs_expected} directed pairs "
+          f"({locked.total_collisions} repeating collisions)")
+    print(f"  with 0-200 us advDelay  : {cured.pairs_discovered}/"
+          f"{cured.pairs_expected} directed pairs")
+
+
+if __name__ == "__main__":
+    main()

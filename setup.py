@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP-517 editable installs (which build a wheel) fail.  Keeping a setup.py
+and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` use the legacy ``setup.py develop`` path, which works
+without wheel support.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro -- a reproduction of "On Optimal Neighbor Discovery"
+(Kindt & Chakraborty, SIGCOMM 2019, arXiv:1905.05220).
+
+The package has four layers:
+
+* :mod:`repro.core` -- the paper's theory: sequence model, coverage maps,
+  every fundamental bound (Theorems 5.1-5.7, C.1, the Appendix-A
+  relaxations and the Appendix-B collision trade-off), and synthesis of
+  schedules that *attain* the bounds.
+* :mod:`repro.protocols` -- reference implementations of the protocols the
+  paper compares against (Disco, U-Connect, Searchlight, difference-set /
+  Diffcode schedules, Birthday, BLE-like periodic-interval protocols) plus
+  the paper-optimal slotless protocol.
+* :mod:`repro.simulation` -- a deterministic discrete-event simulator
+  (integer-microsecond time base) with half-duplex radios, turnaround
+  times, a collision-aware broadcast channel and clock drift, used to
+  validate every bound empirically.
+* :mod:`repro.analysis` / :mod:`repro.workloads` -- exact worst-case
+  latency extraction, Pareto fronts, optimality-gap tables and scenario
+  generators backing the benchmark harness.
+
+Quickstart::
+
+    from repro import core
+
+    # What is the best possible worst-case latency at a 1% duty-cycle?
+    bound_us = core.symmetric_bound(omega=32, eta=0.01)   # Theorem 5.5
+
+    # Build a schedule that attains it and verify by coverage map:
+    protocol, design = core.synthesize_symmetric(omega=32, eta=0.01)
+    assert design.deterministic and design.disjoint
+"""
+
+from . import analysis, core, protocols, simulation, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "protocols",
+    "simulation",
+    "workloads",
+    "__version__",
+]

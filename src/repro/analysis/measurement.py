@@ -1,0 +1,108 @@
+"""Measured worst-case latencies of configured protocols.
+
+One tested entry point for what the benchmarks and examples otherwise
+re-implement: sweep a protocol pair over phase offsets (uniform grid by
+default; slot-aligned deadlock slivers optionally excluded, see
+EXPERIMENTS.md on the Figure-5 effect) and report the measured worst
+case together with the protocol's own claim and the range-entry-adjusted
+value the bounds speak about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..protocols.base import PairProtocol, Role
+from ..simulation.analytic import ReceptionModel, sweep_offsets, SweepReport
+
+__all__ = ["ProtocolMeasurement", "measure_pair_worst_case"]
+
+
+@dataclass(frozen=True)
+class ProtocolMeasurement:
+    """Outcome of measuring one protocol configuration."""
+
+    name: str
+    eta: float
+    beta: float
+    claimed_worst_case: float | None
+    """The protocol's own analytic guarantee (us), if any."""
+    measured_worst_packet: int | None
+    """Worst first-beacon-in-range -> first-success latency (us)."""
+    measured_full_worst_case: float | None
+    """Measured worst plus one maximum beacon gap: the Definition-3.4
+    range-entry convention the bounds use (us)."""
+    failures: int
+    offsets_evaluated: int
+    report: SweepReport
+
+    @property
+    def meets_claim(self) -> bool | None:
+        """Whether the measurement stayed within the protocol's claim
+        (``None`` when the protocol makes no deterministic claim)."""
+        if self.claimed_worst_case is None:
+            return None
+        if self.measured_worst_packet is None:
+            return False
+        return self.measured_worst_packet <= self.claimed_worst_case
+
+
+def measure_pair_worst_case(
+    protocol: PairProtocol,
+    n_offsets: int = 512,
+    horizon_multiple: int = 3,
+    model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+    exclude_aligned: int = 0,
+    horizon: int | None = None,
+) -> ProtocolMeasurement:
+    """Uniform phase-offset sweep of a configured pair protocol.
+
+    ``exclude_aligned`` drops offsets within that many microseconds of a
+    slot/schedule boundary for protocols exposing a ``slot_length``
+    attribute -- the measure-``2 omega/I`` self-jamming sliver of
+    identical half-duplex schedules.  ``horizon`` defaults to
+    ``horizon_multiple`` times the protocol's claim (or the schedule
+    period when the protocol makes no claim).
+    """
+    device_e = protocol.device(Role.E)
+    device_f = protocol.device(Role.F)
+    period = 1
+    if device_e.beacons is not None:
+        period = max(period, int(device_e.beacons.period))
+    if device_f.reception is not None:
+        period = max(period, int(device_f.reception.period))
+    claim = protocol.predicted_worst_case_latency()
+    if horizon is None:
+        base = claim if claim is not None else period
+        horizon = int(base * horizon_multiple)
+    step = max(1, period // n_offsets)
+    offsets = range(0, period, step)
+    if exclude_aligned and hasattr(protocol, "slot_length"):
+        slot = protocol.slot_length
+        offsets = [
+            off
+            for off in offsets
+            if exclude_aligned <= off % slot <= slot - exclude_aligned
+        ]
+    report = sweep_offsets(
+        device_e, device_f, offsets, horizon, model, turnaround
+    )
+    max_gap = (
+        int(device_e.beacons.max_gap) if device_e.beacons is not None else 0
+    )
+    return ProtocolMeasurement(
+        name=protocol.info().name,
+        eta=device_e.eta,
+        beta=device_e.beta,
+        claimed_worst_case=claim,
+        measured_worst_packet=report.worst_one_way,
+        measured_full_worst_case=(
+            None
+            if report.worst_one_way is None
+            else report.worst_one_way + max_gap
+        ),
+        failures=report.failures,
+        offsets_evaluated=report.offsets_evaluated,
+        report=report,
+    )

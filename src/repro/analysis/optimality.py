@@ -1,0 +1,100 @@
+"""Optimality-gap analysis: how far protocols sit above the bounds.
+
+Section 6 of the paper classifies existing protocols by comparing their
+worst-case latency against the fundamental bounds at equal duty-cycle
+(and, where relevant, equal channel utilization).  This module computes
+those gap ratios for arbitrary configured protocols -- both from their
+analytic latency claims and from measured (simulated) worst cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bounds import constrained_bound, symmetric_bound
+from ..core.sequences import NDProtocol
+from ..protocols.base import PairProtocol, Role
+
+__all__ = ["OptimalityGap", "gap_for_protocol", "gap_table_rows"]
+
+
+@dataclass(frozen=True)
+class OptimalityGap:
+    """A protocol's standing relative to the fundamental bounds."""
+
+    name: str
+    eta: float
+    beta: float
+    omega: float
+    latency: float
+    """Worst-case latency used for the comparison (us)."""
+    bound_unconstrained: float
+    """Theorem 5.5 at this protocol's ``eta`` (us)."""
+    bound_constrained: float
+    """Theorem 5.6 at this protocol's ``(eta, beta)`` -- treating the
+    protocol's own channel utilization as the cap (us)."""
+
+    @property
+    def ratio_unconstrained(self) -> float:
+        """Latency over the unconstrained bound; 1.0 is optimal."""
+        return self.latency / self.bound_unconstrained
+
+    @property
+    def ratio_constrained(self) -> float:
+        """Latency over the utilization-matched bound; the metric in which
+        Diffcodes are optimal (Table 1)."""
+        return self.latency / self.bound_constrained
+
+
+def gap_for_protocol(
+    protocol: PairProtocol,
+    omega: float,
+    alpha: float = 1.0,
+    measured_latency: float | None = None,
+    role: Role = Role.E,
+) -> OptimalityGap:
+    """Gap ratios for a configured protocol.
+
+    Uses ``measured_latency`` when provided (e.g. from a simulation
+    sweep), otherwise the protocol's own analytic worst-case claim.
+    Raises ``ValueError`` for protocols without any deterministic bound.
+    """
+    device: NDProtocol = protocol.device(role)
+    latency = (
+        measured_latency
+        if measured_latency is not None
+        else protocol.predicted_worst_case_latency()
+    )
+    if latency is None:
+        raise ValueError(
+            f"{protocol.info().name} offers no deterministic latency"
+        )
+    eta = device.eta
+    beta = device.beta
+    return OptimalityGap(
+        name=protocol.info().name,
+        eta=eta,
+        beta=beta,
+        omega=omega,
+        latency=latency,
+        bound_unconstrained=symmetric_bound(omega, eta, alpha),
+        bound_constrained=constrained_bound(
+            omega, eta, beta_max=max(beta, 1e-12), alpha=alpha
+        ),
+    )
+
+
+def gap_table_rows(gaps: list[OptimalityGap]) -> list[list]:
+    """Rows for :func:`repro.analysis.tables.format_table`, Table-1 style."""
+    return [
+        [
+            g.name,
+            g.eta,
+            g.beta,
+            g.latency / 1e6,
+            g.bound_unconstrained / 1e6,
+            g.ratio_unconstrained,
+            g.ratio_constrained,
+        ]
+        for g in sorted(gaps, key=lambda g: g.ratio_constrained)
+    ]

@@ -1,0 +1,60 @@
+"""Pareto-front utilities over the (duty-cycle, latency) plane.
+
+The paper's central object is the Pareto front of achievable
+``(eta, L)`` points -- the fundamental bounds *are* that front.  These
+helpers extract empirical fronts from measured protocol configurations
+and quantify their distance to the theoretical front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.bounds import symmetric_bound
+
+__all__ = ["ParetoPoint", "pareto_front", "front_distance"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One achievable operating point of some protocol configuration."""
+
+    eta: float
+    latency: float
+    label: str = ""
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weak Pareto dominance: no worse in both metrics, better in one."""
+        return (
+            self.eta <= other.eta
+            and self.latency <= other.latency
+            and (self.eta < other.eta or self.latency < other.latency)
+        )
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by increasing duty-cycle.
+
+    Ties on both coordinates keep the first occurrence.
+    """
+    candidates = sorted(points, key=lambda p: (p.eta, p.latency))
+    front: list[ParetoPoint] = []
+    best_latency = float("inf")
+    for point in candidates:
+        if point.latency < best_latency:
+            front.append(point)
+            best_latency = point.latency
+    return front
+
+
+def front_distance(
+    points: Iterable[ParetoPoint], omega: float, alpha: float = 1.0
+) -> list[tuple[ParetoPoint, float]]:
+    """For each point, its latency ratio to the fundamental symmetric
+    bound at the same duty-cycle (Theorem 5.5): the vertical distance to
+    the theoretical Pareto front.  1.0 means the point *is* on the front.
+    """
+    return [
+        (p, p.latency / symmetric_bound(omega, p.eta, alpha)) for p in points
+    ]

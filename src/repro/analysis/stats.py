@@ -1,0 +1,91 @@
+"""Summary statistics for Monte-Carlo discovery experiments.
+
+Deterministic sweeps need no statistics (they are exact), but the
+collision and jitter experiments are stochastic: these helpers compute
+quantiles, Wilson confidence intervals for discovery/failure rates, and
+compact latency summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["LatencySummary", "summarize_latencies", "wilson_interval"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Five-number-plus summary of a latency sample (microseconds)."""
+
+    count: int
+    minimum: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+    mean: float
+
+    def row(self) -> list:
+        """As a table row: count, min, median, p90, p99, max, mean."""
+        return [
+            self.count,
+            self.minimum,
+            self.median,
+            self.p90,
+            self.p99,
+            self.maximum,
+            self.mean,
+        ]
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile on a pre-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
+    """Summarize a non-empty latency sample."""
+    if not latencies:
+        raise ValueError("empty latency sample")
+    ordered = sorted(latencies)
+    return LatencySummary(
+        count=len(ordered),
+        minimum=ordered[0],
+        median=_quantile(ordered, 0.5),
+        p90=_quantile(ordered, 0.9),
+        p99=_quantile(ordered, 0.99),
+        maximum=ordered[-1],
+        mean=sum(ordered) / len(ordered),
+    )
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Robust for small samples and extreme rates -- exactly the regime of
+    failure-rate measurements like Appendix B's ``Pf = 0.05%``.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    # Normal quantile for the given two-sided confidence.
+    z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}.get(confidence)
+    if z is None:
+        raise ValueError("supported confidence levels: 0.90, 0.95, 0.99")
+    p_hat = successes / trials
+    denom = 1 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))

@@ -1,0 +1,107 @@
+"""ASCII visualization of coverage maps and schedules.
+
+The paper's Figures 3, 8, 9 and 11 are coverage-map drawings; this module
+renders the same pictures in monospace text so schedules can be inspected
+in a terminal or embedded in docs/tests.  Each row ``Omega_i`` shows which
+initial offsets beacon ``i`` covers; the footer aggregates coverage
+multiplicity (``.`` = uncovered, digits = covered n times, ``+`` = >9).
+"""
+
+from __future__ import annotations
+
+from ..core.coverage import CoverageMap
+from ..core.sequences import BeaconSchedule, ReceptionSchedule
+
+__all__ = ["render_coverage_map", "render_schedule"]
+
+
+def render_coverage_map(
+    cover: CoverageMap, width: int = 72, max_rows: int = 24
+) -> str:
+    """Render a coverage map as Figure-3-style text.
+
+    Each column is one ``T_C / width`` bucket of initial offsets; a
+    bucket is marked covered in a row if any of its offsets is covered by
+    that beacon (so narrow images never disappear).
+    """
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    period = cover.reception.period
+    bucket = period / width
+
+    def row_line(offsets) -> str:
+        cells = []
+        for i in range(width):
+            lo, hi = i * bucket, (i + 1) * bucket
+            covered = any(
+                iv.start < hi and iv.end > lo for iv in offsets.intervals
+            )
+            cells.append("#" if covered else " ")
+        return "".join(cells)
+
+    lines = [
+        f"coverage map: {cover.n_beacons} beacons vs T_C = {period} "
+        f"({'deterministic' if cover.is_deterministic() else 'NOT deterministic'}, "
+        f"{'disjoint' if cover.is_disjoint() else 'redundant'})",
+        f"offset 0 {'-' * (width - 16)} T_C",
+    ]
+    shown = min(cover.n_beacons, max_rows)
+    for index in range(shown):
+        shift = cover.beacon_shifts[index]
+        lines.append(f"{row_line(cover.row(index))}  O{index + 1} (+{shift})")
+    if shown < cover.n_beacons:
+        lines.append(f"... {cover.n_beacons - shown} more rows elided ...")
+
+    # Multiplicity footer.
+    pieces = cover.multiplicity()
+    footer = []
+    for i in range(width):
+        lo, hi = i * bucket, (i + 1) * bucket
+        depth = 0
+        for interval, count in pieces:
+            if interval.start < hi and interval.end > lo:
+                depth = max(depth, count)
+        footer.append("." if depth == 0 else (str(depth) if depth <= 9 else "+"))
+    lines.append("".join(footer) + "  Lambda*")
+    return "\n".join(lines)
+
+
+def render_schedule(
+    beacons: BeaconSchedule | None,
+    reception: ReceptionSchedule | None,
+    span: int | None = None,
+    width: int = 72,
+) -> str:
+    """Render one device's schedules on a shared time axis.
+
+    ``!`` marks beacon transmissions, ``=`` reception windows, ``X``
+    instants where both overlap (the Appendix-A.5 self-blocking).
+    """
+    if beacons is None and reception is None:
+        raise ValueError("nothing to render")
+    if span is None:
+        span = max(
+            int(beacons.period) if beacons is not None else 0,
+            int(reception.period) if reception is not None else 0,
+        )
+    bucket = span / width
+    cells = []
+    for i in range(width):
+        lo, hi = i * bucket, (i + 1) * bucket
+        has_tx = beacons is not None and any(
+            b.time < hi and b.end > lo for b in beacons.iter_beacons(until=span + 1)
+        )
+        has_rx = reception is not None and any(
+            w.start < hi and w.end > lo
+            for w in reception.iter_windows(until=span + 1)
+        )
+        if has_tx and has_rx:
+            cells.append("X")
+        elif has_tx:
+            cells.append("!")
+        elif has_rx:
+            cells.append("=")
+        else:
+            cells.append(".")
+    header = f"0 {'-' * (width - 12)} {span} us"
+    return header + "\n" + "".join(cells)

@@ -1,0 +1,239 @@
+"""Command-line interface: quick access to bounds, synthesis and simulation.
+
+Installed as ``repro-nd``.  Subcommands::
+
+    repro-nd bound --eta 0.01 --omega 32            # all bounds at a budget
+    repro-nd synthesize --eta 0.01 --omega 32       # build + verify a schedule
+    repro-nd simulate --eta 0.01 --devices 5        # a dense-network run
+    repro-nd protocols --duty-cycle 0.05            # protocol-zoo comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import core
+from .analysis import format_seconds, format_table
+from .protocols import Diffcodes, Disco, Role, Searchlight, UConnect
+from .simulation import simulate_network
+from .workloads import dense_network
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    omega, eta, alpha = args.omega, args.eta, args.alpha
+    rows = [
+        ["Unidirectional (Thm 5.4, optimal split)",
+         core.unidirectional_bound(
+             omega,
+             core.optimal_split(eta, alpha).beta,
+             core.optimal_split(eta, alpha).gamma,
+         )],
+        ["Symmetric two-way (Thm 5.5)", core.symmetric_bound(omega, eta, alpha)],
+        ["One-way mutual-exclusive (Thm C.1)", core.one_way_bound(omega, eta, alpha)],
+    ]
+    if args.beta_max is not None:
+        rows.append(
+            [f"Channel-constrained (Thm 5.6, beta_max={args.beta_max:g})",
+             core.constrained_bound(omega, eta, args.beta_max, alpha)]
+        )
+    print(
+        format_table(
+            ["bound", "latency"],
+            [[name, format_seconds(value)] for name, value in rows],
+            title=f"Fundamental bounds at eta={eta:g}, omega={omega} us, alpha={alpha:g}",
+        )
+    )
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    protocol, design = core.synthesize_symmetric(args.omega, args.eta, args.alpha)
+    print(f"protocol      : {protocol.name}")
+    print(f"beacon gap    : {design.beacons.period} us (beta={design.beta:.6f})")
+    print(
+        f"scan window   : {design.reception.windows[0].duration} us every "
+        f"{design.reception.period} us (gamma={design.gamma:.6f})"
+    )
+    print(f"achieved eta  : {protocol.eta:.6f} (requested {args.eta:g})")
+    print(f"deterministic : {design.deterministic}   disjoint: {design.disjoint}")
+    print(f"worst-case L  : {format_seconds(design.worst_case_latency)}")
+    print(
+        f"bound at eta  : "
+        f"{format_seconds(core.symmetric_bound(args.omega, protocol.eta, args.alpha))}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = dense_network(
+        n_devices=args.devices, eta=args.eta, omega=args.omega, seed=args.seed
+    )
+    result = simulate_network(
+        scenario.protocols,
+        scenario.phases,
+        horizon=scenario.horizon,
+        seed=args.seed,
+    )
+    print(scenario.description)
+    print(
+        f"pairs discovered : {result.pairs_discovered}/{result.pairs_expected} "
+        f"({result.discovery_rate:.1%})"
+    )
+    print(f"transmissions    : {result.total_transmissions}")
+    print(f"collision events : {result.total_collisions}")
+    median = result.quantile(0.5)
+    print(f"median latency   : {format_seconds(median)}")
+    return 0
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    slot = args.slot_length
+    zoo = [
+        Disco(37, 43, slot_length=slot),
+        UConnect(31, slot_length=slot),
+        Searchlight(40, slot_length=slot),
+        Diffcodes(7, slot_length=slot),
+    ]
+    rows = []
+    for proto in zoo:
+        device = proto.device(Role.E)
+        rows.append(
+            [
+                proto.info().name,
+                f"{device.eta:.4f}",
+                f"{device.beta:.5f}",
+                format_seconds(proto.predicted_worst_case_latency()),
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "eta", "beta", "worst-case L"],
+            rows,
+            title=f"Protocol zoo at slot length {slot} us",
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate the closed-form paper artifacts (FIG6, FIG7, TAB1,
+    EQ18-19, APPB) as CSVs without the pytest harness."""
+    from pathlib import Path
+
+    from .analysis import write_csv
+    from .core.bounds import symmetric_bound
+    from .core.collisions import constrained_latency_curve, optimize_redundancy
+    from .core.slotted_bounds import (
+        slotted_bound_one_beacon,
+        slotted_bound_two_beacons,
+        TABLE1_PROTOCOLS,
+    )
+    from .core.bounds import asymmetric_bound, constrained_bound
+
+    out = Path(args.output_dir)
+    omega = args.omega * 1e-6  # seconds
+
+    # FIG6: latency-energy product vs asymmetry.
+    sums = [0.005, 0.01, 0.02, 0.05, 0.1, 0.2]
+    ratios = [1, 2, 5, 10]
+    rows = []
+    for total in sums:
+        row = [total]
+        for ratio in ratios:
+            eta_e = total * ratio / (1 + ratio)
+            eta_f = total / (1 + ratio)
+            row.append(asymmetric_bound(omega, eta_e, eta_f) * total)
+        rows.append(row)
+    write_csv(out / "fig6-ratio.csv",
+              ["eta_E+eta_F"] + [f"L*sum @ {r}:1" for r in ratios], rows)
+
+    # FIG7: collision-constrained bounds.
+    etas = [round(10 ** (-3 + i * 0.125), 10) for i in range(25) if 10 ** (-3 + i * 0.125) <= 1]
+    senders = [2, 10, 100, 1000]
+    rows = []
+    for eta in etas:
+        row = [eta, symmetric_bound(omega, eta)]
+        for s in senders:
+            row.append(constrained_latency_curve([eta], 0.01, s, omega)[0][1])
+        rows.append(row)
+    write_csv(out / "fig7.csv",
+              ["eta", "unconstrained"] + [f"S={s}" for s in senders], rows)
+
+    # TAB1: slotted-protocol latencies.
+    grid = [(0.01, 0.001), (0.02, 0.002), (0.05, 0.005), (0.05, 0.02), (0.1, 0.01)]
+    rows = []
+    for eta, beta in grid:
+        row = [eta, beta, constrained_bound(omega, eta, beta)]
+        row += [f(omega, eta, beta) for f in TABLE1_PROTOCOLS.values()]
+        rows.append(row)
+    write_csv(out / "tab1.csv",
+              ["eta", "beta", "bound"] + list(TABLE1_PROTOCOLS), rows)
+
+    # EQ18/19: alpha sweep.
+    alphas = [0.25, 0.4, 0.5, 0.7071, 0.8, 1.0, 1.5, 2.0, 3.0]
+    rows = [
+        [a, symmetric_bound(omega, 0.01, a),
+         slotted_bound_one_beacon(omega, 0.01, a),
+         slotted_bound_two_beacons(omega, 0.01, a)]
+        for a in alphas
+    ]
+    write_csv(out / "eq18-19.csv",
+              ["alpha", "fundamental", "eq18", "eq19"], rows)
+
+    # APPB: the worked example.
+    plan = optimize_redundancy(0.05, 0.0005, 3, omega)
+    write_csv(out / "appb-example.csv",
+              ["Q", "beta", "gamma", "L'(Pf)", "L_pair", "Pc"],
+              [[plan.redundancy, plan.beta, plan.gamma, plan.latency,
+                plan.pair_latency, plan.per_beacon_collision_prob]])
+
+    print(f"wrote fig6-ratio, fig7, tab1, eq18-19, appb-example under {out}/")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-nd`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-nd",
+        description="Optimal neighbor discovery: bounds, schedules, simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bound = sub.add_parser("bound", help="evaluate the fundamental bounds")
+    p_bound.add_argument("--eta", type=float, required=True)
+    p_bound.add_argument("--omega", type=int, default=32)
+    p_bound.add_argument("--alpha", type=float, default=1.0)
+    p_bound.add_argument("--beta-max", type=float, default=None)
+    p_bound.set_defaults(func=_cmd_bound)
+
+    p_syn = sub.add_parser("synthesize", help="build a bound-attaining schedule")
+    p_syn.add_argument("--eta", type=float, required=True)
+    p_syn.add_argument("--omega", type=int, default=32)
+    p_syn.add_argument("--alpha", type=float, default=1.0)
+    p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_sim = sub.add_parser("simulate", help="run a dense-network simulation")
+    p_sim.add_argument("--devices", type=int, default=5)
+    p_sim.add_argument("--eta", type=float, default=0.02)
+    p_sim.add_argument("--omega", type=int, default=32)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_zoo = sub.add_parser("protocols", help="compare the protocol zoo")
+    p_zoo.add_argument("--slot-length", type=int, default=10_000)
+    p_zoo.set_defaults(func=_cmd_protocols)
+
+    p_fig = sub.add_parser(
+        "figures", help="regenerate the closed-form paper figures as CSV"
+    )
+    p_fig.add_argument("--output-dir", default="results")
+    p_fig.add_argument("--omega", type=int, default=32)
+    p_fig.set_defaults(func=_cmd_figures)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

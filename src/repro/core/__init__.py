@@ -1,0 +1,135 @@
+"""Core theory of the paper: sequences, coverage maps, fundamental bounds,
+optimal-schedule synthesis, collision theory and slotted-protocol bounds.
+"""
+
+from .bounds import (
+    asymmetric_bound,
+    constrained_bound,
+    coverage_bound,
+    DutyCycleSplit,
+    duty_cycles_for_latency_unidirectional,
+    eta_for_latency_one_way,
+    eta_for_latency_symmetric,
+    finite_window_bound,
+    last_beacon_corrected_bound,
+    nonideal_unidirectional_bound,
+    one_way_bound,
+    optimal_beta_symmetric,
+    optimal_split,
+    symmetric_bound,
+    unidirectional_bound,
+)
+from .collisions import (
+    beta_for_failure_rate,
+    self_blocking_failure_probability,
+    solve_fractional_redundancy,
+    beta_max_for_collision_probability,
+    collision_probability,
+    constrained_latency_curve,
+    failure_rate,
+    optimize_redundancy,
+    RedundancyPlan,
+)
+from .coverage import beacon_coverage_set, CoverageMap, minimum_beacons
+from .intervals import Interval, IntervalSet, wrap_interval
+from .optimal import (
+    coprime_stride_near,
+    greedy_cover_shifts,
+    OptimalDesign,
+    plan_unidirectional,
+    synthesize_asymmetric,
+    synthesize_constrained,
+    synthesize_redundant,
+    synthesize_symmetric,
+    synthesize_unidirectional,
+)
+from .power import effective_duty_cycles, PowerModel, TYPICAL_RADIOS
+from .sequences import (
+    Beacon,
+    BeaconSchedule,
+    NDProtocol,
+    ReceptionSchedule,
+    ReceptionWindow,
+)
+from .slotted_bounds import (
+    optimality_ratio,
+    slot_length_analysis,
+    slotted_bound_one_beacon,
+    slotted_bound_two_beacons,
+    slotted_channel_utilization_bound,
+    slotted_duty_cycle,
+    TABLE1_PROTOCOLS,
+    table1_diffcodes,
+    table1_disco,
+    table1_searchlight_striped,
+    table1_uconnect,
+)
+
+__all__ = [
+    # sequences
+    "Beacon",
+    "BeaconSchedule",
+    "NDProtocol",
+    "ReceptionSchedule",
+    "ReceptionWindow",
+    # intervals
+    "Interval",
+    "IntervalSet",
+    "wrap_interval",
+    # coverage
+    "CoverageMap",
+    "beacon_coverage_set",
+    "minimum_beacons",
+    # bounds
+    "DutyCycleSplit",
+    "asymmetric_bound",
+    "constrained_bound",
+    "coverage_bound",
+    "duty_cycles_for_latency_unidirectional",
+    "eta_for_latency_one_way",
+    "eta_for_latency_symmetric",
+    "finite_window_bound",
+    "last_beacon_corrected_bound",
+    "nonideal_unidirectional_bound",
+    "one_way_bound",
+    "optimal_beta_symmetric",
+    "optimal_split",
+    "symmetric_bound",
+    "unidirectional_bound",
+    # collisions
+    "RedundancyPlan",
+    "beta_for_failure_rate",
+    "beta_max_for_collision_probability",
+    "collision_probability",
+    "constrained_latency_curve",
+    "failure_rate",
+    "optimize_redundancy",
+    "self_blocking_failure_probability",
+    "solve_fractional_redundancy",
+    # optimal synthesis
+    "OptimalDesign",
+    "coprime_stride_near",
+    "greedy_cover_shifts",
+    "plan_unidirectional",
+    "synthesize_asymmetric",
+    "synthesize_constrained",
+    "synthesize_redundant",
+    "synthesize_symmetric",
+    "synthesize_unidirectional",
+    # power
+    "PowerModel",
+    "TYPICAL_RADIOS",
+    "effective_duty_cycles",
+    # slotted bounds
+    "TABLE1_PROTOCOLS",
+    "optimality_ratio",
+    "slot_length_analysis",
+    "slotted_bound_one_beacon",
+    "slotted_bound_two_beacons",
+    "slotted_channel_utilization_bound",
+    "slotted_duty_cycle",
+    "table1_diffcodes",
+    "table1_disco",
+    "table1_searchlight_striped",
+    "table1_uconnect",
+]

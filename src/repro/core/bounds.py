@@ -1,0 +1,344 @@
+"""Fundamental worst-case-latency bounds (Section 5 and Appendices A, C).
+
+Every theorem of the paper is exposed as a documented function.  All
+functions use SI-consistent units: pass ``omega`` (the beacon transmission
+duration) in seconds and you get latencies in seconds; pass microseconds
+and you get microseconds.  Duty-cycles are dimensionless fractions in
+``(0, 1]``.
+
+Summary of the bound landscape (lower is better, none are beatable):
+
+====================  =====================================  ==========
+Scenario              Bound                                  Reference
+====================  =====================================  ==========
+Unidirectional        ``L = omega / (beta_E * gamma_F)``     Thm 5.4
+Symmetric two-way     ``L = 4 alpha omega / eta^2``          Thm 5.5
+Channel-constrained   piecewise, see below                   Thm 5.6
+Asymmetric two-way    ``L = 4 alpha omega / (eta_E eta_F)``  Thm 5.7
+One-way (either dir)  ``L = 2 alpha omega / eta^2``          Thm C.1
+====================  =====================================  ==========
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "coverage_bound",
+    "unidirectional_bound",
+    "symmetric_bound",
+    "constrained_bound",
+    "asymmetric_bound",
+    "one_way_bound",
+    "optimal_beta_symmetric",
+    "optimal_split",
+    "DutyCycleSplit",
+    "eta_for_latency_symmetric",
+    "eta_for_latency_one_way",
+    "duty_cycles_for_latency_unidirectional",
+    "nonideal_unidirectional_bound",
+    "last_beacon_corrected_bound",
+    "finite_window_bound",
+]
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0 < value <= 1:
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Section 5.1 -- unidirectional beaconing
+# ----------------------------------------------------------------------
+def coverage_bound(
+    reception_period: float,
+    listen_time_per_period: float,
+    omega: float,
+    beta: float,
+) -> float:
+    """Theorem 5.1 (Coverage Bound), Equation 6.
+
+    Lowest worst-case latency of any ``(B_inf, C_inf)`` with reception
+    period ``T_C``, total listen time ``sum(d_i)`` per period, beacon
+    duration ``omega`` and transmission duty-cycle ``beta``:
+
+    ``L = ceil(T_C / sum(d_i)) * omega / beta``.
+    """
+    _check_positive("reception_period", reception_period)
+    _check_positive("listen_time_per_period", listen_time_per_period)
+    _check_positive("omega", omega)
+    _check_fraction("beta", beta)
+    m = math.ceil(reception_period / listen_time_per_period)
+    return m * omega / beta
+
+
+def unidirectional_bound(omega: float, beta_tx: float, gamma_rx: float) -> float:
+    """Theorem 5.4 (Fundamental Bound for Unidirectional Beaconing), Eq. 9.
+
+    Device E beacons with transmission duty-cycle ``beta_tx``; device F
+    listens with reception duty-cycle ``gamma_rx``.  No protocol lets F
+    discover E faster than ``L = omega / (beta_tx * gamma_rx)``.
+    """
+    _check_positive("omega", omega)
+    _check_fraction("beta_tx", beta_tx)
+    _check_fraction("gamma_rx", gamma_rx)
+    return omega / (beta_tx * gamma_rx)
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 -- symmetric bidirectional discovery
+# ----------------------------------------------------------------------
+def optimal_beta_symmetric(eta: float, alpha: float = 1.0) -> float:
+    """The latency-minimizing channel utilization ``beta = eta / (2 alpha)``
+    (proof of Theorem 5.5): spend half the weighted duty-cycle budget on
+    transmission, half on reception.
+
+    For cheap transmitters (``alpha < 1/2``) and near-saturated budgets
+    the interior optimum can exceed full channel occupancy; it is clamped
+    to ``beta = 1``, the best feasible point (the leftover budget
+    ``eta - alpha`` then goes to reception).
+    """
+    _check_fraction("eta", eta)
+    _check_positive("alpha", alpha)
+    return min(eta / (2 * alpha), 1.0)
+
+
+@dataclass(frozen=True)
+class DutyCycleSplit:
+    """An (eta -> beta, gamma) partition of a duty-cycle budget."""
+
+    eta: float
+    beta: float
+    gamma: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        recombined = self.alpha * self.beta + self.gamma
+        if not math.isclose(recombined, self.eta, rel_tol=1e-9, abs_tol=1e-12):
+            raise ValueError(
+                f"inconsistent split: alpha*beta+gamma={recombined} != eta={self.eta}"
+            )
+
+
+def optimal_split(eta: float, alpha: float = 1.0) -> DutyCycleSplit:
+    """Split a total duty-cycle ``eta`` into the latency-optimal
+    transmission/reception shares (Theorem 5.5's interior optimum)."""
+    beta = optimal_beta_symmetric(eta, alpha)
+    gamma = eta - alpha * beta
+    return DutyCycleSplit(eta=eta, beta=beta, gamma=gamma, alpha=alpha)
+
+
+def symmetric_bound(omega: float, eta: float, alpha: float = 1.0) -> float:
+    """Theorem 5.5 (Symmetric Bound for Bi-Directional ND), Equation 11.
+
+    Both devices run the same schedules with total duty-cycle ``eta``;
+    no protocol guarantees mutual discovery faster than
+    ``L = 4 alpha omega / eta^2``.
+    """
+    _check_positive("omega", omega)
+    _check_fraction("eta", eta)
+    _check_positive("alpha", alpha)
+    return 4 * alpha * omega / (eta * eta)
+
+
+def constrained_bound(
+    omega: float, eta: float, beta_max: float, alpha: float = 1.0
+) -> float:
+    """Theorem 5.6 (Symmetric ND with Constrained Channel Utilization),
+    Equation 13.
+
+    With the channel utilization capped at ``beta_max`` (to control the
+    collision rate, Eq. 12) the bound is piecewise: below the kink
+    ``eta <= 2 alpha beta_max`` the cap is not binding and Theorem 5.5
+    applies; above it each device is forced to over-invest in reception::
+
+        L = 4 alpha omega / eta^2                 if eta <= 2 alpha beta_max
+        L = omega / (eta beta_max - alpha beta_max^2)   otherwise
+    """
+    _check_positive("omega", omega)
+    _check_fraction("eta", eta)
+    _check_fraction("beta_max", beta_max)
+    _check_positive("alpha", alpha)
+    if eta <= 2 * alpha * beta_max:
+        return symmetric_bound(omega, eta, alpha)
+    denominator = eta * beta_max - alpha * beta_max * beta_max
+    if denominator <= 0:
+        raise ValueError(
+            f"infeasible: eta={eta} <= alpha*beta_max={alpha * beta_max}"
+        )
+    return omega / denominator
+
+
+# ----------------------------------------------------------------------
+# Section 5.3 -- asymmetric discovery
+# ----------------------------------------------------------------------
+def asymmetric_bound(
+    omega: float, eta_e: float, eta_f: float, alpha: float = 1.0
+) -> float:
+    """Theorem 5.7 (Bound for Asymmetric ND), Equation 14.
+
+    Devices E and F run different duty-cycles ``eta_e`` and ``eta_f`` and
+    know each other's configuration.  No protocol guarantees two-way
+    discovery faster than ``L = 4 alpha omega / (eta_e * eta_f)``.
+    Reduces to Theorem 5.5 when ``eta_e == eta_f``.
+    """
+    _check_positive("omega", omega)
+    _check_fraction("eta_e", eta_e)
+    _check_fraction("eta_f", eta_f)
+    _check_positive("alpha", alpha)
+    return 4 * alpha * omega / (eta_e * eta_f)
+
+
+# ----------------------------------------------------------------------
+# Appendix C -- mutual-exclusive one-way discovery
+# ----------------------------------------------------------------------
+def one_way_bound(omega: float, eta: float, alpha: float = 1.0) -> float:
+    """Theorem C.1, Equation 35.
+
+    When it suffices that *either* device discovers the other (one-way
+    discovery exploiting the temporal correlation of Appendix C), each
+    device only needs to cover half the offsets and the bound halves:
+    ``L = 2 alpha omega / eta^2``.  This is the tightest bound for all
+    pairwise deterministic ND protocols.
+    """
+    _check_positive("omega", omega)
+    _check_fraction("eta", eta)
+    _check_positive("alpha", alpha)
+    return 2 * alpha * omega / (eta * eta)
+
+
+# ----------------------------------------------------------------------
+# Inverse forms: duty-cycle required for a target latency
+# ----------------------------------------------------------------------
+def eta_for_latency_symmetric(
+    omega: float, latency: float, alpha: float = 1.0
+) -> float:
+    """Smallest symmetric duty-cycle that *could* achieve worst-case
+    ``latency`` (inverting Theorem 5.5): ``eta = sqrt(4 alpha omega / L)``."""
+    _check_positive("omega", omega)
+    _check_positive("latency", latency)
+    _check_positive("alpha", alpha)
+    eta = math.sqrt(4 * alpha * omega / latency)
+    if eta > 1:
+        raise ValueError(
+            f"latency {latency} unreachable even at 100% duty-cycle "
+            f"(needs eta={eta:.4f})"
+        )
+    return eta
+
+
+def eta_for_latency_one_way(
+    omega: float, latency: float, alpha: float = 1.0
+) -> float:
+    """Inverse of Theorem C.1: ``eta = sqrt(2 alpha omega / L)``."""
+    _check_positive("omega", omega)
+    _check_positive("latency", latency)
+    _check_positive("alpha", alpha)
+    eta = math.sqrt(2 * alpha * omega / latency)
+    if eta > 1:
+        raise ValueError(
+            f"latency {latency} unreachable even at 100% duty-cycle "
+            f"(needs eta={eta:.4f})"
+        )
+    return eta
+
+
+def duty_cycles_for_latency_unidirectional(
+    omega: float, latency: float, joint_eta: float, alpha: float = 1.0
+) -> DutyCycleSplit:
+    """Feasibility check for unidirectional discovery: given a joint budget
+    ``joint_eta = alpha beta_E + gamma_F`` split optimally (Theorem 5.5
+    also governs this case, see the remark after its proof), verify the
+    target latency is achievable and return the optimal split."""
+    split = optimal_split(joint_eta, alpha)
+    achievable = unidirectional_bound(omega, split.beta, split.gamma)
+    if achievable > latency:
+        raise ValueError(
+            f"target latency {latency} below the fundamental bound "
+            f"{achievable} for joint eta {joint_eta}"
+        )
+    return split
+
+
+# ----------------------------------------------------------------------
+# Appendix A -- relaxed assumptions
+# ----------------------------------------------------------------------
+def nonideal_unidirectional_bound(
+    omega: float,
+    beta: float,
+    gamma: float,
+    overhead_tx: float = 0.0,
+    overhead_rx: float = 0.0,
+    window_duration: float | None = None,
+) -> float:
+    """Appendix A.2 (Equation 27): unidirectional bound for radios with
+    switching overheads.
+
+    ``overhead_tx`` (``d_oTx``) is the effective extra active time to
+    switch sleep->TX->sleep per beacon; ``overhead_rx`` (``d_oRx``) the
+    extra time per reception window.  The tightest bound uses a single
+    window of ``window_duration = d_1`` per period:
+
+    ``L = (1/gamma) * (1 + d_oRx / d_1) * (omega + d_oTx) / beta``.
+
+    With zero overheads this degenerates to Theorem 5.4.
+    """
+    _check_positive("omega", omega)
+    _check_fraction("beta", beta)
+    _check_fraction("gamma", gamma)
+    if overhead_tx < 0 or overhead_rx < 0:
+        raise ValueError("overheads must be non-negative")
+    if overhead_rx > 0:
+        if window_duration is None:
+            raise ValueError("window_duration is required when overhead_rx > 0")
+        _check_positive("window_duration", window_duration)
+        rx_factor = 1 + overhead_rx / window_duration
+    else:
+        rx_factor = 1.0
+    return (1 / gamma) * rx_factor * (omega + overhead_tx) / beta
+
+
+def last_beacon_corrected_bound(bound: float, omega: float) -> float:
+    """Appendix A.4: account for the transmission duration of the final,
+    successful beacon by adding ``omega`` to any bound.  The optimal
+    duty-cycle split is unaffected; in practice ``omega << L`` and the
+    correction is negligible (e.g. 32 us vs. seconds)."""
+    _check_positive("omega", omega)
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound!r}")
+    return bound + omega
+
+
+def finite_window_bound(
+    reception_period: float,
+    window_duration: float,
+    omega: float,
+    beta: float,
+) -> float:
+    """Appendix A.3 (Equation 29): bound when a packet must start at least
+    ``omega`` before the end of the (single) reception window to be
+    received in full.
+
+    ``L = T_C * omega / (T_C * beta * gamma - beta * omega)`` with
+    ``gamma = d_1 / T_C``.  As ``T_C -> inf`` this converges to the ideal
+    ``omega / (beta gamma)`` (Equation 30), so the idealized bounds stand.
+    """
+    _check_positive("reception_period", reception_period)
+    _check_positive("window_duration", window_duration)
+    _check_positive("omega", omega)
+    _check_fraction("beta", beta)
+    if window_duration <= omega:
+        raise ValueError(
+            f"window_duration ({window_duration}) must exceed omega ({omega})"
+        )
+    gamma = window_duration / reception_period
+    denominator = reception_period * beta * gamma - beta * omega
+    if denominator <= 0:
+        raise ValueError("infeasible configuration: effective coverage is zero")
+    return reception_period * omega / denominator

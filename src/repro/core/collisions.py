@@ -1,0 +1,376 @@
+"""Collision theory: ALOHA collision rates and the Appendix-B trade-off.
+
+Two ingredients of the paper live here:
+
+1. **Equation 12** -- the slotted-ALOHA-style collision probability a
+   freshly arriving beacon faces when ``S`` senders each occupy the channel
+   for a fraction ``beta`` of the time: ``Pc = 1 - exp(-2 (S-1) beta)``.
+   Inverting it yields the channel-utilization cap ``beta_max`` that keeps
+   ``Pc`` below a target, which feeds Theorem 5.6 (Figure 7).
+
+2. **Appendix B** -- the redundancy trade-off for busy networks.  A
+   protocol covers every offset ``Q`` times (a fraction ``q`` of offsets
+   ``Q+1`` times) so that a collided beacon is backed up by later ones.
+   Under the idealized assumption of fully decorrelated collisions the
+   failure rate is Equation 32 and the latency achieved with failure rate
+   ``Pf`` is Equation 33.  :func:`optimize_redundancy` finds the optimal
+   integer redundancy degree ``Q`` for a budget ``(eta, Pf, S)``.
+
+Note on the exponent
+--------------------
+Equation 32 of the paper writes the per-beacon collision probability with
+``S - 2`` interfering senders (the partner's beacons cannot collide with
+the partner's own reception), while Equation 12 and the worked numeric
+example in Appendix B use ``S - 1``.  Reproducing the worked example
+(``omega = 32 us``, ``alpha = 1``, ``eta = 5%``, ``Pf = 0.05%``, ``S = 3``
+giving ``Q = 3``, ``beta = 2.07%``, ``L' = 0.1583 s``) requires the
+``S - 1`` form, which is therefore the default here; pass
+``interferers="s-2"`` for the Equation-32 variant.  (The example also
+states ``omega = 36 us`` but its numbers are only consistent with the
+32 us used elsewhere in the paper; see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+from . import bounds
+
+__all__ = [
+    "collision_probability",
+    "beta_max_for_collision_probability",
+    "RedundancyPlan",
+    "failure_rate",
+    "beta_for_failure_rate",
+    "optimize_redundancy",
+]
+
+InterfererRule = Literal["s-1", "s-2"]
+
+
+def _interferer_count(n_senders: int, rule: InterfererRule) -> int:
+    if n_senders < 2:
+        raise ValueError(f"need at least two senders, got {n_senders}")
+    if rule == "s-1":
+        return n_senders - 1
+    if rule == "s-2":
+        return n_senders - 2
+    raise ValueError(f"unknown interferer rule {rule!r}")
+
+
+def collision_probability(
+    n_senders: int, beta: float, interferers: InterfererRule = "s-1"
+) -> float:
+    """Equation 12: probability that a beacon from a newly arriving sender
+    collides, with ``n_senders`` total senders each at channel utilization
+    ``beta``: ``Pc = 1 - exp(-2 * k * beta)`` with ``k`` interferers.
+    """
+    if beta < 0:
+        raise ValueError(f"beta must be non-negative, got {beta!r}")
+    k = _interferer_count(n_senders, interferers)
+    return 1.0 - math.exp(-2.0 * k * beta)
+
+
+def beta_max_for_collision_probability(
+    collision_prob: float, n_senders: int, interferers: InterfererRule = "s-1"
+) -> float:
+    """Invert Equation 12: the largest channel utilization each of
+    ``n_senders`` senders may use so an arriving beacon collides with
+    probability at most ``collision_prob``.
+
+    This is the ``beta_max`` fed into Theorem 5.6 for Figure 7.
+    """
+    if not 0 < collision_prob < 1:
+        raise ValueError(
+            f"collision_prob must be in (0, 1), got {collision_prob!r}"
+        )
+    k = _interferer_count(n_senders, interferers)
+    if k == 0:
+        return 1.0  # a lone pair never collides under this model
+    return -math.log(1.0 - collision_prob) / (2.0 * k)
+
+
+# ----------------------------------------------------------------------
+# Appendix B -- failure-rate-constrained redundancy
+# ----------------------------------------------------------------------
+def failure_rate(
+    beta: float,
+    redundancy: int,
+    extra_fraction: float,
+    n_senders: int,
+    interferers: InterfererRule = "s-1",
+) -> float:
+    """Equation 32: discovery-failure probability of a ``Q``-redundant
+    schedule under fully decorrelated collisions.
+
+    A fraction ``extra_fraction`` (``q``) of offsets is covered
+    ``redundancy + 1`` times, the rest ``redundancy`` times; discovery
+    fails only if every covering beacon collides::
+
+        Pf = (1-q) Pc^Q + q Pc^(Q+1)
+    """
+    if redundancy < 1:
+        raise ValueError(f"redundancy must be >= 1, got {redundancy}")
+    if not 0 <= extra_fraction <= 1:
+        raise ValueError(f"extra_fraction must be in [0, 1], got {extra_fraction!r}")
+    pc = collision_probability(n_senders, beta, interferers)
+    return (1 - extra_fraction) * pc**redundancy + extra_fraction * pc ** (
+        redundancy + 1
+    )
+
+
+def beta_for_failure_rate(
+    target_pf: float,
+    redundancy: int,
+    n_senders: int,
+    interferers: InterfererRule = "s-1",
+) -> float:
+    """Solve Equation 32 for ``beta`` with ``q = 0`` (closed form).
+
+    The per-beacon collision probability may be ``Pf ** (1/Q)``, so
+    ``beta = -ln(1 - Pf^(1/Q)) / (2 k)``.
+    """
+    if not 0 < target_pf < 1:
+        raise ValueError(f"target_pf must be in (0, 1), got {target_pf!r}")
+    if redundancy < 1:
+        raise ValueError(f"redundancy must be >= 1, got {redundancy}")
+    per_beacon = target_pf ** (1.0 / redundancy)
+    return beta_max_for_collision_probability(per_beacon, n_senders, interferers)
+
+
+@dataclass(frozen=True)
+class RedundancyPlan:
+    """Result of the Appendix-B optimization for one redundancy degree."""
+
+    redundancy: int
+    """``Q`` -- how many beacons cover each offset."""
+    beta: float
+    """Channel utilization solving the failure-rate constraint."""
+    gamma: float
+    """Remaining reception duty-cycle ``eta - alpha * beta``."""
+    latency: float
+    """``L'(Pf)`` per Equation 33: ``Q * omega / (beta * gamma)``."""
+    pair_latency: float
+    """Worst-case latency for an isolated pair (no collisions), Thm 5.4."""
+    per_beacon_collision_prob: float
+    """``Pc`` each individual beacon faces at this ``beta``."""
+    failure_rate: float
+    """The achieved ``Pf`` (at most the target; below it when the
+    constraint is slack at the latency-optimal split)."""
+    constraint_binding: bool
+    """Whether the failure-rate cap actually limited ``beta``."""
+
+
+def optimize_redundancy(
+    eta: float,
+    target_pf: float,
+    n_senders: int,
+    omega: float,
+    alpha: float = 1.0,
+    max_redundancy: int = 64,
+    interferers: InterfererRule = "s-1",
+) -> RedundancyPlan:
+    """Appendix B: the best integer redundancy degree ``Q`` for a budget.
+
+    For each candidate ``Q``, the failure-rate requirement (Equation 32
+    with ``q = 0``) caps the channel utilization at
+    ``beta_cap(Q) = -ln(1 - Pf^(1/Q)) / (2 k)``; the latency-optimal
+    feasible choice is ``beta = min(beta_cap, eta / 2 alpha)`` (when the
+    cap is slack, the plain Theorem-5.5 split already satisfies the
+    failure target).  The reception share is what remains of ``eta`` and
+    the latency achieved with probability ``1 - Pf`` is Equation 33.
+    Returns the plan minimizing that latency; every budget has a feasible
+    plan since ``beta <= eta / 2 alpha`` always leaves ``gamma > 0``.
+    """
+    bounds._check_fraction("eta", eta)
+    bounds._check_positive("omega", omega)
+    bounds._check_positive("alpha", alpha)
+    beta_optimal = bounds.optimal_beta_symmetric(eta, alpha)
+    best: RedundancyPlan | None = None
+    for q_degree in range(1, max_redundancy + 1):
+        beta_cap = beta_for_failure_rate(
+            target_pf, q_degree, n_senders, interferers
+        )
+        binding = beta_cap < beta_optimal
+        beta = min(beta_cap, beta_optimal)
+        gamma = eta - alpha * beta
+        latency = q_degree * omega / (beta * gamma)
+        if best is None or latency < best.latency:
+            best = RedundancyPlan(
+                redundancy=q_degree,
+                beta=beta,
+                gamma=gamma,
+                latency=latency,
+                pair_latency=omega / (beta * gamma),
+                per_beacon_collision_prob=collision_probability(
+                    n_senders, beta, interferers
+                ),
+                failure_rate=failure_rate(
+                    beta, q_degree, 0.0, n_senders, interferers
+                ),
+                constraint_binding=binding,
+            )
+        if not binding:
+            # Larger Q only raises the cap further while multiplying the
+            # latency by Q: once the cap is slack, stop.
+            break
+    assert best is not None
+    return best
+
+
+def solve_fractional_redundancy(
+    eta: float,
+    target_pf: float,
+    n_senders: int,
+    omega: float,
+    alpha: float = 1.0,
+    max_redundancy: int = 64,
+    interferers: InterfererRule = "s-1",
+) -> tuple[RedundancyPlan, float]:
+    """Appendix B with ``q > 0``: fractional redundancy degrees.
+
+    The paper notes Equation 32 "is only easily possible for q = 0 - for
+    other values, numeric solutions are feasible".  This solves the
+    general problem: a fraction ``q`` of offsets is covered ``Q+1``
+    times, the rest ``Q`` times, so the *effective* redundancy is
+    ``Q + q`` and the latency generalizes Equation 33 to
+    ``L' = (Q + q) * omega / (beta * gamma)``.  For each integer ``Q``
+    the inner problem -- find ``(beta, q)`` with
+    ``(1-q) Pc^Q + q Pc^(Q+1) = Pf`` minimizing ``L'`` -- is solved by a
+    bounded scalar minimization over ``beta`` (``q`` then follows in
+    closed form), using scipy.
+
+    Returns ``(plan, q)`` with the best plan found; ``q == 0`` recovers
+    :func:`optimize_redundancy`'s answer.
+    """
+    from scipy.optimize import minimize_scalar  # deferred: keep import cheap
+
+    bounds._check_fraction("eta", eta)
+    bounds._check_positive("omega", omega)
+    beta_optimal = bounds.optimal_beta_symmetric(eta, alpha)
+    best: tuple[RedundancyPlan, float] | None = None
+    for q_degree in range(1, max_redundancy + 1):
+        # beta range for which a valid q in [0, 1] exists:
+        # Pc^(Q+1) <= Pf <= Pc^Q.
+        beta_hi = beta_for_failure_rate(
+            target_pf, q_degree, n_senders, interferers
+        )
+        beta_lo = beta_for_failure_rate(
+            target_pf, q_degree + 1, n_senders, interferers
+        )
+        beta_hi = min(beta_hi, beta_optimal)
+        if beta_hi <= beta_lo:
+            continue  # this Q's feasible band is outside the useful range
+
+        def latency_at(beta: float, q_deg: int = q_degree) -> float:
+            pc = collision_probability(n_senders, beta, interferers)
+            pq = pc**q_deg
+            pq1 = pq * pc
+            if pq == pq1:  # pc == 0 or 1: degenerate
+                return math.inf
+            q_frac = (pq - target_pf) / (pq - pq1)
+            if not 0 <= q_frac <= 1:
+                return math.inf
+            gamma = eta - alpha * beta
+            if gamma <= 0:
+                return math.inf
+            return (q_deg + q_frac) * omega / (beta * gamma)
+
+        result = minimize_scalar(
+            latency_at, bounds=(beta_lo, beta_hi), method="bounded"
+        )
+        beta = float(result.x)
+        latency = latency_at(beta)
+        if not math.isfinite(latency):
+            continue
+        pc = collision_probability(n_senders, beta, interferers)
+        q_frac = (pc**q_degree - target_pf) / (
+            pc**q_degree - pc ** (q_degree + 1)
+        )
+        gamma = eta - alpha * beta
+        plan = RedundancyPlan(
+            redundancy=q_degree,
+            beta=beta,
+            gamma=gamma,
+            latency=latency,
+            pair_latency=omega / (beta * gamma),
+            per_beacon_collision_prob=pc,
+            failure_rate=failure_rate(
+                beta, q_degree, q_frac, n_senders, interferers
+            ),
+            constraint_binding=True,
+        )
+        if best is None or latency < best[0].latency:
+            best = (plan, q_frac)
+    if best is None:
+        # No fractional band beats the plain optimum: fall back to q = 0.
+        return (
+            optimize_redundancy(
+                eta, target_pf, n_senders, omega, alpha,
+                max_redundancy, interferers,
+            ),
+            0.0,
+        )
+    # The q = 0 answer may still win (e.g. slack constraint).
+    integer_plan = optimize_redundancy(
+        eta, target_pf, n_senders, omega, alpha, max_redundancy, interferers
+    )
+    if integer_plan.latency < best[0].latency:
+        return integer_plan, 0.0
+    return best
+
+
+def self_blocking_failure_probability(
+    turnaround_tx_rx: float,
+    turnaround_rx_tx: float,
+    extra_blocked: float,
+    beacons_per_cycle: int,
+    listen_time_per_period: float,
+) -> float:
+    """Equation 31 (Appendix A.5): probability that a discovery attempt
+    fails because the receiver's *own* beacon blanks the reception window
+    the remote beacon lands in.
+
+    In an optimal (disjoint) tuple, exactly one own beacon overlaps a
+    reception window per worst-case latency ``L = M`` beacon gaps; the
+    blocked time per overlap is ``d_oTxRx + d_oRxTx + d_a`` out of the
+    ``M * sum(d_i)`` of scanning time per ``L``:
+
+    ``Pfail = (d_oTxRx + d_oRxTx + d_a) / (M * sum(d_i))``.
+    """
+    if beacons_per_cycle <= 0 or listen_time_per_period <= 0:
+        raise ValueError("beacons_per_cycle and listen time must be positive")
+    blocked = turnaround_tx_rx + turnaround_rx_tx + extra_blocked
+    if blocked < 0:
+        raise ValueError("blocked time must be non-negative")
+    return blocked / (beacons_per_cycle * listen_time_per_period)
+
+
+def constrained_latency_curve(
+    etas: list[float],
+    collision_prob: float,
+    n_senders: int,
+    omega: float,
+    alpha: float = 1.0,
+    interferers: InterfererRule = "s-1",
+) -> list[tuple[float, float, bool]]:
+    """The Figure-7 series: for each duty-cycle, the Theorem-5.6 bound under
+    the channel-utilization cap derived from a collision-probability limit.
+
+    Returns ``(eta, bound, cap_binding)`` triples, where ``cap_binding``
+    marks duty-cycles beyond the kink ``eta > 2 alpha beta_max`` (the
+    circles in Figure 7 sit at the kink).
+    """
+    beta_max = beta_max_for_collision_probability(
+        collision_prob, n_senders, interferers
+    )
+    beta_cap = min(beta_max, 1.0)
+    curve: list[tuple[float, float, bool]] = []
+    for eta in etas:
+        binding = eta > 2 * alpha * beta_cap
+        curve.append(
+            (eta, bounds.constrained_bound(omega, eta, beta_cap, alpha), binding)
+        )
+    return curve

@@ -1,0 +1,276 @@
+"""Coverage maps (Section 4.1): determinism, redundancy and latency.
+
+A beacon sequence ``B' = b_1 ... b_m`` facing an infinite reception-window
+sequence ``C_inf`` is analyzed through the *sets of initial offsets*
+``Omega_i`` for which beacon ``b_i`` lands inside a reception window
+(Equation 3).  The union of the ``Omega_i`` over one reception period
+``[0, T_C)`` is the coverage map:
+
+* ``B'`` is **deterministic** iff the union covers all of ``[0, T_C)``
+  (Definition 4.1, using Lemma 4.1 to restrict to one period);
+* the tuple is **disjoint** iff no offset is covered twice
+  (Definition 4.2), the signature of latency-optimal schedules;
+* the **coverage** ``Lambda`` integrates the multiplicity function
+  ``Lambda*`` (Definition 4.3, Equation 4);
+* the **packet-to-packet latency** ``l*`` for an offset is the send time
+  of the first successful beacon relative to the first beacon in range.
+
+Everything here is exact for integer-microsecond schedules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from .intervals import (
+    Interval,
+    IntervalSet,
+    integral_of_counts,
+    lcm,
+    multiset_coverage,
+)
+from .sequences import BeaconSchedule, ReceptionSchedule
+
+Number = Union[int, float]
+
+__all__ = [
+    "beacon_coverage_set",
+    "CoverageMap",
+    "minimum_beacons",
+]
+
+
+def minimum_beacons(reception: ReceptionSchedule) -> int:
+    """Theorem 4.3 (Beaconing Theorem): minimum number of beacons
+    ``M = ceil(T_C / sum(d_k))`` any deterministic sequence needs against
+    ``reception``.
+    """
+    return math.ceil(reception.period / reception.listen_time_per_period)
+
+
+def beacon_coverage_set(
+    shift: Number, reception: ReceptionSchedule
+) -> IntervalSet:
+    """The offsets ``Phi_1`` for which a beacon sent ``shift`` time-units
+    after the first beacon overlaps a reception window, wrapped into
+    ``[0, T_C)``.
+
+    This is ``Omega_i`` of Equation 3 with ``shift = sum of the first i-1
+    beacon gaps``: every window interval is translated ``shift`` units to
+    the left and reduced modulo the reception period (Lemma 4.1).
+    """
+    period = reception.period
+    shifted = reception.window_intervals().shifted(-shift)
+    return shifted.wrapped(period)
+
+
+@dataclass(frozen=True)
+class _Row:
+    """One row of a coverage map: beacon index, its send time relative to
+    the first beacon, and the offsets it covers."""
+
+    index: int
+    shift: Number
+    offsets: IntervalSet
+
+
+class CoverageMap:
+    """The coverage map of a finite beacon train against ``C_inf``.
+
+    Parameters
+    ----------
+    beacon_shifts:
+        Send times of the beacons relative to the first one
+        (``beacon_shifts[0]`` must be 0); these are the cumulative beacon
+        gaps ``sum(lambda_k)``.
+    reception:
+        The periodic reception schedule ``C`` (defining ``C_inf``).
+    """
+
+    def __init__(
+        self, beacon_shifts: Sequence[Number], reception: ReceptionSchedule
+    ) -> None:
+        shifts = list(beacon_shifts)
+        if not shifts:
+            raise ValueError("need at least one beacon")
+        if shifts[0] != 0:
+            raise ValueError("the first beacon must have shift 0")
+        if any(b < a for a, b in zip(shifts, shifts[1:])):
+            raise ValueError("beacon shifts must be non-decreasing")
+        self._reception = reception
+        self._rows = tuple(
+            _Row(i, shift, beacon_coverage_set(shift, reception))
+            for i, shift in enumerate(shifts)
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schedules(
+        cls,
+        beacons: BeaconSchedule,
+        reception: ReceptionSchedule,
+        max_beacons: int | None = None,
+    ) -> "CoverageMap":
+        """Unroll a periodic beacon schedule against a reception schedule.
+
+        The relative alignment of the two periodic sequences repeats after
+        the hyperperiod ``lcm(T_B, T_C)``; a beacon train spanning one
+        hyperperiod therefore decides determinism conclusively.  For
+        integer periods that exact horizon is used unless ``max_beacons``
+        caps it; for float periods ``max_beacons`` is required.
+        """
+        tb, tc = beacons.period, reception.period
+        if isinstance(tb, int) and isinstance(tc, int):
+            horizon_beacons = beacons.n_beacons * (lcm(tb, tc) // tb)
+        elif max_beacons is None:
+            raise ValueError("max_beacons is required for non-integer periods")
+        else:
+            horizon_beacons = max_beacons
+        count = (
+            min(horizon_beacons, max_beacons)
+            if max_beacons is not None
+            else horizon_beacons
+        )
+        times = beacons.beacon_times(count)
+        first = times[0]
+        return cls([t - first for t in times], reception)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def reception(self) -> ReceptionSchedule:
+        """The reception schedule the map was built against."""
+        return self._reception
+
+    @property
+    def n_beacons(self) -> int:
+        """Number of rows (beacons) in the map."""
+        return len(self._rows)
+
+    @property
+    def beacon_shifts(self) -> tuple[Number, ...]:
+        """Send times of the beacons relative to the first one."""
+        return tuple(row.shift for row in self._rows)
+
+    def row(self, index: int) -> IntervalSet:
+        """``Omega_{index+1}``: offsets covered by beacon ``index``."""
+        return self._rows[index].offsets
+
+    # ------------------------------------------------------------------
+    # Coverage quantities (Definitions 4.1-4.3)
+    # ------------------------------------------------------------------
+    def covered_set(self) -> IntervalSet:
+        """Union of all rows: every offset covered by at least one beacon."""
+        combined = IntervalSet.empty()
+        for r in self._rows:
+            combined = combined.union(r.offsets)
+        return combined
+
+    def uncovered_set(self) -> IntervalSet:
+        """Offsets in ``[0, T_C)`` not covered by any beacon."""
+        return self.covered_set().complement(self._reception.period)
+
+    def is_deterministic(self) -> bool:
+        """Definition 4.1: every initial offset leads to a discovery."""
+        return self.uncovered_set().is_empty
+
+    def multiplicity(self) -> list[tuple[Interval, int]]:
+        """The multiplicity function ``Lambda*`` as ``(interval, count)``
+        pieces partitioning ``[0, T_C)``."""
+        return multiset_coverage(
+            [r.offsets for r in self._rows], self._reception.period
+        )
+
+    def coverage(self) -> Number:
+        """The coverage ``Lambda`` (Equation 4): integral of ``Lambda*``."""
+        return integral_of_counts(self.multiplicity())
+
+    def is_disjoint(self) -> bool:
+        """Definition 4.2: no offset covered by more than one beacon."""
+        return all(count <= 1 for _, count in self.multiplicity())
+
+    def is_redundant(self) -> bool:
+        """Definition 4.2: at least one offset covered more than once."""
+        return not self.is_disjoint()
+
+    def redundancy(self) -> Number:
+        """Total over-coverage: ``Lambda - measure(covered set)``.
+
+        Zero iff disjoint; for an exact ``Q``-redundant schedule this is
+        ``(Q - 1) * T_C``.
+        """
+        return self.coverage() - self.covered_set().measure
+
+    def min_multiplicity(self) -> int:
+        """Smallest number of beacons covering any offset (0 if gaps exist)."""
+        return min(count for _, count in self.multiplicity())
+
+    def max_multiplicity(self) -> int:
+        """Largest number of beacons covering any offset."""
+        return max(count for _, count in self.multiplicity())
+
+    # ------------------------------------------------------------------
+    # Latency (Section 4.1.1, "packet-to-packet discovery latency")
+    # ------------------------------------------------------------------
+    def first_covering_beacon(self, offset: Number) -> int | None:
+        """Index of the first beacon received for an initial offset, or
+        ``None`` if no beacon in the train covers the offset."""
+        phi = offset % self._reception.period
+        for r in self._rows:
+            if r.offsets.contains(phi):
+                return r.index
+        return None
+
+    def packet_latency(self, offset: Number) -> Number | None:
+        """``l*(Phi_1)``: delay from the first beacon to the first
+        successful one, or ``None`` if the offset is uncovered."""
+        index = self.first_covering_beacon(offset)
+        if index is None:
+            return None
+        return self._rows[index].shift
+
+    def latency_pieces(self) -> list[tuple[Interval, Number]]:
+        """Piecewise-constant ``l*`` over ``[0, T_C)``.
+
+        Returns ``(interval, latency)`` pieces for every covered region,
+        assigning to each offset the shift of its *first* covering beacon.
+        Uncovered regions are omitted.
+        """
+        period = self._reception.period
+        claimed = IntervalSet.empty()
+        pieces: list[tuple[Interval, Number]] = []
+        for r in self._rows:
+            fresh = r.offsets.difference(claimed)
+            for iv in fresh:
+                clipped = iv.intersection(Interval(0, period))
+                if not clipped.is_empty:
+                    pieces.append((clipped, r.shift))
+            claimed = claimed.union(r.offsets)
+        pieces.sort(key=lambda item: (item[0].start, item[0].end))
+        return pieces
+
+    def worst_packet_latency(self) -> Number | None:
+        """``max_phi l*(phi)``; ``None`` if the map is not deterministic."""
+        if not self.is_deterministic():
+            return None
+        return max((latency for _, latency in self.latency_pieces()), default=0)
+
+    def mean_packet_latency(self) -> float | None:
+        """Offset-averaged ``l*`` (uniform random initial offset);
+        ``None`` if the map is not deterministic."""
+        if not self.is_deterministic():
+            return None
+        total = sum(iv.length * latency for iv, latency in self.latency_pieces())
+        return total / self._reception.period
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CoverageMap(beacons={self.n_beacons}, "
+            f"T_C={self._reception.period}, "
+            f"deterministic={self.is_deterministic()})"
+        )

@@ -1,0 +1,353 @@
+"""Exact interval calculus on the real line and on the circle ``[0, T)``.
+
+Coverage maps (Section 4.1 of the paper) reason about *sets of offsets*
+``Phi_1`` for which some beacon of a sequence ``B'`` overlaps a reception
+window of ``C_inf``.  Those sets are finite unions of intervals, shifted
+around and wrapped modulo the reception period ``T_C``.  This module
+provides the small amount of computational geometry needed to do that
+exactly:
+
+* :class:`Interval` -- a half-open interval ``[start, end)``.
+* :class:`IntervalSet` -- a normalized (sorted, disjoint, merged) union of
+  intervals with measure, union, intersection, difference and complement.
+* :func:`wrap_interval` / :meth:`IntervalSet.wrapped` -- reduction of
+  intervals into the fundamental domain ``[0, T)`` of the circle.
+
+Half-open semantics are used throughout: an offset ``phi`` is *covered* by
+a window ``(t, d)`` iff ``t <= phi < t + d``.  With half-open intervals,
+"every offset covered exactly once" (the disjointness condition of
+Definition 4.2) corresponds precisely to a partition of ``[0, T)``, with no
+double counting at interval boundaries.
+
+All arithmetic works for both ``int`` and ``float`` endpoints.  The
+simulator and the schedule synthesizers use integer microseconds, for which
+every operation in this module is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+Number = Union[int, float]
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "wrap_interval",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open interval ``[start, end)`` on the real line.
+
+    Empty intervals (``end <= start``) are permitted as values but are
+    dropped when normalized into an :class:`IntervalSet`.
+    """
+
+    start: Number
+    end: Number
+
+    @property
+    def length(self) -> Number:
+        """Measure of the interval; zero for empty intervals."""
+        return max(self.end - self.start, 0)
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the interval contains no point."""
+        return self.end <= self.start
+
+    def contains(self, point: Number) -> bool:
+        """Return True iff ``start <= point < end``."""
+        return self.start <= point < self.end
+
+    def shifted(self, delta: Number) -> "Interval":
+        """Return a copy translated by ``delta`` time-units."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def intersects(self, other: "Interval") -> bool:
+        """Return True iff the two intervals share at least one point."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "Interval") -> "Interval":
+        """Return the overlapping part (possibly empty)."""
+        return Interval(max(self.start, other.start), min(self.end, other.end))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}, {self.end})"
+
+
+def wrap_interval(interval: Interval, period: Number) -> list[Interval]:
+    """Reduce ``interval`` into the fundamental domain ``[0, period)``.
+
+    The interval is interpreted on the circle of circumference ``period``
+    (the coverage map lives on ``[0, T_C)`` by Lemma 4.1).  An interval that
+    straddles the origin is split into two pieces.  Intervals at least as
+    long as the period cover the whole circle.
+
+    Returns a list of one or two non-empty intervals inside ``[0, period)``.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period!r}")
+    if interval.is_empty:
+        return []
+    if interval.length >= period:
+        return [Interval(0, period)]
+    start = interval.start % period
+    end = start + interval.length
+    if end <= period:
+        return [Interval(start, end)]
+    return [Interval(start, period), Interval(0, end - period)]
+
+
+class IntervalSet:
+    """A normalized finite union of half-open intervals.
+
+    The internal representation is a sorted tuple of pairwise-disjoint,
+    non-adjacent, non-empty :class:`Interval` objects.  All operations
+    return new sets; instances are immutable.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: tuple[Interval, ...] = self._normalize(intervals)
+
+    @staticmethod
+    def _normalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+        items = sorted(
+            (iv for iv in intervals if not iv.is_empty),
+            key=lambda iv: (iv.start, iv.end),
+        )
+        merged: list[Interval] = []
+        for iv in items:
+            if merged and iv.start <= merged[-1].end:
+                last = merged[-1]
+                if iv.end > last.end:
+                    merged[-1] = Interval(last.start, iv.end)
+            else:
+                merged.append(iv)
+        return tuple(merged)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[Number, Number]]) -> "IntervalSet":
+        """Build from ``(start, end)`` tuples."""
+        return cls(Interval(s, e) for s, e in pairs)
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set."""
+        return cls(())
+
+    @classmethod
+    def full(cls, period: Number) -> "IntervalSet":
+        """The full fundamental domain ``[0, period)``."""
+        return cls((Interval(0, period),))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The normalized intervals, sorted by start."""
+        return self._intervals
+
+    @property
+    def measure(self) -> Number:
+        """Total length of the set (the Lebesgue measure)."""
+        return sum((iv.length for iv in self._intervals), 0)
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the set contains no point."""
+        return not self._intervals
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(repr(iv) for iv in self._intervals)
+        return f"IntervalSet({body})"
+
+    def contains(self, point: Number) -> bool:
+        """Membership test via binary search."""
+        lo, hi = 0, len(self._intervals)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            iv = self._intervals[mid]
+            if point < iv.start:
+                hi = mid
+            elif point >= iv.end:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Set union."""
+        return IntervalSet(self._intervals + other._intervals)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection via a linear merge of the two sorted lists."""
+        result: list[Interval] = []
+        i = j = 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            overlap = a[i].intersection(b[j])
+            if not overlap.is_empty:
+                result.append(overlap)
+            if a[i].end <= b[j].end:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(result)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Points in ``self`` that are not in ``other``."""
+        result: list[Interval] = []
+        for iv in self._intervals:
+            pieces = [iv]
+            for cut in other._intervals:
+                if cut.start >= iv.end:
+                    break
+                next_pieces: list[Interval] = []
+                for piece in pieces:
+                    if not piece.intersects(cut):
+                        next_pieces.append(piece)
+                        continue
+                    left = Interval(piece.start, min(piece.end, cut.start))
+                    right = Interval(max(piece.start, cut.end), piece.end)
+                    if not left.is_empty:
+                        next_pieces.append(left)
+                    if not right.is_empty:
+                        next_pieces.append(right)
+                pieces = next_pieces
+            result.extend(pieces)
+        return IntervalSet(result)
+
+    def complement(self, period: Number) -> "IntervalSet":
+        """Complement within the fundamental domain ``[0, period)``."""
+        return IntervalSet.full(period).difference(self)
+
+    def covers(self, period: Number, tolerance: Number = 0) -> bool:
+        """True iff the set covers all of ``[0, period)``.
+
+        ``tolerance`` allows gaps of at most that total measure, which is
+        useful for floating-point schedules; with integer endpoints use the
+        default of zero.
+        """
+        gap = self.complement(period).measure
+        return gap <= tolerance
+
+    def shifted(self, delta: Number) -> "IntervalSet":
+        """Translate every interval by ``delta``."""
+        return IntervalSet(iv.shifted(delta) for iv in self._intervals)
+
+    def wrapped(self, period: Number) -> "IntervalSet":
+        """Reduce every interval into ``[0, period)`` (circle semantics)."""
+        pieces: list[Interval] = []
+        for iv in self._intervals:
+            pieces.extend(wrap_interval(iv, period))
+        return IntervalSet(pieces)
+
+    def boundaries(self) -> list[Number]:
+        """All interval endpoints, sorted ascending (duplicates removed)."""
+        points: set[Number] = set()
+        for iv in self._intervals:
+            points.add(iv.start)
+            points.add(iv.end)
+        return sorted(points)
+
+    def sample_points(self, period: Number, per_interval: int = 3) -> list[Number]:
+        """Representative points inside each interval, clipped to ``[0, period)``.
+
+        Used by tests to probe coverage at interval interiors as well as at
+        boundaries.
+        """
+        points: list[Number] = []
+        for iv in self._intervals:
+            lo = max(iv.start, 0)
+            hi = min(iv.end, period)
+            if hi <= lo:
+                continue
+            span = hi - lo
+            for k in range(per_interval):
+                points.append(lo + span * (2 * k + 1) / (2 * per_interval))
+        return points
+
+
+def multiset_coverage(
+    interval_sets: Sequence[IntervalSet], period: Number
+) -> list[tuple[Interval, int]]:
+    """Compute the coverage multiplicity function ``Lambda*(phi)``.
+
+    Given the per-beacon coverage sets (each already wrapped into
+    ``[0, period)``), return a sorted list of ``(interval, count)`` pieces
+    that partition ``[0, period)``.  ``count`` is the number of beacons
+    covering each offset in the piece -- Definition 4.3's auxiliary
+    variable ``Lambda*``.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period!r}")
+    events: list[tuple[Number, int]] = [(0, 0), (period, 0)]
+    for iset in interval_sets:
+        for iv in iset:
+            lo = max(iv.start, 0)
+            hi = min(iv.end, period)
+            if hi <= lo:
+                continue
+            events.append((lo, +1))
+            events.append((hi, -1))
+    events.sort()
+    pieces: list[tuple[Interval, int]] = []
+    depth = 0
+    prev: Number = 0
+    for point, delta in events:
+        if point > prev:
+            pieces.append((Interval(prev, point), depth))
+            prev = point
+        depth += delta
+    # Merge adjacent pieces with equal depth for a canonical result.
+    merged: list[tuple[Interval, int]] = []
+    for piece, count in pieces:
+        if merged and merged[-1][1] == count and merged[-1][0].end == piece.start:
+            merged[-1] = (Interval(merged[-1][0].start, piece.end), count)
+        else:
+            merged.append((piece, count))
+    return merged
+
+
+def integral_of_counts(pieces: Sequence[tuple[Interval, int]]) -> Number:
+    """Integrate a multiplicity function: ``sum(length * count)``.
+
+    Applied to the output of :func:`multiset_coverage` this yields the
+    coverage ``Lambda`` of Definition 4.3 (Equation 4).
+    """
+    return sum((piece.length * count for piece, count in pieces), 0)
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    if a <= 0 or b <= 0:
+        raise ValueError("lcm requires positive integers")
+    return a * b // math.gcd(a, b)

@@ -1,0 +1,403 @@
+"""Synthesis of bound-attaining ("optimal") ND schedules (Section 5).
+
+The bounds of Section 5 are *constructive*: schedules that attain them
+exist, and this module builds them.  The recipe follows the proofs:
+
+* **Reception side** (Theorem 5.3): one window of duration ``d`` per
+  period ``T_C = k * d``, giving ``gamma = 1/k`` -- single-window periods
+  are also what the non-ideal-radio analysis (Appendix A.2/A.3) favours.
+  Equation 22 shows only ``gamma = 1/k`` values are optimal, so the
+  reception duty-cycle is inherently quantized.
+
+* **Beacon side** (Theorem 5.1 / Lemma 5.2): equally spaced beacons with
+  gap ``lambda = n * d`` where the stride ``n mod k`` is coprime to ``k``.
+  Successive beacons then shift the window's coverage image by ``n * d``
+  (mod ``T_C``), visiting every one of the ``k`` residues ``{0, d, ...,
+  (k-1) d}`` exactly once: the coverage map tiles ``[0, T_C)`` disjointly,
+  every ``M = k`` consecutive beacons are deterministic, and the
+  worst-case latency equals ``M * lambda = omega / (beta * gamma)`` --
+  precisely Theorem 5.4.
+
+Every synthesized design carries its own :class:`~repro.core.coverage.
+CoverageMap` verdict, so optimality is verified *by construction* rather
+than assumed.
+
+All times are integer microseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from . import bounds
+from .coverage import beacon_coverage_set, CoverageMap, minimum_beacons
+from .sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
+
+__all__ = [
+    "OptimalDesign",
+    "synthesize_unidirectional",
+    "plan_unidirectional",
+    "synthesize_symmetric",
+    "synthesize_asymmetric",
+    "synthesize_constrained",
+    "synthesize_redundant",
+    "coprime_stride_near",
+    "greedy_cover_shifts",
+]
+
+
+def _check_positive_int(name: str, value: int) -> None:
+    if not isinstance(value, int) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+
+
+def coprime_stride_near(target: int, k: int) -> int:
+    """Find the multiplier ``n`` closest to ``target`` whose residue is a
+    valid coverage stride modulo ``k``: ``gcd(n mod k, k) == 1`` (and
+    ``n mod k != 0`` unless ``k == 1``).
+
+    A beacon gap of ``n * d`` then steps the coverage image through all
+    ``k`` window-sized residues of ``[0, T_C)``.
+    """
+    _check_positive_int("k", k)
+    if target < 1:
+        target = 1
+    if k == 1:
+        return target
+
+    def valid(n: int) -> bool:
+        r = n % k
+        return r != 0 and math.gcd(r, k) == 1
+
+    for delta in range(k + 1):
+        for candidate in (target + delta, target - delta):
+            if candidate >= 1 and valid(candidate):
+                return candidate
+    raise AssertionError("unreachable: residue 1 is always coprime")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class OptimalDesign:
+    """A synthesized schedule pair together with its verified properties."""
+
+    beacons: BeaconSchedule
+    """The beacon train (uniform gap ``lambda = stride * window``)."""
+    reception: ReceptionSchedule
+    """Single-window reception schedule (``T_C = k * window``)."""
+    stride: int
+    """``n = lambda / d``; ``n mod k`` is coprime to ``k``."""
+    k: int
+    """Windows per coverage cycle: ``gamma = 1/k``, ``M = k`` beacons."""
+    omega: int
+    """Beacon transmission duration (us)."""
+    deterministic: bool
+    """Coverage-map verdict: every initial offset is covered."""
+    disjoint: bool
+    """Coverage-map verdict: no offset covered twice (latency-optimal)."""
+    worst_case_latency: int
+    """``M * lambda`` -- the guaranteed discovery latency (us)."""
+
+    @property
+    def beta(self) -> float:
+        """Achieved transmission duty-cycle."""
+        return self.beacons.duty_cycle
+
+    @property
+    def gamma(self) -> float:
+        """Achieved reception duty-cycle (= ``1/k``)."""
+        return self.reception.duty_cycle
+
+    def predicted_bound(self) -> float:
+        """Theorem 5.4 evaluated at the achieved duty-cycles; equals
+        :attr:`worst_case_latency` for a verified design."""
+        return bounds.unidirectional_bound(self.omega, self.beta, self.gamma)
+
+
+def synthesize_unidirectional(
+    omega: int,
+    window: int,
+    k: int,
+    stride: int | None = None,
+    redundancy: int = 1,
+) -> OptimalDesign:
+    """Build a verified optimal unidirectional design from exact integers.
+
+    Parameters
+    ----------
+    omega:
+        Beacon duration in us.
+    window:
+        Reception-window duration ``d`` in us (must be >= ``omega`` for the
+        point-beacon idealization to be meaningful; enforced loosely).
+    k:
+        Reception periods per coverage cycle: ``T_C = k * window`` and
+        ``gamma = 1/k``.
+    stride:
+        Beacon gap in units of ``window``; defaults to ``k + 1`` (the
+        smallest stride > k with residue 1).  Larger strides lower
+        ``beta`` and raise the latency proportionally.
+    redundancy:
+        Cover every offset this many times (Appendix B schedules); the
+        beacon train is extended to ``redundancy * k`` beacons per cycle.
+
+    Returns a design whose coverage map has been checked for determinism
+    and (for ``redundancy == 1``) disjointness.
+    """
+    _check_positive_int("omega", omega)
+    _check_positive_int("window", window)
+    _check_positive_int("k", k)
+    _check_positive_int("redundancy", redundancy)
+    if stride is None:
+        stride = k + 1
+    _check_positive_int("stride", stride)
+    if k > 1 and math.gcd(stride % k, k) != 1:
+        raise ValueError(
+            f"stride {stride} is not a coverage stride mod {k}: "
+            f"gcd({stride % k}, {k}) != 1"
+        )
+    gap = stride * window
+    if gap < omega:
+        raise ValueError(
+            f"beacon gap {gap} shorter than the beacon itself ({omega})"
+        )
+    reception = ReceptionSchedule.single_window(duration=window, period=k * window)
+    beacons = BeaconSchedule.uniform(n_beacons=1, gap=gap, duration=omega)
+
+    m_needed = redundancy * minimum_beacons(reception)
+    shifts = [i * gap for i in range(m_needed)]
+    cover = CoverageMap(shifts, reception)
+    deterministic = cover.is_deterministic()
+    disjoint = cover.is_disjoint()
+    return OptimalDesign(
+        beacons=beacons,
+        reception=reception,
+        stride=stride,
+        k=k,
+        omega=omega,
+        deterministic=deterministic,
+        disjoint=disjoint,
+        worst_case_latency=k * gap,
+    )
+
+
+def plan_unidirectional(
+    omega: int,
+    target_beta: float,
+    target_gamma: float,
+    window: int | None = None,
+) -> OptimalDesign:
+    """Approximate continuous duty-cycle targets with an exact design.
+
+    ``gamma`` quantizes to ``1/k`` with ``k = round(1/target_gamma)`` and
+    ``beta`` to ``omega / (n * d)`` with a coprime stride ``n``; the
+    achieved values are reported on the returned design.  ``window``
+    defaults to a value that keeps the ``beta`` quantization error small
+    (gap resolution of ~1/32 of the target gap).
+    """
+    bounds._check_positive("omega", float(omega))
+    bounds._check_fraction("target_beta", target_beta)
+    bounds._check_fraction("target_gamma", target_gamma)
+    k = max(1, round(1.0 / target_gamma))
+    gap_target = omega / target_beta
+    if window is None:
+        window = max(omega, round(gap_target / 32))
+    _check_positive_int("window", window)
+    stride = coprime_stride_near(max(1, round(gap_target / window)), k)
+    return synthesize_unidirectional(omega, window, k, stride)
+
+
+def synthesize_symmetric(
+    omega: int,
+    eta: float,
+    alpha: float = 1.0,
+    window: int | None = None,
+) -> tuple[NDProtocol, OptimalDesign]:
+    """Build the symmetric bidirectional protocol attaining Theorem 5.5.
+
+    Splits ``eta`` optimally (``beta = eta / 2 alpha``, ``gamma = eta/2``)
+    and runs the same optimal unidirectional design in both directions on
+    both devices.  Returns the per-device protocol and the underlying
+    design (whose ``worst_case_latency`` bounds both partial discoveries).
+    """
+    split = bounds.optimal_split(eta, alpha)
+    design = plan_unidirectional(omega, split.beta, split.gamma, window)
+    protocol = NDProtocol(
+        beacons=design.beacons,
+        reception=design.reception,
+        alpha=alpha,
+        name=f"optimal-symmetric(eta={eta:g})",
+    )
+    return protocol, design
+
+
+def synthesize_asymmetric(
+    omega: int,
+    eta_e: float,
+    eta_f: float,
+    alpha: float = 1.0,
+    window_e: int | None = None,
+    window_f: int | None = None,
+) -> tuple[NDProtocol, NDProtocol, OptimalDesign, OptimalDesign]:
+    """Build the asymmetric pair attaining Theorem 5.7.
+
+    Each device splits its own budget optimally (``beta_i = eta_i / 2
+    alpha``, proof of Theorem 5.7); device E's beacon train must tile
+    device F's reception schedule and vice versa, so each direction is an
+    independently synthesized unidirectional design:
+
+    * design EF: E's beacons (``beta_E``) against F's windows (``gamma_F``)
+    * design FE: F's beacons (``beta_F``) against E's windows (``gamma_E``)
+
+    Returns ``(protocol_e, protocol_f, design_ef, design_fe)``; the
+    two-way worst-case latency is ``max`` of the two design latencies.
+    """
+    split_e = bounds.optimal_split(eta_e, alpha)
+    split_f = bounds.optimal_split(eta_f, alpha)
+    # E's beacons tile F's reception; F's beacons tile E's reception.
+    design_ef = plan_unidirectional(omega, split_e.beta, split_f.gamma, window_f)
+    design_fe = plan_unidirectional(omega, split_f.beta, split_e.gamma, window_e)
+    protocol_e = NDProtocol(
+        beacons=design_ef.beacons,
+        reception=design_fe.reception,
+        alpha=alpha,
+        name=f"optimal-asymmetric-E(eta={eta_e:g})",
+    )
+    protocol_f = NDProtocol(
+        beacons=design_fe.beacons,
+        reception=design_ef.reception,
+        alpha=alpha,
+        name=f"optimal-asymmetric-F(eta={eta_f:g})",
+    )
+    return protocol_e, protocol_f, design_ef, design_fe
+
+
+def synthesize_constrained(
+    omega: int,
+    eta: float,
+    beta_max: float,
+    alpha: float = 1.0,
+    window: int | None = None,
+) -> tuple[NDProtocol, OptimalDesign]:
+    """Build the channel-utilization-constrained protocol of Theorem 5.6.
+
+    Uses ``beta = min(beta_max, eta / 2 alpha)``: below the kink this is
+    the unconstrained optimum; above it the cap binds and the leftover
+    budget goes to reception, reproducing Equation 13's second branch.
+    """
+    bounds._check_fraction("beta_max", beta_max)
+    beta = min(beta_max, bounds.optimal_beta_symmetric(eta, alpha))
+    gamma = eta - alpha * beta
+    if gamma <= 0:
+        raise ValueError(f"infeasible: eta={eta} <= alpha*beta={alpha * beta}")
+    design = plan_unidirectional(omega, beta, gamma, window)
+    protocol = NDProtocol(
+        beacons=design.beacons,
+        reception=design.reception,
+        alpha=alpha,
+        name=f"optimal-constrained(eta={eta:g}, beta_max={beta_max:g})",
+    )
+    return protocol, design
+
+
+def greedy_cover_shifts(
+    reception: ReceptionSchedule,
+    min_gap: int,
+    gap_step: int = 1,
+    max_beacons: int | None = None,
+) -> tuple[list[int], CoverageMap]:
+    """Deterministic beacon shifts for an *arbitrary* reception schedule.
+
+    Appendix A.1 extends the bounds to reception sequences that are not
+    single equal windows: a beacon sequence is deterministic iff its
+    shifted coverage images jointly cover ``[0, T_C)``.  For irregular
+    windows an exact disjoint tiling generally does not exist; this
+    greedy synthesizer emits beacons one by one, each at least
+    ``min_gap`` after the previous (the duty-cycle constraint), choosing
+    at every step the shift (scanned at ``gap_step`` resolution) that
+    covers the most still-uncovered offsets.
+
+    Returns the shifts and the verifying coverage map.  For a
+    single-window schedule the greedy recovers the exact optimum of
+    ``M = T_C / d`` beacons; for irregular schedules it may need more
+    than the Theorem-4.3 lower bound -- the theorem is necessary, not
+    sufficient.  Raises ``ValueError`` if ``max_beacons`` (default
+    ``4 * M``) is exhausted before determinism.
+    """
+    _check_positive_int("min_gap", min_gap)
+    _check_positive_int("gap_step", gap_step)
+    lower_bound = minimum_beacons(reception)
+    if max_beacons is None:
+        max_beacons = 4 * lower_bound
+    period = int(reception.period)
+
+    from .coverage import beacon_coverage_set
+
+    shifts = [0]
+    covered = beacon_coverage_set(0, reception)
+    while not covered.covers(period):
+        if len(shifts) >= max_beacons:
+            raise ValueError(
+                f"greedy cover needs more than {max_beacons} beacons "
+                f"(Theorem 4.3 lower bound: {lower_bound})"
+            )
+        uncovered = covered.complement(period)
+        base = shifts[-1] + min_gap
+        best_shift = base
+        best_gain = -1
+        # Candidate shifts: one period's worth beyond the earliest legal
+        # send time covers every distinct residue alignment.
+        for offset in range(0, period, gap_step):
+            candidate = base + offset
+            gain = (
+                beacon_coverage_set(candidate, reception)
+                .intersection(uncovered)
+                .measure
+            )
+            if gain > best_gain:
+                best_gain = gain
+                best_shift = candidate
+            if gain == uncovered.measure:
+                break  # cannot do better than covering everything left
+        shifts.append(best_shift)
+        covered = covered.union(beacon_coverage_set(best_shift, reception))
+    return shifts, CoverageMap(shifts, reception)
+
+
+def synthesize_redundant(
+    omega: int,
+    eta: float,
+    redundancy: int,
+    target_pf: float,
+    n_senders: int,
+    alpha: float = 1.0,
+    window: int | None = None,
+) -> tuple[NDProtocol, OptimalDesign]:
+    """Build an Appendix-B redundant schedule: every offset covered
+    ``redundancy`` times, sized for a failure-rate target in a network of
+    ``n_senders`` simultaneous discoverers.
+
+    The channel utilization follows from the failure constraint
+    (Equation 32 with ``q = 0``); remaining budget goes to reception.  The
+    first-coverage latency of the design matches Theorem 5.4 for the
+    chosen ``(beta, gamma)``; the redundant tail provides the collision
+    backup that Equation 33 prices at ``Q x``.
+    """
+    from .collisions import beta_for_failure_rate  # avoid import cycle at load
+
+    beta_cap = beta_for_failure_rate(target_pf, redundancy, n_senders)
+    beta = min(beta_cap, bounds.optimal_beta_symmetric(eta, alpha))
+    gamma = eta - alpha * beta
+    k = max(1, round(1.0 / gamma))
+    gap_target = omega / beta
+    if window is None:
+        window = max(omega, round(gap_target / 32))
+    stride = coprime_stride_near(max(1, round(gap_target / window)), k)
+    design = synthesize_unidirectional(omega, window, k, stride, redundancy=redundancy)
+    protocol = NDProtocol(
+        beacons=design.beacons,
+        reception=design.reception,
+        alpha=alpha,
+        name=f"optimal-redundant(Q={redundancy}, eta={eta:g})",
+    )
+    return protocol, design

@@ -1,0 +1,155 @@
+"""Radio power model and energy accounting (Definition 3.5, Appendix A.2).
+
+The paper folds the radio's power profile into a single weighting factor
+``alpha = Ptx / Prx`` so the total duty-cycle ``eta = alpha beta + gamma``
+is proportional to average power.  :class:`PowerModel` carries the full
+profile (TX, RX, sleep, switching overheads) and converts between
+schedules, duty-cycles, average power and energy-per-discovery, which the
+examples and the non-ideal-radio ablation use.
+
+Representative values ship as :data:`TYPICAL_RADIOS` (order-of-magnitude
+datasheet numbers for a BLE SoC and an IEEE 802.15.4 sensor-node radio;
+absolute values only matter for the examples, the bounds depend on
+``alpha`` alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
+
+__all__ = [
+    "PowerModel",
+    "TYPICAL_RADIOS",
+    "effective_duty_cycles",
+]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """A radio power/timing profile.
+
+    All powers in milliwatts, all durations in the package time unit
+    (microseconds by convention).  ``switch_*`` are the *effective
+    additional active times* of Appendix A.2: actual switching durations
+    weighted by their average power over ``rx_power``.
+    """
+
+    tx_power: float
+    rx_power: float
+    sleep_power: float = 0.0
+    switch_tx: float = 0.0
+    """``d_oTx``: extra effective active time per beacon (sleep->TX->sleep)."""
+    switch_rx: float = 0.0
+    """``d_oRx``: extra effective active time per window (sleep->RX->sleep)."""
+    turnaround_tx_rx: float = 0.0
+    """``d_oTxRx``: TX->RX turnaround (blocks reception, Appendix A.5)."""
+    turnaround_rx_tx: float = 0.0
+    """``d_oRxTx``: RX->TX turnaround."""
+    name: str = "radio"
+
+    def __post_init__(self) -> None:
+        if self.tx_power <= 0 or self.rx_power <= 0:
+            raise ValueError("tx_power and rx_power must be positive")
+        if self.sleep_power < 0:
+            raise ValueError("sleep_power must be non-negative")
+        for field_name in ("switch_tx", "switch_rx", "turnaround_tx_rx", "turnaround_rx_tx"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+    @property
+    def alpha(self) -> float:
+        """The paper's weighting factor ``alpha = Ptx / Prx``."""
+        return self.tx_power / self.rx_power
+
+    @property
+    def is_ideal(self) -> bool:
+        """True if the radio has no switching or turnaround overheads."""
+        return (
+            self.switch_tx == 0
+            and self.switch_rx == 0
+            and self.turnaround_tx_rx == 0
+            and self.turnaround_rx_tx == 0
+        )
+
+    # ------------------------------------------------------------------
+    def average_power(self, beta: float, gamma: float) -> float:
+        """Long-run average power (mW) of a radio transmitting a fraction
+        ``beta`` and receiving a fraction ``gamma`` of the time."""
+        if beta < 0 or gamma < 0 or beta + gamma > 1:
+            raise ValueError(f"invalid duty-cycles beta={beta}, gamma={gamma}")
+        sleep_fraction = 1.0 - beta - gamma
+        return (
+            self.tx_power * beta
+            + self.rx_power * gamma
+            + self.sleep_power * sleep_fraction
+        )
+
+    def protocol_average_power(self, protocol: NDProtocol) -> float:
+        """Average power of a device running ``protocol``, including the
+        effective switching overheads (Appendix A.2, Equations 24-25)."""
+        beta, gamma = effective_duty_cycles(self, protocol.beacons, protocol.reception)
+        return self.average_power(beta, gamma)
+
+    def energy_per_discovery(self, beta: float, gamma: float, latency: float) -> float:
+        """Energy (mW x time-unit) spent until a discovery completing after
+        ``latency`` time-units."""
+        if latency <= 0:
+            raise ValueError(f"latency must be positive, got {latency!r}")
+        return self.average_power(beta, gamma) * latency
+
+    def weighted_duty_cycle(self, beta: float, gamma: float) -> float:
+        """The paper's ``eta = alpha beta + gamma``."""
+        return self.alpha * beta + gamma
+
+
+def effective_duty_cycles(
+    power: PowerModel,
+    beacons: BeaconSchedule | None,
+    reception: ReceptionSchedule | None,
+) -> tuple[float, float]:
+    """Appendix A.2 (Equations 24-25): duty-cycles including switching
+    overheads.
+
+    Each beacon costs ``omega + d_oTx`` effective active time, each window
+    ``d + d_oRx``.  Returns ``(beta_eff, gamma_eff)``.
+    """
+    beta_eff = 0.0
+    if beacons is not None:
+        active = beacons.airtime_per_period + power.switch_tx * beacons.n_beacons
+        beta_eff = active / beacons.period
+    gamma_eff = 0.0
+    if reception is not None:
+        active = (
+            reception.listen_time_per_period
+            + power.switch_rx * reception.n_windows
+        )
+        gamma_eff = active / reception.period
+    return beta_eff, gamma_eff
+
+
+TYPICAL_RADIOS: dict[str, PowerModel] = {
+    "ideal": PowerModel(tx_power=1.0, rx_power=1.0, name="ideal"),
+    "ble-soc": PowerModel(
+        tx_power=17.7,
+        rx_power=16.5,
+        sleep_power=0.003,
+        switch_tx=130.0,
+        switch_rx=130.0,
+        turnaround_tx_rx=150.0,
+        turnaround_rx_tx=150.0,
+        name="ble-soc",
+    ),
+    "sensor-node": PowerModel(
+        tx_power=52.2,
+        rx_power=59.1,
+        sleep_power=0.06,
+        switch_tx=192.0,
+        switch_rx=192.0,
+        turnaround_tx_rx=192.0,
+        turnaround_rx_tx=192.0,
+        name="sensor-node",
+    ),
+}
+"""Datasheet-flavoured radio profiles for the examples (mW / us)."""

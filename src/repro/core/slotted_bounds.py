@@ -1,0 +1,212 @@
+"""Slotted-protocol bounds and Table 1 (Section 6 of the paper).
+
+Slotted protocols couple transmission and reception into *slots* of length
+``I``: an active slot sends beacons at its boundaries and listens in
+between.  The classic result of Zheng et al. [17, 16] says guaranteeing
+discovery within ``T`` slots requires ``k >= sqrt(T)`` active slots.  That
+is a bound *in slots*; Section 6 converts it into a bound *in time* by
+deriving the theoretical lower limit on the slot length, and compares
+popular slotted protocols against the fundamental (slotless) bounds.
+
+Implemented here:
+
+* Equation 17/18 -- the slots-to-time transformation and the resulting
+  latency/duty-cycle bound for one-beacon slots (full-duplex idealization,
+  ``I = omega``).
+* Equation 19 -- the same for the two-beacons-per-slot designs of Meng et
+  al. [6, 7]: lower in slots, *not* lower in time.
+* Equations 20/21 -- the latency/duty-cycle/channel-utilization bound for
+  large slots, which *matches* the fundamental Theorem 5.6 whenever the
+  channel-utilization cap is binding (``beta_max <= eta / 2 alpha``).
+* Table 1 -- worst-case latencies of Diffcodes, Disco, Searchlight-Striped
+  and U-Connect as functions of ``(beta, eta)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from .bounds import symmetric_bound
+
+__all__ = [
+    "slotted_duty_cycle",
+    "slotted_bound_one_beacon",
+    "slotted_bound_two_beacons",
+    "slotted_channel_utilization_bound",
+    "optimal_alpha_two_beacons",
+    "table1_diffcodes",
+    "table1_disco",
+    "table1_searchlight_striped",
+    "table1_uconnect",
+    "TABLE1_PROTOCOLS",
+    "optimality_ratio",
+]
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def slotted_duty_cycle(
+    active_slots: int, total_slots: int, slot_length: float, omega: float, alpha: float = 1.0
+) -> float:
+    """Equation 17: duty-cycle of a slotted protocol with ``k`` active slots
+    out of ``T``, slot length ``I`` and one beacon per active slot:
+
+    ``eta = k (I + alpha omega) / (T I)``.
+    """
+    _check_positive("slot_length", slot_length)
+    _check_positive("omega", omega)
+    if not 0 < active_slots <= total_slots:
+        raise ValueError("need 0 < active_slots <= total_slots")
+    return active_slots * (slot_length + alpha * omega) / (total_slots * slot_length)
+
+
+def slotted_bound_one_beacon(omega: float, eta: float, alpha: float = 1.0) -> float:
+    """Equation 18: latency/duty-cycle limit of one-beacon slotted designs.
+
+    Combining ``k >= sqrt(T)`` with the theoretical minimum slot length
+    ``I = omega`` (full-duplex radio) gives
+    ``L >= omega (1 + 2 alpha + alpha^2) / eta^2``.
+    For ``alpha = 1`` this equals the fundamental ``4 omega / eta^2``
+    (Theorem 5.5); for any other ``alpha`` it is strictly larger.
+    """
+    _check_positive("omega", omega)
+    _check_positive("eta", eta)
+    _check_positive("alpha", alpha)
+    return omega * (1 + 2 * alpha + alpha * alpha) / (eta * eta)
+
+
+def slotted_bound_two_beacons(omega: float, eta: float, alpha: float = 1.0) -> float:
+    """Equation 19: the two-beacons-per-slot designs of [6, 7].
+
+    ``L >= omega (1/2 + 2 alpha + 2 alpha^2) / eta^2`` -- lower than
+    Equation 18 *in slots* but minimized only at ``alpha = 1/2`` where it
+    ties the fundamental bound; elsewhere it is larger in time.
+    """
+    _check_positive("omega", omega)
+    _check_positive("eta", eta)
+    _check_positive("alpha", alpha)
+    return omega * (0.5 + 2 * alpha + 2 * alpha * alpha) / (eta * eta)
+
+
+def optimal_alpha_two_beacons() -> float:
+    """The TX/RX power ratio minimizing the Equation-19 bound relative to
+    the fundamental bound (``alpha = 1/2``), at which both coincide."""
+    return 0.5
+
+
+def slotted_channel_utilization_bound(omega: float, eta: float, beta: float, alpha: float = 1.0) -> float:
+    """Equation 21: latency/duty-cycle/channel-utilization bound of slotted
+    protocols in the large-slot regime (``I >> omega``):
+
+    ``L >= omega / (eta beta - alpha beta^2)``.
+
+    Identical to Theorem 5.6 whenever the utilization cap binds
+    (``beta <= eta / 2 alpha``): slotted protocols can be optimal in busy
+    networks, but can never reach the unconstrained optimum.
+    """
+    _check_positive("omega", omega)
+    _check_positive("eta", eta)
+    _check_positive("beta", beta)
+    _check_positive("alpha", alpha)
+    denominator = eta * beta - alpha * beta * beta
+    if denominator <= 0:
+        raise ValueError(f"infeasible: eta={eta} <= alpha*beta={alpha * beta}")
+    return omega / denominator
+
+
+# ----------------------------------------------------------------------
+# Table 1 -- worst-case latencies of popular slotted protocols
+# ----------------------------------------------------------------------
+def table1_diffcodes(omega: float, eta: float, beta: float, alpha: float = 1.0) -> float:
+    """Table 1, Diffcodes [17]: ``L = omega / (eta beta - alpha beta^2)``
+    -- difference-set schedules meet the slotted bound exactly."""
+    return slotted_channel_utilization_bound(omega, eta, beta, alpha)
+
+
+def table1_disco(omega: float, eta: float, beta: float, alpha: float = 1.0) -> float:
+    """Table 1, Disco [3]: ``L = 8 omega / (eta beta - alpha beta^2)`` --
+    the two-prime construction pays an 8x factor over the slotted optimum."""
+    return 8 * slotted_channel_utilization_bound(omega, eta, beta, alpha)
+
+
+def table1_searchlight_striped(
+    omega: float, eta: float, beta: float, alpha: float = 1.0
+) -> float:
+    """Table 1, Searchlight-Striped [5]:
+    ``L = 2 omega / (eta beta - alpha beta^2)`` -- anchor/probe slots with
+    striping halve Disco's constant twice over but remain 2x off."""
+    return 2 * slotted_channel_utilization_bound(omega, eta, beta, alpha)
+
+
+def table1_uconnect(omega: float, eta: float, beta: float, alpha: float = 1.0) -> float:
+    """Table 1, U-Connect [4]:
+
+    ``L = (3 omega + sqrt(omega^2 (8 eta - 8 alpha beta + 9)))^2
+    / (8 omega beta eta - 8 omega alpha beta^2)``.
+    """
+    _check_positive("omega", omega)
+    _check_positive("eta", eta)
+    _check_positive("beta", beta)
+    denominator = 8 * omega * beta * eta - 8 * omega * alpha * beta * beta
+    if denominator <= 0:
+        raise ValueError(f"infeasible: eta={eta} <= alpha*beta={alpha * beta}")
+    radicand = omega * omega * (8 * eta - 8 * alpha * beta + 9)
+    numerator = (3 * omega + math.sqrt(radicand)) ** 2
+    return numerator / denominator
+
+
+TABLE1_PROTOCOLS: dict[str, Callable[..., float]] = {
+    "Diffcodes": table1_diffcodes,
+    "Disco": table1_disco,
+    "Searchlight-S": table1_searchlight_striped,
+    "U-Connect": table1_uconnect,
+}
+"""Name -> formula mapping for Table 1, in the paper's row order."""
+
+
+@dataclass(frozen=True)
+class SlotLengthAnalysis:
+    """Outcome of the Figure-5 slot-length ablation for one ``I/omega``."""
+
+    slot_length_ratio: float
+    """``I / omega``."""
+    overlap_success_fraction: float
+    """Fraction of overlapping-active-slot alignments in which a packet is
+    actually received (Figure 5: 0.5 at ``I = 2 omega`` for half-duplex)."""
+    latency_penalty: float
+    """Multiplier on the worst-case latency vs. the ``I = omega``
+    full-duplex ideal at equal duty-cycle."""
+
+
+def slot_length_analysis(slot_length_ratio: float) -> SlotLengthAnalysis:
+    """Quantify the Figure-5 effect: with a half-duplex radio and slot
+    length ``I = r * omega``, two overlapping active slots only yield a
+    reception for part of the alignment range.
+
+    The transmitting device sends at the slot start; a beacon is received
+    iff it falls entirely inside the part of the remote active slot during
+    which the remote radio listens (``I - omega`` of airtime once its own
+    leading beacon is done).  The success fraction is
+    ``max(I - 2 omega, 0) / I`` -- 0.5 at ``r = 4``, 0 at ``r <= 2`` --
+    and at fixed duty-cycle ``eta = k I' / (T I) ~ k / T`` the worst-case
+    latency ``T I`` scales linearly with ``I``.
+    """
+    _check_positive("slot_length_ratio", slot_length_ratio)
+    r = slot_length_ratio
+    success = max(r - 2.0, 0.0) / r
+    return SlotLengthAnalysis(
+        slot_length_ratio=r,
+        overlap_success_fraction=success,
+        latency_penalty=r,
+    )
+
+
+def optimality_ratio(protocol_latency: float, omega: float, eta: float, alpha: float = 1.0) -> float:
+    """How far a protocol's worst-case latency sits above the fundamental
+    symmetric bound (Theorem 5.5); 1.0 means optimal."""
+    return protocol_latency / symmetric_bound(omega, eta, alpha)

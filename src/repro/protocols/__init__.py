@@ -1,0 +1,85 @@
+"""Protocol zoo: the prior protocols the paper compares against plus the
+paper-optimal constructions, all behind one :class:`PairProtocol` API.
+
+=====================  ==========  =====================================
+Protocol               Family      Guarantee
+=====================  ==========  =====================================
+:class:`Disco`         slotted     ``p1 * p2`` slots
+:class:`UConnect`      slotted     ``p^2`` slots
+:class:`Searchlight`   slotted     ``t * ceil(t/2)`` slots (striped)
+:class:`Diffcodes`     slotted     ``v = q^2+q+1`` slots (optimal slotted)
+:class:`Birthday`      prob.       none (geometric tail)
+:class:`PeriodicInterval`  pi      exact via coverage map
+:class:`OptimalSlotless`   optimal Theorem 5.4/5.5 attaining
+:class:`OptimalAsymmetric` optimal Theorem 5.7 attaining
+:class:`CorrelatedOneWay`  optimal Theorem C.1 attaining
+=====================  ==========  =====================================
+"""
+
+from .base import PairProtocol, ProtocolInfo, Role
+from .birthday import Birthday
+from .ble import ble_parametrization_for_duty_cycle, PeriodicInterval
+from .ble_modes import ble_config, STANDARD_PROFILES, validate_ble_config
+from .correlated import CorrelatedOneWay, one_way_discovery_time
+from .diffcodes import available_duty_cycles, Diffcodes
+from .difference_sets import (
+    difference_multiset,
+    find_difference_set,
+    is_difference_set,
+    PERFECT_DIFFERENCE_SETS,
+    relaxed_cover_set,
+    singer_difference_set,
+)
+from .disco import Disco, disco_primes_for_duty_cycle, PRIMES
+from .optimal_slotless import OptimalAsymmetric, OptimalSlotless
+from .nihao import Nihao
+from .quorum import GridQuorum
+from .pi_latency import (
+    pi_is_deterministic,
+    pi_latency_profile,
+    PILatencyReport,
+    pi_worst_case_latency,
+)
+from .searchlight import Searchlight
+from .slotted import SlotPattern, SlotTiming
+from .uconnect import UConnect, uconnect_prime_for_duty_cycle
+
+__all__ = [
+    "PairProtocol",
+    "ProtocolInfo",
+    "Role",
+    "SlotPattern",
+    "SlotTiming",
+    # protocols
+    "Birthday",
+    "CorrelatedOneWay",
+    "Diffcodes",
+    "Disco",
+    "GridQuorum",
+    "Nihao",
+    "OptimalAsymmetric",
+    "OptimalSlotless",
+    "PeriodicInterval",
+    "Searchlight",
+    "UConnect",
+    # helpers
+    "PERFECT_DIFFERENCE_SETS",
+    "PILatencyReport",
+    "PRIMES",
+    "available_duty_cycles",
+    "ble_config",
+    "ble_parametrization_for_duty_cycle",
+    "STANDARD_PROFILES",
+    "validate_ble_config",
+    "difference_multiset",
+    "disco_primes_for_duty_cycle",
+    "find_difference_set",
+    "is_difference_set",
+    "one_way_discovery_time",
+    "pi_is_deterministic",
+    "pi_latency_profile",
+    "pi_worst_case_latency",
+    "relaxed_cover_set",
+    "singer_difference_set",
+    "uconnect_prime_for_duty_cycle",
+]

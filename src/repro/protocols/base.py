@@ -1,0 +1,79 @@
+"""Common interface of the protocol zoo.
+
+Every protocol in :mod:`repro.protocols` ultimately produces the paper's
+primitive: a tuple of a beacon schedule and a reception-window schedule
+per device (Definition 3.3).  Two families exist:
+
+* **Slotted protocols** (Disco, U-Connect, Searchlight, Diffcodes):
+  defined by an active-slot pattern on a slot grid; the mapping from slots
+  to beacons/windows lives in :mod:`repro.protocols.slotted`.
+* **Slotless / periodic-interval protocols** (BLE-like PI protocols, the
+  paper-optimal schedules): defined directly as schedules.
+
+:class:`PairProtocol` is the common handle the simulator, the analysis
+layer and the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.sequences import NDProtocol
+
+__all__ = ["Role", "PairProtocol", "ProtocolInfo"]
+
+
+class Role(Enum):
+    """Which of the two devices a schedule is for.
+
+    Symmetric protocols return identical schedules for both roles;
+    asymmetric ones (different duty-cycles, or advertiser/scanner splits)
+    differ per role.
+    """
+
+    E = "E"
+    F = "F"
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """Static facts about a configured protocol instance."""
+
+    name: str
+    family: str
+    """One of ``"slotted"``, ``"pi"``, ``"optimal"``, ``"probabilistic"``."""
+    symmetric: bool
+    deterministic: bool
+    parameters: dict
+    """The protocol's own configuration knobs, for reporting."""
+
+
+class PairProtocol(abc.ABC):
+    """A configured neighbor-discovery protocol for a pair of devices."""
+
+    @abc.abstractmethod
+    def info(self) -> ProtocolInfo:
+        """Static description of this configuration."""
+
+    @abc.abstractmethod
+    def device(self, role: Role) -> NDProtocol:
+        """The ``(B_inf, C_inf)`` schedules run by the given device."""
+
+    def duty_cycle(self, role: Role = Role.E) -> float:
+        """Total duty-cycle ``eta`` of the given device."""
+        return self.device(role).eta
+
+    def channel_utilization(self, role: Role = Role.E) -> float:
+        """Transmission duty-cycle ``beta`` of the given device."""
+        return self.device(role).beta
+
+    def predicted_worst_case_latency(self) -> float | None:
+        """The protocol's own worst-case-latency claim in time units, or
+        ``None`` if the protocol offers no deterministic guarantee."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        info = self.info()
+        return f"{type(self).__name__}({info.parameters})"

@@ -1,0 +1,135 @@
+"""Birthday protocols (McGlynn & Borbash, MobiHoc 2001) -- the
+probabilistic baseline.
+
+Each device independently makes every slot a transmit slot with
+probability ``p_tx``, a listen slot with probability ``p_rx``, and sleeps
+otherwise.  Discovery is never *guaranteed* (the protocol is not
+deterministic), but the per-slot rendezvous probability
+``p_hit = p_tx * p_rx + p_rx * p_tx`` gives geometric discovery latencies
+that are excellent in the median and unbounded in the tail -- the classic
+foil for the deterministic protocols the paper studies.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.sequences import (
+    Beacon,
+    BeaconSchedule,
+    NDProtocol,
+    ReceptionSchedule,
+    ReceptionWindow,
+)
+from .base import PairProtocol, ProtocolInfo, Role
+
+__all__ = ["Birthday"]
+
+
+@dataclass(frozen=True)
+class Birthday(PairProtocol):
+    """A configured birthday protocol.
+
+    Parameters
+    ----------
+    p_tx, p_rx:
+        Per-slot transmit / listen probabilities (``p_tx + p_rx <= 1``).
+    slot_length, omega, alpha:
+        Slot length ``I`` (us), beacon duration (us), TX/RX power ratio.
+    horizon_slots:
+        Length of the sampled schedule; the schedule repeats after this
+        many slots (long horizons approximate the i.i.d. process).
+    seed:
+        Seed for the slot lottery; the two roles derive distinct streams.
+    """
+
+    p_tx: float = 0.05
+    p_rx: float = 0.05
+    slot_length: int = 10_000
+    omega: int = 32
+    alpha: float = 1.0
+    horizon_slots: int = 4096
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.p_tx <= 1 and 0 <= self.p_rx <= 1):
+            raise ValueError("probabilities must be in [0, 1]")
+        if self.p_tx + self.p_rx > 1:
+            raise ValueError("p_tx + p_rx must not exceed 1")
+        if self.p_tx == 0 and self.p_rx == 0:
+            raise ValueError("at least one of p_tx, p_rx must be positive")
+
+    def _sample(self, role: Role) -> tuple[list[int], list[int]]:
+        rng = random.Random(f"{self.seed}/{role.value}")
+        tx_slots: list[int] = []
+        rx_slots: list[int] = []
+        for s in range(self.horizon_slots):
+            u = rng.random()
+            if u < self.p_tx:
+                tx_slots.append(s)
+            elif u < self.p_tx + self.p_rx:
+                rx_slots.append(s)
+        return tx_slots, rx_slots
+
+    def device(self, role: Role) -> NDProtocol:
+        tx_slots, rx_slots = self._sample(role)
+        period = self.horizon_slots * self.slot_length
+        beacons = [Beacon(s * self.slot_length, self.omega) for s in tx_slots]
+        windows = [
+            ReceptionWindow(s * self.slot_length, self.slot_length)
+            for s in rx_slots
+        ]
+        if not beacons:  # degenerate draw: force one beacon to keep schedules valid
+            beacons = [Beacon(0, self.omega)]
+        if not windows:
+            windows = [ReceptionWindow(self.slot_length, self.slot_length)]
+        return NDProtocol(
+            beacons=BeaconSchedule(beacons, period),
+            reception=ReceptionSchedule(windows, period),
+            alpha=self.alpha,
+            name=f"birthday(p_tx={self.p_tx}, p_rx={self.p_rx}, {role.value})",
+        )
+
+    def info(self) -> ProtocolInfo:
+        return ProtocolInfo(
+            name="Birthday",
+            family="probabilistic",
+            symmetric=False,  # each role draws its own slots
+            deterministic=False,
+            parameters={
+                "p_tx": self.p_tx,
+                "p_rx": self.p_rx,
+                "slot_length": self.slot_length,
+                "horizon_slots": self.horizon_slots,
+                "seed": self.seed,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def per_slot_hit_probability(self) -> float:
+        """Probability that a given aligned slot yields a discovery in at
+        least one direction: ``2 p_tx p_rx`` (minus the both-at-once term,
+        which cannot succeed on half-duplex radios)."""
+        return 2 * self.p_tx * self.p_rx
+
+    def expected_discovery_slots(self) -> float:
+        """Mean of the geometric slots-to-discovery distribution."""
+        p = self.per_slot_hit_probability()
+        if p == 0:
+            return math.inf
+        return 1.0 / p
+
+    def latency_quantile_slots(self, quantile: float) -> float:
+        """Slots needed so discovery has probability >= ``quantile``."""
+        if not 0 < quantile < 1:
+            raise ValueError(f"quantile must be in (0,1), got {quantile}")
+        p = self.per_slot_hit_probability()
+        if p == 0:
+            return math.inf
+        return math.log(1 - quantile) / math.log(1 - p)
+
+    def predicted_worst_case_latency(self) -> None:
+        """Birthday protocols give no deterministic guarantee."""
+        return None

@@ -1,0 +1,178 @@
+"""BLE-like periodic-interval (PI) protocols (Section 1 and [18]).
+
+The protocols "frequently used in practice" that the paper contrasts with
+slotted designs: an advertiser transmits one beacon every *advertising
+interval* ``Ta``; a scanner opens a window of ``ds`` every *scan
+interval* ``Ts``.  The three parameters are free -- the paper's point is
+that nobody knew how well such protocols could do until its bounds.
+
+:class:`PeriodicInterval` models one configurable device pair (advertiser
+role E, scanner role F, or both roles on both devices for bidirectional
+configs).  Actual BLE additionally applies a random ``advDelay`` of
+0-10 ms per advertising event (Bluetooth 5.0, Vol 6 Part B 4.4.2.2.1) to
+decorrelate collisions -- modeled in the simulator via
+``advertising_jitter``; the deterministic analysis uses ``jitter = 0``.
+
+Worst-case latencies of PI configurations are computed *exactly* with the
+package's coverage-map machinery in :mod:`repro.protocols.pi_latency`,
+reproducing the results of the recursive scheme in [18] by direct
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bounds import optimal_split
+from ..core.sequences import (
+    BeaconSchedule,
+    NDProtocol,
+    ReceptionSchedule,
+)
+from .base import PairProtocol, ProtocolInfo, Role
+
+__all__ = ["PeriodicInterval", "ble_parametrization_for_duty_cycle"]
+
+
+@dataclass(frozen=True)
+class PeriodicInterval(PairProtocol):
+    """A PI protocol configuration ``(Ta, Ts, ds)``.
+
+    Parameters
+    ----------
+    adv_interval:
+        ``Ta`` in us -- one beacon per advertising interval.
+    scan_interval:
+        ``Ts`` in us -- one scan window per scan interval.
+    scan_window:
+        ``ds`` in us -- the duration of each scan window.
+    omega:
+        Beacon duration in us.
+    bidirectional:
+        If True both devices advertise *and* scan (the BLE "undirected
+        connectable" pattern); if False, role E only advertises and role
+        F only scans (advertiser/observer).
+    advertising_jitter:
+        Upper bound of the uniform random delay added to each advertising
+        event by the simulator (BLE's ``advDelay``, <= 10 ms).  Zero keeps
+        the schedule strictly periodic for deterministic analysis.
+    alpha:
+        TX/RX power ratio.
+    """
+
+    adv_interval: int
+    scan_interval: int
+    scan_window: int
+    omega: int = 32
+    bidirectional: bool = False
+    advertising_jitter: int = 0
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.adv_interval <= self.omega:
+            raise ValueError("adv_interval must exceed the beacon duration")
+        if not 0 < self.scan_window <= self.scan_interval:
+            raise ValueError("need 0 < scan_window <= scan_interval")
+        if self.advertising_jitter < 0:
+            raise ValueError("advertising_jitter must be non-negative")
+
+    # ------------------------------------------------------------------
+    def advertiser_schedule(self) -> BeaconSchedule:
+        """One beacon per ``Ta`` (jitter is applied by the simulator, not
+        encoded in the nominal schedule)."""
+        return BeaconSchedule.uniform(
+            n_beacons=1, gap=self.adv_interval, duration=self.omega
+        )
+
+    def scanner_schedule(self) -> ReceptionSchedule:
+        """One window of ``ds`` per ``Ts``."""
+        return ReceptionSchedule.single_window(
+            duration=self.scan_window, period=self.scan_interval
+        )
+
+    def device(self, role: Role) -> NDProtocol:
+        if self.bidirectional:
+            return NDProtocol(
+                beacons=self.advertiser_schedule(),
+                reception=self.scanner_schedule(),
+                alpha=self.alpha,
+                name=f"pi-bidir(Ta={self.adv_interval}, Ts={self.scan_interval}, ds={self.scan_window})",
+            )
+        if role is Role.E:
+            return NDProtocol(
+                beacons=self.advertiser_schedule(),
+                reception=None,
+                alpha=self.alpha,
+                name=f"pi-advertiser(Ta={self.adv_interval})",
+            )
+        return NDProtocol(
+            beacons=None,
+            reception=self.scanner_schedule(),
+            alpha=self.alpha,
+            name=f"pi-scanner(Ts={self.scan_interval}, ds={self.scan_window})",
+        )
+
+    def info(self) -> ProtocolInfo:
+        return ProtocolInfo(
+            name="PeriodicInterval",
+            family="pi",
+            symmetric=self.bidirectional,
+            deterministic=self.advertising_jitter == 0,
+            parameters={
+                "adv_interval": self.adv_interval,
+                "scan_interval": self.scan_interval,
+                "scan_window": self.scan_window,
+                "omega": self.omega,
+                "bidirectional": self.bidirectional,
+                "advertising_jitter": self.advertising_jitter,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def beta(self) -> float:
+        """Advertiser channel utilization ``omega / Ta``."""
+        return self.omega / self.adv_interval
+
+    @property
+    def gamma(self) -> float:
+        """Scanner reception duty-cycle ``ds / Ts``."""
+        return self.scan_window / self.scan_interval
+
+    def predicted_worst_case_latency(self) -> float | None:
+        """Exact worst-case latency (us) from the coverage map, or ``None``
+        for non-deterministic (jittered) configurations."""
+        if self.advertising_jitter > 0:
+            return None
+        from .pi_latency import pi_worst_case_latency  # deferred: avoids cycle
+
+        return pi_worst_case_latency(
+            self.adv_interval, self.scan_interval, self.scan_window, self.omega
+        )
+
+
+def ble_parametrization_for_duty_cycle(
+    eta: float, omega: int = 32, alpha: float = 1.0, window: int | None = None
+) -> PeriodicInterval:
+    """A near-optimal PI parametrization for a duty-cycle budget, in the
+    spirit of the schemes of [13, 14]: split ``eta`` per Theorem 5.5
+    (``beta = eta/2 alpha``) and pick ``(Ta, Ts, ds)`` so the beacon train
+    tiles the scan windows (``Ta = n * ds`` with ``n`` coprime to
+    ``Ts/ds``).
+
+    Returns a bidirectional configuration; its exact worst-case latency is
+    available via :meth:`PeriodicInterval.predicted_worst_case_latency`
+    and sits within the duty-cycle quantization of the Theorem 5.5 bound.
+    """
+    from ..core.optimal import plan_unidirectional  # deferred: avoids cycle
+
+    split = optimal_split(eta, alpha)
+    design = plan_unidirectional(omega, split.beta, split.gamma, window)
+    return PeriodicInterval(
+        adv_interval=design.beacons.period,
+        scan_interval=design.reception.period,
+        scan_window=design.reception.windows[0].duration,
+        omega=omega,
+        bidirectional=True,
+        alpha=alpha,
+    )

@@ -1,0 +1,146 @@
+"""Bluetooth Low Energy advertising/scanning parameter catalogue.
+
+The PI protocols of :mod:`repro.protocols.ble` accept arbitrary
+``(Ta, Ts, ds)``; actual BLE constrains them (Bluetooth Core 5.0,
+Vol 6 Part B / Vol 2 Part E):
+
+* advertising interval: 20 ms .. 10.24 s in 0.625 ms steps, plus a
+  uniform random ``advDelay`` of 0..10 ms per event;
+* scan interval/window: 2.5 ms .. 10.24 s in 0.625 ms steps, with
+  ``window <= interval``;
+* an ADV_IND packet at 1 Mbps is ~376 us on air (we default ``omega``
+  accordingly rather than the package-wide 32 us).
+
+This module validates configurations against the spec grid and ships
+the de-facto standard profiles (iBeacon, Eddystone, Android/iOS scan
+modes) so the examples and tests can evaluate *realistic* deployments
+against the paper's bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ble import PeriodicInterval
+
+__all__ = [
+    "BLE_TIME_GRID_US",
+    "ADV_DELAY_MAX_US",
+    "ADV_PACKET_US",
+    "validate_ble_config",
+    "ble_config",
+    "STANDARD_PROFILES",
+]
+
+BLE_TIME_GRID_US = 625
+"""All BLE timing parameters are multiples of 0.625 ms."""
+
+ADV_DELAY_MAX_US = 10_000
+"""advDelay: uniform random 0..10 ms added to every advertising event."""
+
+ADV_PACKET_US = 376
+"""ADV_IND with a 31-byte payload at 1 Mbps: ~376 us of air time."""
+
+_ADV_INTERVAL_MIN = 20_000
+_ADV_INTERVAL_MAX = 10_240_000
+_SCAN_MIN = 2_500
+_SCAN_MAX = 10_240_000
+
+
+def validate_ble_config(
+    adv_interval: int, scan_interval: int, scan_window: int
+) -> list[str]:
+    """Return the list of spec violations (empty = valid)."""
+    problems: list[str] = []
+    for name, value in (
+        ("adv_interval", adv_interval),
+        ("scan_interval", scan_interval),
+        ("scan_window", scan_window),
+    ):
+        if value % BLE_TIME_GRID_US != 0:
+            problems.append(
+                f"{name}={value} us is not a multiple of 0.625 ms"
+            )
+    if not _ADV_INTERVAL_MIN <= adv_interval <= _ADV_INTERVAL_MAX:
+        problems.append(
+            f"adv_interval={adv_interval} outside [20 ms, 10.24 s]"
+        )
+    if not _SCAN_MIN <= scan_interval <= _SCAN_MAX:
+        problems.append(
+            f"scan_interval={scan_interval} outside [2.5 ms, 10.24 s]"
+        )
+    if not _SCAN_MIN <= scan_window <= scan_interval:
+        problems.append(
+            f"scan_window={scan_window} outside [2.5 ms, scan_interval]"
+        )
+    return problems
+
+
+def ble_config(
+    adv_interval: int,
+    scan_interval: int,
+    scan_window: int,
+    bidirectional: bool = True,
+    with_adv_delay: bool = True,
+) -> PeriodicInterval:
+    """A spec-validated BLE configuration as a :class:`PeriodicInterval`.
+
+    Raises ``ValueError`` listing every violation if the parameters are
+    off the BLE grid.
+    """
+    problems = validate_ble_config(adv_interval, scan_interval, scan_window)
+    if problems:
+        raise ValueError("; ".join(problems))
+    return PeriodicInterval(
+        adv_interval=adv_interval,
+        scan_interval=scan_interval,
+        scan_window=scan_window,
+        omega=ADV_PACKET_US,
+        bidirectional=bidirectional,
+        advertising_jitter=ADV_DELAY_MAX_US if with_adv_delay else 0,
+    )
+
+
+@dataclass(frozen=True)
+class _Profile:
+    """A named real-world parameter set."""
+
+    name: str
+    adv_interval: int
+    scan_interval: int
+    scan_window: int
+    source: str
+
+    def config(self, with_adv_delay: bool = True) -> PeriodicInterval:
+        """Instantiate the profile."""
+        return ble_config(
+            self.adv_interval,
+            self.scan_interval,
+            self.scan_window,
+            with_adv_delay=with_adv_delay,
+        )
+
+
+STANDARD_PROFILES: dict[str, _Profile] = {
+    "ibeacon": _Profile(
+        "ibeacon", 100_000, 1_024_375 - 1_024_375 % 625, 11_250,
+        "Apple iBeacon nominal 100 ms advertising",
+    ),
+    "eddystone": _Profile(
+        "eddystone", 1_000_000, 1_280_000, 11_250,
+        "Google Eddystone default 1 s advertising",
+    ),
+    "android-low-power": _Profile(
+        "android-low-power", 1_000_000, 5_120_000, 512_500,
+        "Android SCAN_MODE_LOW_POWER: 0.5125 s window / 5.12 s interval",
+    ),
+    "android-balanced": _Profile(
+        "android-balanced", 250_000, 4_096_250 - 4_096_250 % 625, 1_023_750,
+        "Android SCAN_MODE_BALANCED: 1.024 s window / 4.096 s interval",
+    ),
+    "fast-connect": _Profile(
+        "fast-connect", 20_000, 30_000, 30_000,
+        "Connection-setup burst: 20 ms advertising, continuous scan",
+    ),
+}
+"""Named real-world BLE parameter sets (intervals on the 0.625 ms grid)."""

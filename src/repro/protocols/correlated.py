@@ -1,0 +1,191 @@
+"""Appendix C: mutual-exclusive one-way discovery via temporal correlation.
+
+If beacons keep a *fixed temporal relation* ``zeta`` to the reception
+windows on their own device, the offset of E's beacons in F's coordinates
+is fully determined by the offset of F's beacons in E's coordinates
+(Equation 34: ``Phi_E = 2 zeta - Phi_F``).  Each device then only needs
+to cover *half* of the offsets itself -- the other half is guaranteed by
+the mirrored direction -- which halves the beacon budget and yields the
+tightest pairwise bound ``L = 2 alpha omega / eta^2`` (Theorem C.1).
+
+Construction (k even, window ``d``, ``T_C = k d``):
+
+* both devices: one reception window ``[0, d)`` per period ``T_C``;
+* both devices: ``k/2`` beacons with gap ``2 d`` at phase
+  ``zeta = 2 d - ceil(omega/2)``.
+
+Why the ``- ceil(omega/2)``: a beacon physically overlaps a window
+``[t, t+d)`` for send times in the *open* interval ``(t - omega, t + d)``.
+Direct (F -> E) coverage therefore leaves the gaps
+``[odd*d, even*d - omega]`` between the even window-residues; the
+mirrored (E -> F) blocks, whose position is controlled by ``2 zeta mod
+2d``, must cover those gaps with *strict* overlap on both ends or
+measure-zero seams become real holes on the integer grid.  That forces
+``2 zeta mod 2d`` strictly inside ``(2d - 2 omega, 2d)``; the choice
+``zeta = 2d - ceil(omega/2)`` (requiring ``omega >= 2``) centers the
+overlap.  One consequence, mirroring Figure 8 / Appendix A.5: the last
+beacon of each period straddles the period boundary and clips the head
+of the device's own reception window by ``floor(omega/2)`` -- an
+unavoidable self-blocking of one beacon per period that half-duplex
+simulation quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bounds import one_way_bound
+from ..core.sequences import (
+    Beacon,
+    BeaconSchedule,
+    NDProtocol,
+    ReceptionSchedule,
+)
+from .base import PairProtocol, ProtocolInfo, Role
+
+__all__ = ["CorrelatedOneWay", "one_way_discovery_time"]
+
+
+@dataclass(frozen=True)
+class CorrelatedOneWay(PairProtocol):
+    """The Appendix-C quadruple for a pair of identical devices.
+
+    Parameters
+    ----------
+    k:
+        Even number of window-residues per coverage cycle;
+        ``gamma = 1/k`` and each device sends ``k/2`` beacons per period.
+    window:
+        Reception-window duration ``d`` in us.  The Theorem-C.1 optimum
+        needs ``alpha * omega / (2 d) == 1 / k``, i.e.
+        ``d = alpha * omega * k / 2``; other values are valid but
+        off-optimal.
+    omega, alpha:
+        Beacon duration (us) and TX/RX power ratio.
+    """
+
+    k: int
+    window: int
+    omega: int = 32
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.k < 2 or self.k % 2 != 0:
+            raise ValueError(f"k must be even and >= 2, got {self.k}")
+        if self.omega < 2:
+            raise ValueError(
+                f"omega must be >= 2 us so the mirrored coverage blocks can "
+                f"strictly overlap, got {self.omega}"
+            )
+        if self.window < self.omega:
+            raise ValueError(
+                f"window ({self.window}) must be at least omega ({self.omega})"
+            )
+
+    @classmethod
+    def for_duty_cycle(
+        cls, eta: float, omega: int = 32, alpha: float = 1.0
+    ) -> "CorrelatedOneWay":
+        """Pick ``(k, d)`` for a duty-cycle budget at the Theorem-C.1
+        optimum: ``eta = 2/k`` and ``d = alpha omega k / 2``."""
+        if not 0 < eta <= 1:
+            raise ValueError(f"eta must be in (0, 1], got {eta}")
+        k = max(2, 2 * round(1.0 / eta))
+        window = max(omega, round(alpha * omega * k / 2))
+        return cls(k=k, window=window, omega=omega, alpha=alpha)
+
+    # ------------------------------------------------------------------
+    @property
+    def period(self) -> int:
+        """``T_C = k * d``."""
+        return self.k * self.window
+
+    @property
+    def zeta(self) -> int:
+        """The fixed beacon-to-window relation: ``2 d - ceil(omega/2)``
+        after the window start, so the mirrored coverage blocks strictly
+        overlap the direct ones (see module docstring)."""
+        return 2 * self.window - (self.omega + 1) // 2
+
+    def device(self, role: Role) -> NDProtocol:
+        d = self.window
+        beacons = [
+            Beacon(self.zeta + 2 * j * d, self.omega) for j in range(self.k // 2)
+        ]
+        return NDProtocol(
+            beacons=BeaconSchedule(beacons, self.period),
+            reception=ReceptionSchedule.single_window(duration=d, period=self.period),
+            alpha=self.alpha,
+            name=f"correlated-one-way(k={self.k}, d={d})",
+        )
+
+    def info(self) -> ProtocolInfo:
+        return ProtocolInfo(
+            name="Correlated-One-Way",
+            family="optimal",
+            symmetric=True,
+            deterministic=True,
+            parameters={
+                "k": self.k,
+                "window": self.window,
+                "omega": self.omega,
+                "alpha": self.alpha,
+            },
+        )
+
+    def predicted_worst_case_latency(self) -> int:
+        """Guaranteed one-way latency: the last residue is reached after
+        ``k/2`` beacon gaps of ``2 d`` plus one period of slack for the
+        in-range instant, conservatively ``T_C + 2 d``."""
+        return self.period + 2 * self.window
+
+    def bound_at_achieved_duty_cycle(self) -> float:
+        """Theorem C.1 at the achieved duty-cycle."""
+        eta = self.device(Role.E).eta
+        return one_way_bound(self.omega, eta, self.alpha)
+
+
+def one_way_discovery_time(
+    protocol: CorrelatedOneWay, offset: int, horizon: int | None = None
+) -> int | None:
+    """Exact first one-way discovery instant for a phase offset.
+
+    Device E runs at phase 0, device F at phase ``offset``; both enter
+    range at time 0.  Returns the earliest time at which a beacon of
+    either device overlaps a reception window of the other (any-overlap
+    rule), or ``None`` within ``horizon`` (default: two periods plus one
+    gap, beyond the deterministic guarantee).
+
+    Implemented by direct arithmetic unrolling so the Appendix-C
+    construction can be verified without the discrete-event stack.
+    """
+    d = protocol.window
+    omega = protocol.omega
+    period = protocol.period
+    if horizon is None:
+        horizon = protocol.predicted_worst_case_latency() + period
+
+    def hits(beacon_phase: int, window_phase: int) -> int | None:
+        """First time a beacon of the device at ``beacon_phase`` overlaps
+        the window of the device at ``window_phase``."""
+        best: int | None = None
+        t = 0
+        while t < horizon:
+            for j in range(protocol.k // 2):
+                tx = t + beacon_phase + protocol.zeta + 2 * j * d
+                if tx >= horizon:
+                    break
+                # window instances: [window_phase + n*period, +d)
+                local = (tx - window_phase) % period
+                # any-overlap: beacon [tx, tx+omega) vs window [0, d)
+                if local < d or local + omega > period:
+                    if best is None or tx < best:
+                        best = tx
+                    return best
+            t += period
+        return best
+
+    f_to_e = hits(offset, 0)
+    e_to_f = hits(0, offset)
+    candidates = [x for x in (f_to_e, e_to_f) if x is not None]
+    return min(candidates) if candidates else None

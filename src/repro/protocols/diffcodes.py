@@ -1,0 +1,106 @@
+"""Diffcode schedules (Zheng et al., MobiHoc 2003 / TMC 2006).
+
+Active-slot patterns built on perfect cyclic difference sets: with a
+``(v, k, 1)`` difference set, any two slot-offset copies of the pattern
+share an active slot within ``v`` slots while using only ``k ~ sqrt(v)``
+active slots -- the optimal block design for asynchronous wake-up
+schedules.  These are the only slotted protocols that meet the Table-1
+optimum ``omega / (eta beta - alpha beta^2)`` exactly.
+
+The flip side the paper emphasizes: perfect difference sets exist only
+for ``v = q^2 + q + 1`` with ``q`` a prime power, so only a sparse set of
+duty-cycles is realizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sequences import NDProtocol
+from .base import PairProtocol, ProtocolInfo, Role
+from .difference_sets import PERFECT_DIFFERENCE_SETS, is_difference_set
+from .slotted import SlotPattern, SlotTiming
+
+__all__ = ["Diffcodes", "available_duty_cycles"]
+
+
+def available_duty_cycles() -> dict[int, float]:
+    """``q -> k/v`` slot duty-cycles realizable from the catalogue."""
+    return {
+        q: len(ds) / v for q, (ds, v) in sorted(PERFECT_DIFFERENCE_SETS.items())
+    }
+
+
+@dataclass(frozen=True)
+class Diffcodes(PairProtocol):
+    """A difference-set schedule for a catalogued prime power ``q``.
+
+    Parameters
+    ----------
+    q:
+        Prime power selecting the ``(q^2+q+1, q+1, 1)`` difference set.
+    slot_length, omega, alpha:
+        Slot length ``I`` (us), beacon duration (us), TX/RX power ratio.
+    two_beacons:
+        Send at both slot boundaries (the code-based designs of [6, 7]);
+        the original diffcode design uses one beacon per slot.
+    """
+
+    q: int
+    slot_length: int = 10_000
+    omega: int = 32
+    alpha: float = 1.0
+    two_beacons: bool = False
+
+    def __post_init__(self) -> None:
+        if self.q not in PERFECT_DIFFERENCE_SETS:
+            raise ValueError(
+                f"no catalogued difference set for q={self.q}; "
+                f"available: {sorted(PERFECT_DIFFERENCE_SETS)}"
+            )
+
+    def pattern(self) -> SlotPattern:
+        """The difference-set active pattern (verified on construction)."""
+        residues, v = PERFECT_DIFFERENCE_SETS[self.q]
+        assert is_difference_set(residues, v), "catalogue entry corrupt"
+        return SlotPattern(residues, v, name=f"diffcode-q{self.q}")
+
+    def timing(self) -> SlotTiming:
+        return SlotTiming(
+            self.slot_length, self.omega, two_beacons=self.two_beacons
+        )
+
+    def device(self, role: Role) -> NDProtocol:
+        return self.pattern().to_protocol(self.timing(), self.alpha)
+
+    def info(self) -> ProtocolInfo:
+        residues, v = PERFECT_DIFFERENCE_SETS[self.q]
+        return ProtocolInfo(
+            name="Diffcodes",
+            family="slotted",
+            symmetric=True,
+            deterministic=True,
+            parameters={
+                "q": self.q,
+                "v": v,
+                "k": len(residues),
+                "slot_length": self.slot_length,
+                "omega": self.omega,
+                "two_beacons": self.two_beacons,
+            },
+        )
+
+    @property
+    def slot_duty_cycle(self) -> float:
+        """``(q+1) / (q^2+q+1)`` -- the optimal ``k/v ~ 1/sqrt(v)``."""
+        residues, v = PERFECT_DIFFERENCE_SETS[self.q]
+        return len(residues) / v
+
+    def worst_case_slots(self) -> int:
+        """Guarantee: overlap within one period of ``v`` slots."""
+        _, v = PERFECT_DIFFERENCE_SETS[self.q]
+        return v
+
+    def predicted_worst_case_latency(self) -> float:
+        """Worst-case latency in microseconds."""
+        return self.worst_case_slots() * self.slot_length

@@ -1,0 +1,175 @@
+"""Cyclic difference sets -- the combinatorial core of optimal slotted ND.
+
+A ``(v, k, lambda)`` cyclic difference set is a set ``D`` of ``k``
+residues modulo ``v`` such that every non-zero residue arises exactly
+``lambda`` times as a difference ``d_i - d_j mod v``.  With
+``lambda = 1`` (a *perfect* difference set, existing for ``v = q^2+q+1``,
+``k = q+1``, ``q`` a prime power -- Singer's theorem), an active-slot
+pattern built on ``D`` guarantees a slot overlap for every shift using
+the minimum possible ``k = ~sqrt(v)`` active slots: exactly the [16, 17]
+bound the paper's Section 6 starts from.
+
+Provides a verified catalogue of perfect difference sets (used by the
+Diffcodes protocol), a Singer-construction generator, and a brute-force
+searcher for small parameters (used by tests and for duty-cycles not in
+the catalogue).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+
+__all__ = [
+    "is_difference_set",
+    "difference_multiset",
+    "singer_difference_set",
+    "PERFECT_DIFFERENCE_SETS",
+    "find_difference_set",
+    "relaxed_cover_set",
+]
+
+
+def difference_multiset(residues: set[int] | frozenset[int], modulus: int) -> Counter:
+    """All pairwise differences ``a - b mod v`` for ``a != b``."""
+    counts: Counter = Counter()
+    for a in residues:
+        for b in residues:
+            if a != b:
+                counts[(a - b) % modulus] += 1
+    return counts
+
+
+def is_difference_set(
+    residues: set[int] | frozenset[int], modulus: int, lam: int = 1
+) -> bool:
+    """True iff ``residues`` is a ``(v, k, lam)`` cyclic difference set."""
+    counts = difference_multiset(residues, modulus)
+    return all(counts.get(d, 0) == lam for d in range(1, modulus))
+
+
+def _is_prime_power(n: int) -> tuple[int, int] | None:
+    """Return ``(p, e)`` if ``n == p**e`` for a prime ``p``, else ``None``."""
+    if n < 2:
+        return None
+    for p in range(2, n + 1):
+        if p * p > n and n > 1:
+            return (n, 1)  # n itself is prime
+        if n % p == 0:
+            e = 0
+            m = n
+            while m % p == 0:
+                m //= p
+                e += 1
+            return (p, e) if m == 1 else None
+    return None  # pragma: no cover
+
+
+def singer_difference_set(q: int) -> tuple[frozenset[int], int]:
+    """Construct a perfect difference set with ``v = q^2 + q + 1`` and
+    ``k = q + 1`` for a prime power ``q`` (Singer difference sets).
+
+    Uses a brute-force completion that is exact and fast for the ``q``
+    relevant to ND duty-cycles (``q <= ~32``): starting from ``{0, 1}``
+    it extends greedily with backtracking until every difference appears
+    exactly once.
+    """
+    if _is_prime_power(q) is None:
+        raise ValueError(f"q must be a prime power, got {q}")
+    v = q * q + q + 1
+    k = q + 1
+
+    def extend(current: list[int], used: set[int]) -> list[int] | None:
+        if len(current) == k:
+            return current
+        start = current[-1] + 1
+        for candidate in range(start, v):
+            new_diffs = set()
+            ok = True
+            for existing in current:
+                d1 = (candidate - existing) % v
+                d2 = (existing - candidate) % v
+                if d1 in used or d2 in used or d1 in new_diffs or d2 in new_diffs:
+                    ok = False
+                    break
+                new_diffs.add(d1)
+                new_diffs.add(d2)
+            if not ok:
+                continue
+            result = extend(current + [candidate], used | new_diffs)
+            if result is not None:
+                return result
+        return None
+
+    solution = extend([0, 1], {1, v - 1})
+    if solution is None:  # pragma: no cover - Singer guarantees existence
+        raise RuntimeError(f"no perfect difference set found for q={q}")
+    return frozenset(solution), v
+
+
+# Catalogue of perfect difference sets (v = q^2+q+1, k = q+1), verified by
+# the test suite via is_difference_set.  Keys are q.
+PERFECT_DIFFERENCE_SETS: dict[int, tuple[frozenset[int], int]] = {
+    2: (frozenset({0, 1, 3}), 7),
+    3: (frozenset({0, 1, 3, 9}), 13),
+    4: (frozenset({0, 1, 4, 14, 16}), 21),
+    5: (frozenset({0, 1, 3, 8, 12, 18}), 31),
+    7: (frozenset({0, 1, 3, 13, 32, 36, 43, 52}), 57),
+    8: (frozenset({0, 1, 3, 7, 15, 31, 36, 54, 63}), 73),
+    9: (frozenset({0, 1, 3, 9, 27, 49, 56, 61, 77, 81}), 91),
+}
+"""``q -> (difference set, v)`` for the duty-cycles ``~1/(q+1)``..."""
+
+
+def find_difference_set(modulus: int, size: int, lam: int = 1) -> frozenset[int] | None:
+    """Exhaustively search for a ``(modulus, size, lam)`` difference set.
+
+    Exponential; intended for small parameters in tests and for validating
+    catalogue entries independently.  Fixes ``0`` in the set (difference
+    sets are translation-invariant) to prune the search.
+    """
+    if size < 2 or modulus < size:
+        return None
+    for rest in itertools.combinations(range(1, modulus), size - 1):
+        candidate = frozenset((0,) + rest)
+        if is_difference_set(candidate, modulus, lam):
+            return candidate
+    return None
+
+
+def relaxed_cover_set(modulus: int, size: int) -> frozenset[int] | None:
+    """Greedy search for a *covering* set: every non-zero difference occurs
+    at least once (lambda >= 1).
+
+    Perfect difference sets exist only for special ``v``; protocols for
+    other duty-cycles (quorum systems, Disco, ...) use covering sets with
+    some redundancy.  Returns ``None`` if the greedy heuristic fails at
+    this size (``size*(size-1) >= modulus-1`` is necessary).
+    """
+    if size * (size - 1) < modulus - 1:
+        return None
+    chosen = [0]
+    covered: set[int] = set()
+    while len(chosen) < size:
+        best_candidate = None
+        best_gain = -1
+        for candidate in range(1, modulus):
+            if candidate in chosen:
+                continue
+            gain = 0
+            for existing in chosen:
+                if (candidate - existing) % modulus not in covered:
+                    gain += 1
+                if (existing - candidate) % modulus not in covered:
+                    gain += 1
+            if gain > best_gain:
+                best_gain = gain
+                best_candidate = candidate
+        assert best_candidate is not None
+        for existing in chosen:
+            covered.add((best_candidate - existing) % modulus)
+            covered.add((existing - best_candidate) % modulus)
+        chosen.append(best_candidate)
+    if len(covered) == modulus - 1:
+        return frozenset(chosen)
+    return None

@@ -1,0 +1,112 @@
+"""Nihao (Qiu et al., INFOCOM 2016) -- "talk more, listen less".
+
+Where slotted designs couple one or two beacons to every listening slot,
+Nihao inverts the split: a device transmits a cheap beacon in *every*
+slot of an ``n``-slot frame but listens only in the first slot.  Since a
+beacon costs ``omega`` while listening costs a whole slot, talking is
+far cheaper than listening and the asymmetric split approaches the
+paper's optimal ``beta = eta / 2 alpha`` much better than Disco-style
+designs -- the reason the paper's Section 6 finds some "recent
+protocols" near the Pareto front.
+
+In the package's schedule terms this is a periodic-interval protocol:
+beacons every ``I``, one reception window of ``I`` per frame ``n * I``.
+Discovery within one frame is guaranteed whenever the remote beacon
+train (gap ``I``) meets the window (length ``I``) -- which it does for
+every alignment, giving a worst case of one frame, ``n * I``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sequences import (
+    BeaconSchedule,
+    NDProtocol,
+    ReceptionSchedule,
+)
+from .base import PairProtocol, ProtocolInfo, Role
+
+__all__ = ["Nihao"]
+
+
+@dataclass(frozen=True)
+class Nihao(PairProtocol):
+    """A configured symmetric Nihao instance.
+
+    Parameters
+    ----------
+    n:
+        Frame length in slots; duty-cycle ``~ 1/n`` for ``I >> omega``.
+    slot_length:
+        ``I`` in us; also the listening-window duration.
+    omega, alpha:
+        Beacon duration (us) and TX/RX power ratio.
+    """
+
+    n: int
+    slot_length: int = 10_000
+    omega: int = 32
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2, got {self.n}")
+        if self.slot_length <= 2 * self.omega:
+            raise ValueError(
+                f"slot_length must exceed 2*omega "
+                f"({self.slot_length} <= {2 * self.omega})"
+            )
+
+    def device(self, role: Role) -> NDProtocol:
+        frame = self.n * self.slot_length
+        # One beacon per slot; the first slot's beacon is placed at the
+        # slot end so the window [0, I) stays mostly unobstructed.
+        times = [
+            self.slot_length - self.omega if s == 0 else s * self.slot_length
+            for s in range(self.n)
+        ]
+        beacons = BeaconSchedule.from_times(times, frame, self.omega)
+        reception = ReceptionSchedule.single_window(
+            duration=self.slot_length, period=frame
+        )
+        return NDProtocol(
+            beacons=beacons,
+            reception=reception,
+            alpha=self.alpha,
+            name=f"nihao(n={self.n}, I={self.slot_length})",
+        )
+
+    def info(self) -> ProtocolInfo:
+        return ProtocolInfo(
+            name="Nihao",
+            family="pi",
+            symmetric=True,
+            deterministic=True,
+            parameters={
+                "n": self.n,
+                "slot_length": self.slot_length,
+                "omega": self.omega,
+            },
+        )
+
+    @property
+    def beta(self) -> float:
+        """``n`` beacons per frame: ``beta = omega / I``."""
+        return self.omega / self.slot_length
+
+    @property
+    def gamma(self) -> float:
+        """One slot of listening per frame: ``gamma = 1 / n``."""
+        return 1.0 / self.n
+
+    def predicted_worst_case_latency(self) -> int:
+        """One frame: the remote beacon train has gap ``I`` and the
+        window length is ``I``, so some beacon lands in the first window
+        occurrence after range entry."""
+        return self.n * self.slot_length
+
+    def worst_case_slots(self) -> int:
+        """``n`` slots -- linear, not quadratic, in the frame length
+        (possible because talking is decoupled from listening)."""
+        return self.n

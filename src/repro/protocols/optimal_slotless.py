@@ -1,0 +1,137 @@
+"""The paper-optimal slotless protocol, packaged for the protocol zoo.
+
+Wraps :mod:`repro.core.optimal`'s verified constructions in the
+:class:`~repro.protocols.base.PairProtocol` interface so the optimal
+schedules can be simulated and benchmarked side by side with Disco,
+Searchlight & co.  This corresponds to the Griassdi/BLEnd-style slotless
+designs the paper identifies as spanning "almost the entire Pareto
+front": periodic beacon trains whose gap tiles the remote scan schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bounds import asymmetric_bound, symmetric_bound
+from ..core.optimal import (
+    OptimalDesign,
+    synthesize_asymmetric,
+    synthesize_symmetric,
+)
+from ..core.sequences import NDProtocol
+from .base import PairProtocol, ProtocolInfo, Role
+
+__all__ = ["OptimalSlotless", "OptimalAsymmetric"]
+
+
+@dataclass(frozen=True)
+class OptimalSlotless(PairProtocol):
+    """The bound-attaining symmetric protocol for a duty-cycle budget.
+
+    Both devices run identical schedules: beacon gap ``lambda = omega /
+    beta`` with ``beta = eta / 2 alpha``, one scan window per ``T_C`` with
+    ``gamma = eta / 2``.  Worst-case one-way latency equals Theorem 5.4 at
+    the achieved duty-cycles (duty-cycle quantization of the integer grid
+    means the *achieved* ``eta`` can differ slightly from the request; all
+    reporting uses achieved values).
+    """
+
+    eta: float
+    omega: int = 32
+    alpha: float = 1.0
+    window: int | None = None
+
+    def _build(self) -> tuple[NDProtocol, OptimalDesign]:
+        return synthesize_symmetric(self.omega, self.eta, self.alpha, self.window)
+
+    def device(self, role: Role) -> NDProtocol:
+        protocol, _ = self._build()
+        return protocol
+
+    def design(self) -> OptimalDesign:
+        """The verified underlying unidirectional design."""
+        _, design = self._build()
+        return design
+
+    def info(self) -> ProtocolInfo:
+        design = self.design()
+        return ProtocolInfo(
+            name="Optimal-Slotless",
+            family="optimal",
+            symmetric=True,
+            deterministic=design.deterministic,
+            parameters={
+                "eta": self.eta,
+                "omega": self.omega,
+                "alpha": self.alpha,
+                "achieved_beta": design.beta,
+                "achieved_gamma": design.gamma,
+            },
+        )
+
+    def predicted_worst_case_latency(self) -> float:
+        """``M * lambda`` of the verified design (one-way; mutual discovery
+        is bounded by the same value, Section 5.2.1)."""
+        return self.design().worst_case_latency
+
+    def bound_at_achieved_duty_cycle(self) -> float:
+        """Theorem 5.5 evaluated at the achieved ``eta`` for gap reporting."""
+        protocol, _ = self._build()
+        return symmetric_bound(self.omega, protocol.eta, self.alpha)
+
+
+@dataclass(frozen=True)
+class OptimalAsymmetric(PairProtocol):
+    """The bound-attaining asymmetric pair (Theorem 5.7).
+
+    Device E runs duty-cycle ``eta_e``, device F ``eta_f``; each splits
+    its own budget optimally and each direction independently attains the
+    unidirectional bound, so the two-way latency matches Equation 14 up to
+    integer-grid quantization.
+    """
+
+    eta_e: float
+    eta_f: float
+    omega: int = 32
+    alpha: float = 1.0
+
+    def _build(self):
+        return synthesize_asymmetric(
+            self.omega, self.eta_e, self.eta_f, self.alpha
+        )
+
+    def device(self, role: Role) -> NDProtocol:
+        protocol_e, protocol_f, _, _ = self._build()
+        return protocol_e if role is Role.E else protocol_f
+
+    def designs(self) -> tuple[OptimalDesign, OptimalDesign]:
+        """``(design_EF, design_FE)``: E discovered by F, F discovered by E."""
+        _, _, design_ef, design_fe = self._build()
+        return design_ef, design_fe
+
+    def info(self) -> ProtocolInfo:
+        design_ef, design_fe = self.designs()
+        return ProtocolInfo(
+            name="Optimal-Asymmetric",
+            family="optimal",
+            symmetric=False,
+            deterministic=design_ef.deterministic and design_fe.deterministic,
+            parameters={
+                "eta_e": self.eta_e,
+                "eta_f": self.eta_f,
+                "omega": self.omega,
+                "alpha": self.alpha,
+            },
+        )
+
+    def predicted_worst_case_latency(self) -> float:
+        """Two-way worst case: the slower of the two directions."""
+        design_ef, design_fe = self.designs()
+        return max(design_ef.worst_case_latency, design_fe.worst_case_latency)
+
+    def bound_at_achieved_duty_cycle(self) -> float:
+        """Theorem 5.7 at the achieved duty-cycles."""
+        protocol_e, protocol_f, _, _ = self._build()
+        return asymmetric_bound(
+            self.omega, protocol_e.eta, protocol_f.eta, self.alpha
+        )

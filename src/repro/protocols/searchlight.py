@@ -1,0 +1,119 @@
+"""Searchlight (Bakht et al., MobiCom 2012) -- anchor/probe slotted ND.
+
+Time is organized in periods of ``t`` slots.  Each period contains a
+fixed *anchor* slot (slot 0) and one *probe* slot whose in-period position
+sweeps ``1, 2, ..., ceil(t/2)`` across successive periods.  Two devices
+with period ``t`` have a constant anchor-to-anchor slot offset in
+``[0, t)``; since offsets ``> t/2`` are mirrored by the other device's
+probe, the sweeping probe is guaranteed to hit the remote anchor within
+``ceil(t/2)`` periods, i.e. ``t * ceil(t/2)`` slots.
+
+The *striped* variant exploits slot-boundary overlap so probes only need
+to sweep with stride-1 over half-open positions; the classic worst case
+``t * ceil(t/2)`` slots at duty-cycle ``2/t`` is what the paper's Table 1
+prices at ``2 omega / (eta beta - alpha beta^2)``.
+
+The probe sweep makes the active pattern's period ``t * ceil(t/2)``
+slots, unlike Disco/U-Connect whose pattern period equals the guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.sequences import NDProtocol
+from .base import PairProtocol, ProtocolInfo, Role
+from .slotted import SlotPattern, SlotTiming
+
+__all__ = ["Searchlight"]
+
+
+@dataclass(frozen=True)
+class Searchlight(PairProtocol):
+    """A configured Searchlight instance.
+
+    Parameters
+    ----------
+    period_slots:
+        ``t``, the anchor period in slots; slot duty-cycle is ``2/t``.
+    slot_length, omega, alpha:
+        Slot length ``I`` (us), beacon duration (us), TX/RX power ratio.
+    striped:
+        Use the striped probe sweep (``ceil(t/2)`` positions); the
+        non-striped original sweeps all ``t-1`` non-anchor positions.
+    """
+
+    period_slots: int
+    slot_length: int = 10_000
+    omega: int = 32
+    alpha: float = 1.0
+    striped: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period_slots < 2:
+            raise ValueError(f"period_slots must be >= 2, got {self.period_slots}")
+
+    @property
+    def probe_positions(self) -> int:
+        """Number of distinct probe positions the sweep visits."""
+        if self.striped:
+            return math.ceil(self.period_slots / 2)
+        return self.period_slots - 1
+
+    def pattern(self) -> SlotPattern:
+        """Active slots over the full sweep hyperperiod.
+
+        Period ``n`` (0-based) has its anchor at slot ``n*t`` and its
+        probe at slot ``n*t + probe(n)`` with
+        ``probe(n) = 1 + (n mod probe_positions)``.
+        """
+        t = self.period_slots
+        sweep = self.probe_positions
+        total = t * sweep
+        active = set()
+        for n in range(sweep):
+            base = n * t
+            active.add(base)  # anchor
+            active.add(base + 1 + (n % sweep))  # probe
+        return SlotPattern(
+            active,
+            total,
+            name=f"searchlight{'-s' if self.striped else ''}-{t}",
+        )
+
+    def timing(self) -> SlotTiming:
+        """Searchlight sends beacons at both slot boundaries (the striped
+        overlap trick needs the trailing beacon)."""
+        return SlotTiming(self.slot_length, self.omega, two_beacons=True)
+
+    def device(self, role: Role) -> NDProtocol:
+        return self.pattern().to_protocol(self.timing(), self.alpha)
+
+    def info(self) -> ProtocolInfo:
+        return ProtocolInfo(
+            name="Searchlight-S" if self.striped else "Searchlight",
+            family="slotted",
+            symmetric=True,
+            deterministic=True,
+            parameters={
+                "period_slots": self.period_slots,
+                "slot_length": self.slot_length,
+                "omega": self.omega,
+                "striped": self.striped,
+            },
+        )
+
+    @property
+    def slot_duty_cycle(self) -> float:
+        """``2 / t`` -- anchor plus probe per period."""
+        return 2.0 / self.period_slots
+
+    def worst_case_slots(self) -> int:
+        """Guarantee: the probe meets the remote anchor within the full
+        sweep, ``t * probe_positions`` slots."""
+        return self.period_slots * self.probe_positions
+
+    def predicted_worst_case_latency(self) -> float:
+        """Worst-case latency in microseconds."""
+        return self.worst_case_slots() * self.slot_length

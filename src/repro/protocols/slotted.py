@@ -1,0 +1,221 @@
+"""The slotted-protocol substrate (Sections 2 and 6 of the paper).
+
+A slotted protocol divides time into slots of length ``I``.  Most slots
+are sleep slots; in each *active* slot the device transmits a beacon at
+the slot start (and, in two-beacon designs like Searchlight or the
+code-based schedules of [6, 7], a second beacon at the slot end) and
+listens in between.  Discovery needs two active slots to overlap *and* a
+beacon of one device to fall into the listening part of the other's slot
+-- the distinction Figure 5 of the paper is about.
+
+:class:`SlotPattern` captures the combinatorics (which slots of a period
+are active; worst-case slots until overlap via the cyclic-difference
+criterion), and :meth:`SlotPattern.to_protocol` lowers a pattern onto the
+microsecond time base as beacon/reception schedules for the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable
+
+from ..core.sequences import (
+    Beacon,
+    BeaconSchedule,
+    NDProtocol,
+    ReceptionSchedule,
+    ReceptionWindow,
+)
+
+__all__ = ["SlotPattern", "SlotTiming"]
+
+
+@dataclass(frozen=True)
+class SlotTiming:
+    """Microsecond-level layout of one active slot.
+
+    ``slot_length`` is ``I``; ``omega`` the beacon duration.  With
+    ``two_beacons`` the slot sends at both boundaries (the [5, 6, 7]
+    design); otherwise only at the start.  The radio listens between the
+    transmissions, minus the turnaround guard on each side.
+    """
+
+    slot_length: int
+    omega: int
+    two_beacons: bool = True
+    turnaround: int = 0
+
+    def __post_init__(self) -> None:
+        if self.slot_length <= 0 or self.omega <= 0:
+            raise ValueError("slot_length and omega must be positive")
+        if self.turnaround < 0:
+            raise ValueError("turnaround must be non-negative")
+        if self.listen_duration <= 0:
+            raise ValueError(
+                f"slot too short to listen: I={self.slot_length}, "
+                f"omega={self.omega}, turnaround={self.turnaround}"
+            )
+
+    @property
+    def listen_start(self) -> int:
+        """Listening starts after the leading beacon plus turnaround."""
+        return self.omega + self.turnaround
+
+    @property
+    def listen_end(self) -> int:
+        """Listening ends before the trailing beacon (if any) plus guard."""
+        if self.two_beacons:
+            return self.slot_length - self.omega - self.turnaround
+        return self.slot_length
+
+    @property
+    def listen_duration(self) -> int:
+        """Length of the reception window inside an active slot."""
+        return self.listen_end - self.listen_start
+
+    @property
+    def beacons_per_slot(self) -> int:
+        """1 or 2 transmissions per active slot."""
+        return 2 if self.two_beacons else 1
+
+
+class SlotPattern:
+    """An active-slot pattern: period ``total_slots``, active set ``A``.
+
+    The slot-level discovery criterion (aligned slot grids, the standard
+    model of [16, 17]): device 2 shifted by ``delta`` slots overlaps
+    device 1 in slot ``s`` iff ``s mod T`` is active on device 1 and
+    ``(s - delta) mod T`` is active on device 2.  The pattern guarantees
+    slot overlap for every ``delta`` iff the difference set
+    ``{a - a' mod T}`` of the active set covers all residues -- the cyclic
+    difference-set criterion behind the ``k >= sqrt(T)`` bound.
+    """
+
+    def __init__(self, active_slots: Iterable[int], total_slots: int, name: str = "slotted") -> None:
+        if total_slots <= 0:
+            raise ValueError(f"total_slots must be positive, got {total_slots}")
+        active = sorted({s % total_slots for s in active_slots})
+        if not active:
+            raise ValueError("need at least one active slot")
+        self._active = tuple(active)
+        self._total = total_slots
+        self._name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def active_slots(self) -> tuple[int, ...]:
+        """Sorted active-slot residues within one period."""
+        return self._active
+
+    @property
+    def total_slots(self) -> int:
+        """Period length ``T`` in slots."""
+        return self._total
+
+    @property
+    def n_active(self) -> int:
+        """``k`` -- active slots per period."""
+        return len(self._active)
+
+    @property
+    def name(self) -> str:
+        """Human-readable pattern name."""
+        return self._name
+
+    @property
+    def slot_duty_cycle(self) -> float:
+        """``k / T`` -- the fraction of active slots (the duty-cycle in the
+        large-slot regime, Equation 20)."""
+        return self.n_active / self._total
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def _active_set(self) -> frozenset[int]:
+        return frozenset(self._active)
+
+    def overlap_slots(self, delta: int) -> list[int]:
+        """Slot residues in which both copies are active when the second
+        device's grid is shifted by ``delta`` slots."""
+        delta %= self._total
+        return [
+            s
+            for s in self._active
+            if (s - delta) % self._total in self._active_set
+        ]
+
+    def slots_to_discovery(self, delta: int) -> int | None:
+        """Earliest absolute slot index (starting at 0) with overlapping
+        active slots for shift ``delta``, or ``None`` if never."""
+        overlaps = self.overlap_slots(delta)
+        if not overlaps:
+            return None
+        return min(overlaps)
+
+    def is_deterministic(self) -> bool:
+        """True iff every integer shift yields an overlap within a period
+        (the difference-set covering criterion)."""
+        return all(
+            self.slots_to_discovery(delta) is not None
+            for delta in range(self._total)
+        )
+
+    def worst_case_slots(self) -> int | None:
+        """Worst case over all shifts of slots-until-overlap (counting the
+        overlap slot itself), or ``None`` if not deterministic."""
+        worst = 0
+        for delta in range(self._total):
+            first = self.slots_to_discovery(delta)
+            if first is None:
+                return None
+            worst = max(worst, first + 1)
+        return worst
+
+    def meets_sqrt_bound(self) -> bool:
+        """Check the [16, 17] bound ``k >= sqrt(T)``; equality is only
+        achievable by perfect difference sets."""
+        return self.n_active >= math.isqrt(self._total - 1) + 1 or (
+            self.n_active * self.n_active >= self._total
+        )
+
+    # ------------------------------------------------------------------
+    def to_protocol(self, timing: SlotTiming, alpha: float = 1.0) -> NDProtocol:
+        """Lower the pattern onto the microsecond time base.
+
+        Each active slot ``s`` becomes a leading beacon at ``s * I``, a
+        reception window over the slot's middle, and (for two-beacon
+        designs) a trailing beacon at ``(s+1) * I - omega``.
+        """
+        period = self._total * timing.slot_length
+        beacons: list[Beacon] = []
+        windows: list[ReceptionWindow] = []
+        for s in self._active:
+            base = s * timing.slot_length
+            beacons.append(Beacon(base, timing.omega))
+            windows.append(
+                ReceptionWindow(base + timing.listen_start, timing.listen_duration)
+            )
+            if timing.two_beacons:
+                beacons.append(
+                    Beacon(
+                        base + timing.slot_length - timing.omega, timing.omega
+                    )
+                )
+        return NDProtocol(
+            beacons=BeaconSchedule(beacons, period),
+            reception=ReceptionSchedule(windows, period),
+            alpha=alpha,
+            name=f"{self._name}(T={self._total}, k={self.n_active}, I={timing.slot_length})",
+        )
+
+    def duty_cycle(self, timing: SlotTiming, alpha: float = 1.0) -> float:
+        """``eta`` of the lowered protocol (Equation 17 exactly, including
+        the listening truncation by the slot's own beacons)."""
+        protocol = self.to_protocol(timing, alpha)
+        return protocol.eta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SlotPattern({self._name!r}, T={self._total}, k={self.n_active})"
+        )

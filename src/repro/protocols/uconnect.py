@@ -1,0 +1,105 @@
+"""U-Connect (Kandhalu et al., IPSN 2010) -- the single-prime protocol.
+
+With a prime ``p``, a device wakes in every ``p``-th slot (the "hello"
+slots) and additionally for ``(p+1)/2`` consecutive slots at the start of
+every ``p^2``-slot hyperperiod (the "listen burst").  The burst plus the
+periodic slots guarantee discovery within ``p^2`` slots between devices
+using the same ``p``, at a slot duty-cycle of ``(3p+1)/(2 p^2)`` --
+asymptotically ``1.5/p``, better than Disco's ``2/p`` for the same
+``p^2`` worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sequences import NDProtocol
+from .base import PairProtocol, ProtocolInfo, Role
+from .disco import PRIMES
+from .slotted import SlotPattern, SlotTiming
+
+__all__ = ["UConnect", "uconnect_prime_for_duty_cycle"]
+
+_PRIME_SET = frozenset(PRIMES)
+
+
+def uconnect_prime_for_duty_cycle(slot_duty_cycle: float) -> int:
+    """The prime whose U-Connect slot duty-cycle ``(3p+1)/(2p^2)`` best
+    approximates the target."""
+    if not 0 < slot_duty_cycle < 1:
+        raise ValueError(f"slot_duty_cycle must be in (0,1), got {slot_duty_cycle}")
+    best_p = PRIMES[0]
+    best_err = abs((3 * best_p + 1) / (2 * best_p * best_p) - slot_duty_cycle)
+    for p in PRIMES[1:]:
+        err = abs((3 * p + 1) / (2 * p * p) - slot_duty_cycle)
+        if err < best_err:
+            best_p, best_err = p, err
+        if (3 * p + 1) / (2 * p * p) < slot_duty_cycle / 4:
+            break
+    return best_p
+
+
+@dataclass(frozen=True)
+class UConnect(PairProtocol):
+    """A configured U-Connect instance.
+
+    Parameters
+    ----------
+    prime:
+        The protocol prime ``p``; the hyperperiod is ``p^2`` slots.
+    slot_length, omega, alpha:
+        Slot length ``I`` (us), beacon duration (us), TX/RX power ratio.
+    """
+
+    prime: int
+    slot_length: int = 10_000
+    omega: int = 32
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.prime not in _PRIME_SET:
+            raise ValueError(f"{self.prime} is not prime (or beyond the sieve limit)")
+
+    def pattern(self) -> SlotPattern:
+        """Active slots: every ``p``-th slot plus a burst of ``(p+1)/2``
+        consecutive slots once per ``p^2`` slots."""
+        p = self.prime
+        total = p * p
+        active = set(range(0, total, p))
+        burst = (p + 1) // 2
+        active.update(range(1, 1 + burst))
+        return SlotPattern(active, total, name=f"uconnect-{p}")
+
+    def timing(self) -> SlotTiming:
+        """U-Connect transmits once per active slot."""
+        return SlotTiming(self.slot_length, self.omega, two_beacons=False)
+
+    def device(self, role: Role) -> NDProtocol:
+        return self.pattern().to_protocol(self.timing(), self.alpha)
+
+    def info(self) -> ProtocolInfo:
+        return ProtocolInfo(
+            name="U-Connect",
+            family="slotted",
+            symmetric=True,
+            deterministic=True,
+            parameters={
+                "prime": self.prime,
+                "slot_length": self.slot_length,
+                "omega": self.omega,
+            },
+        )
+
+    @property
+    def slot_duty_cycle(self) -> float:
+        """``(3p+1) / (2 p^2)`` active-slot fraction (approx; exact value
+        comes from the pattern, which deduplicates burst/hello overlaps)."""
+        return self.pattern().slot_duty_cycle
+
+    def worst_case_slots(self) -> int:
+        """U-Connect's guarantee: discovery within ``p^2`` slots."""
+        return self.prime * self.prime
+
+    def predicted_worst_case_latency(self) -> float:
+        """Worst-case latency in microseconds."""
+        return self.worst_case_slots() * self.slot_length

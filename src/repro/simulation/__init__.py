@@ -1,0 +1,62 @@
+"""Discrete-event neighbor-discovery simulation.
+
+Two complementary engines:
+
+* :mod:`repro.simulation.analytic` -- exact closed-form pair discovery
+  (no collisions): the reference for worst-case validation.
+* The event-driven stack (:mod:`engine`, :mod:`channel`, :mod:`node`,
+  :mod:`runner`) -- multi-device scenarios with collisions, advertising
+  jitter, clock drift and turnaround overheads.
+
+The two are bit-compatible on their common domain, which
+:func:`repro.simulation.runner.verified_worst_case` enforces.
+"""
+
+from .analytic import (
+    critical_offsets,
+    DiscoveryOutcome,
+    first_discovery,
+    mutual_discovery_times,
+    ReceptionModel,
+    sweep_offsets,
+    SweepReport,
+)
+from .channel import Channel, Transmission
+from .clock import DriftingClock, IdealClock
+from .engine import Event, Simulator
+from .node import Node
+from .trace import EventKind, TraceEvent, TraceRecorder
+from .runner import (
+    NetworkResult,
+    PairWorstCase,
+    simulate_network,
+    simulate_pair,
+    simulate_pair_mutual_assistance,
+    verified_worst_case,
+)
+
+__all__ = [
+    "Channel",
+    "DiscoveryOutcome",
+    "DriftingClock",
+    "Event",
+    "IdealClock",
+    "NetworkResult",
+    "Node",
+    "PairWorstCase",
+    "ReceptionModel",
+    "Simulator",
+    "SweepReport",
+    "TraceEvent",
+    "TraceRecorder",
+    "EventKind",
+    "Transmission",
+    "critical_offsets",
+    "first_discovery",
+    "mutual_discovery_times",
+    "simulate_network",
+    "simulate_pair",
+    "simulate_pair_mutual_assistance",
+    "sweep_offsets",
+    "verified_worst_case",
+]

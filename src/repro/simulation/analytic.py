@@ -1,0 +1,401 @@
+"""Exact pairwise discovery computation by schedule arithmetic.
+
+For a *pair* of devices with known periodic schedules and no collisions,
+discovery times are a deterministic function of the initial phase offset,
+so they can be computed exactly -- no event loop, no sampling error.
+This is the workhorse behind every bound-validation experiment: unroll
+the transmitter's beacons over a horizon, intersect each with the
+receiver's effective listening set (reception windows minus the
+receiver's own half-duplex blocking), and report the first success.
+
+Three reception models bracket the physics (Section 3.2 / Appendix A.3):
+
+* ``POINT`` -- the paper's idealization: a beacon is a point event at its
+  start time; received iff that instant lies in a window.  Coverage per
+  window is ``d``; all bounds are stated in this model.
+* ``ANY_OVERLAP`` -- received iff any part of the ``omega``-long packet
+  overlaps a window (optimistic; coverage ``d + omega``).
+* ``CONTAINMENT`` -- received iff the whole packet fits inside a window
+  (what real radios need; coverage ``d - omega``, Appendix A.3).
+
+For every configuration: ``L(ANY_OVERLAP) <= L(POINT) <= L(CONTAINMENT)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from ..core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
+
+__all__ = [
+    "ReceptionModel",
+    "first_discovery",
+    "mutual_discovery_times",
+    "DiscoveryOutcome",
+    "critical_offsets",
+    "sweep_offsets",
+    "SweepReport",
+]
+
+
+class ReceptionModel(Enum):
+    """How much of a packet must coincide with a reception window."""
+
+    POINT = "point"
+    ANY_OVERLAP = "any-overlap"
+    CONTAINMENT = "containment"
+
+
+def _window_segments(
+    reception: ReceptionSchedule, rx_phase: int, lo: int, hi: int
+) -> list[tuple[int, int]]:
+    """Reception-window intervals of the receiver intersecting ``[lo, hi)``
+    on the global time axis (half-open), before half-duplex blocking."""
+    if hi <= lo:
+        return []
+    period = reception.period
+    first_instance = (lo - rx_phase - period) // period
+    segments: list[tuple[int, int]] = []
+    instance = first_instance
+    while True:
+        base = rx_phase + instance * period
+        if base >= hi:
+            break
+        for w in reception.windows:
+            w_lo = base + w.start
+            w_hi = base + w.end
+            if w_lo < hi and w_hi > lo:
+                segments.append((max(w_lo, lo), min(w_hi, hi)))
+        instance += 1
+    return segments
+
+
+def _subtract_own_tx(
+    segments: list[tuple[int, int]],
+    own_beacons: BeaconSchedule | None,
+    phase: int,
+    lo: int,
+    hi: int,
+    guard_before: int = 0,
+    guard_after: int = 0,
+) -> list[tuple[int, int]]:
+    """Remove the intervals during which the half-duplex radio transmits
+    (with RX->TX / TX->RX turnaround guards) from the listening segments.
+
+    This is the Appendix-A.5 self-blocking, computed exactly -- a packet
+    may still be heard in the un-blocked remainder of a window.  Only
+    beacons actually transmitted (send time >= 0) block; the schedule's
+    periodic extension into negative time never went on air.
+    """
+    if own_beacons is None or not segments:
+        return segments
+    period = own_beacons.period
+    # A block reaches guard_after past its beacon's end, so beacons up to
+    # one period plus the guard before ``lo`` can still cover [lo, hi).
+    first_instance = (lo - phase - guard_after - period) // period - 1
+    instance = first_instance
+    while segments:
+        base = phase + instance * period
+        if base - guard_before >= hi:
+            break
+        for b in own_beacons.beacons:
+            tx_start = base + b.time
+            if tx_start < 0:
+                continue  # never transmitted: devices start at time 0
+            block_lo = tx_start - guard_before
+            block_hi = base + b.end + guard_after
+            if block_hi <= lo or block_lo >= hi:
+                continue
+            cut: list[tuple[int, int]] = []
+            for seg_lo, seg_hi in segments:
+                if block_hi <= seg_lo or block_lo >= seg_hi:
+                    cut.append((seg_lo, seg_hi))
+                    continue
+                if seg_lo < block_lo:
+                    cut.append((seg_lo, block_lo))
+                if block_hi < seg_hi:
+                    cut.append((block_hi, seg_hi))
+            segments = cut
+        instance += 1
+    return segments
+
+
+def listening_segments(
+    receiver: NDProtocol,
+    rx_phase: int,
+    lo: int,
+    hi: int,
+    turnaround: int = 0,
+) -> list[tuple[int, int]]:
+    """The receiver's effective listening set restricted to ``[lo, hi)``:
+    reception windows minus its own transmissions (plus guards)."""
+    if receiver.reception is None:
+        return []
+    segments = _window_segments(receiver.reception, rx_phase, lo, hi)
+    return _subtract_own_tx(
+        segments,
+        receiver.beacons,
+        rx_phase,
+        lo,
+        hi,
+        guard_before=turnaround,
+        guard_after=turnaround,
+    )
+
+
+def _packet_heard(
+    receiver: NDProtocol,
+    rx_phase: int,
+    start: int,
+    end: int,
+    model: ReceptionModel,
+    turnaround: int,
+) -> bool:
+    """Decode decision for a packet occupying ``[start, end)``.
+
+    * POINT: the effective listening set contains the start instant.
+    * ANY_OVERLAP: the listening set meets any part of the packet.
+    * CONTAINMENT: one contiguous listening segment spans the packet.
+    """
+    if model is ReceptionModel.POINT:
+        segments = listening_segments(
+            receiver, rx_phase, start, start + 1, turnaround
+        )
+        return bool(segments)
+    segments = listening_segments(receiver, rx_phase, start, end, turnaround)
+    if model is ReceptionModel.ANY_OVERLAP:
+        return bool(segments)
+    return segments == [(start, end)]
+
+
+def first_discovery(
+    transmitter: NDProtocol,
+    receiver: NDProtocol,
+    tx_phase: int,
+    rx_phase: int,
+    horizon: int,
+    model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+) -> int | None:
+    """Earliest time (>= 0) a beacon of ``transmitter`` is received by
+    ``receiver``, or ``None`` within ``horizon``.
+
+    Both devices are in range from time 0 and both schedules are
+    doubly-infinite periodic extensions (``tx_phase``/``rx_phase`` are
+    pure alignments, per Definition 3.4); no event before time 0 exists
+    on air.  The receiver's own transmissions preempt its windows
+    (half-duplex), with ``turnaround`` guard time on both sides.
+    """
+    if transmitter.beacons is None:
+        raise ValueError("transmitter has no beacon schedule")
+    if receiver.reception is None:
+        raise ValueError("receiver has no reception schedule")
+    for beacon in transmitter.beacons.iter_beacons_infinite(
+        until=horizon, phase=tx_phase
+    ):
+        if _packet_heard(
+            receiver,
+            rx_phase,
+            beacon.time,
+            beacon.time + beacon.duration,
+            model,
+            turnaround,
+        ):
+            return beacon.time
+    return None
+
+
+@dataclass(frozen=True)
+class DiscoveryOutcome:
+    """Both directions of a pairwise discovery for one phase offset."""
+
+    offset: int
+    e_discovered_by_f: int | None
+    """Time F first receives a beacon of E (``None``: not within horizon)."""
+    f_discovered_by_e: int | None
+    """Time E first receives a beacon of F."""
+
+    @property
+    def one_way(self) -> int | None:
+        """First discovery in either direction (Appendix-C metric)."""
+        times = [
+            t
+            for t in (self.e_discovered_by_f, self.f_discovered_by_e)
+            if t is not None
+        ]
+        return min(times) if times else None
+
+    @property
+    def two_way(self) -> int | None:
+        """Both directions complete (Section 5.2 mutual-discovery metric)."""
+        if self.e_discovered_by_f is None or self.f_discovered_by_e is None:
+            return None
+        return max(self.e_discovered_by_f, self.f_discovered_by_e)
+
+
+def mutual_discovery_times(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    offset: int,
+    horizon: int,
+    model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+) -> DiscoveryOutcome:
+    """Exact discovery times in both directions: E at phase 0, F at phase
+    ``offset``, both in range from time 0."""
+    e_by_f = None
+    f_by_e = None
+    if protocol_e.beacons is not None and protocol_f.reception is not None:
+        e_by_f = first_discovery(
+            protocol_e, protocol_f, 0, offset, horizon, model, turnaround
+        )
+    if protocol_f.beacons is not None and protocol_e.reception is not None:
+        f_by_e = first_discovery(
+            protocol_f, protocol_e, offset, 0, horizon, model, turnaround
+        )
+    return DiscoveryOutcome(
+        offset=offset, e_discovered_by_f=e_by_f, f_discovered_by_e=f_by_e
+    )
+
+
+def critical_offsets(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    omega: int | None = None,
+    max_count: int = 200_000,
+) -> list[int]:
+    """Phase offsets at which the discovery-time function can change.
+
+    Discovery times are piecewise-constant in the offset; breakpoints
+    occur where some beacon boundary aligns with some window boundary
+    (mod the schedule hyperperiod).  Evaluating at every breakpoint and
+    one interior point per piece makes an offset sweep *exact*.  Points
+    one microsecond on each side of every breakpoint are included (the
+    integer-grid equivalent of one-sided limits).
+
+    Considers both directions (E's beacons vs F's windows and vice
+    versa).  Raises ``ValueError`` if the critical set would exceed
+    ``max_count`` (fall back to a uniform sweep for such configs).
+    """
+    periods: list[int] = []
+    for proto in (protocol_e, protocol_f):
+        if proto.beacons is not None:
+            periods.append(int(proto.beacons.period))
+        if proto.reception is not None:
+            periods.append(int(proto.reception.period))
+    hyper = 1
+    for p in periods:
+        hyper = math.lcm(hyper, p)
+
+    offsets: set[int] = set()
+
+    def add_direction(
+        tx: BeaconSchedule | None, rx: ReceptionSchedule | None, sign: int
+    ) -> None:
+        if tx is None or rx is None:
+            return
+        n_beacons = hyper // int(tx.period) * tx.n_beacons
+        beacon_times = tx.beacon_times(n_beacons)
+        window_bounds: list[int] = []
+        n_windows = hyper // int(rx.period)
+        for instance in range(n_windows):
+            base = instance * int(rx.period)
+            for w in rx.windows:
+                window_bounds.append(base + int(w.start))
+                window_bounds.append(base + int(w.end))
+                if omega:
+                    window_bounds.append(base + int(w.start) - omega)
+                    window_bounds.append(base + int(w.end) - omega)
+        if len(beacon_times) * len(window_bounds) > max_count * 4:
+            raise ValueError(
+                f"critical set too large "
+                f"({len(beacon_times)} beacons x {len(window_bounds)} bounds); "
+                f"use a uniform sweep"
+            )
+        for tau in beacon_times:
+            tau = int(tau)
+            for bound in window_bounds:
+                base_offset = (sign * (bound - tau)) % hyper
+                offsets.add(base_offset)
+                offsets.add((base_offset - 1) % hyper)
+                offsets.add((base_offset + 1) % hyper)
+        if len(offsets) > max_count:
+            raise ValueError(
+                f"critical set exceeded {max_count} offsets; "
+                f"use a uniform sweep"
+            )
+
+    # F shifted by +offset: E->F breakpoints at offset = bound - tau of F's
+    # windows vs E's beacons; F->E at offset = tau - bound.
+    add_direction(protocol_e.beacons, protocol_f.reception, +1)
+    add_direction(protocol_f.beacons, protocol_e.reception, -1)
+    return sorted(offsets)
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Aggregate of a phase-offset sweep."""
+
+    offsets_evaluated: int
+    failures: int
+    """Offsets with no discovery within the horizon."""
+    worst_one_way: int | None
+    worst_two_way: int | None
+    mean_one_way: float | None
+    mean_two_way: float | None
+    worst_offset_one_way: int | None
+    worst_offset_two_way: int | None
+
+
+def sweep_offsets(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    offsets: Iterable[int],
+    horizon: int,
+    model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+) -> SweepReport:
+    """Evaluate both-direction discovery over a set of phase offsets and
+    aggregate worst/mean statistics."""
+    n = 0
+    failures = 0
+    worst_ow: int | None = None
+    worst_tw: int | None = None
+    worst_ow_off: int | None = None
+    worst_tw_off: int | None = None
+    sum_ow = 0
+    sum_tw = 0
+    count_ow = 0
+    count_tw = 0
+    for offset in offsets:
+        n += 1
+        outcome = mutual_discovery_times(
+            protocol_e, protocol_f, offset, horizon, model, turnaround
+        )
+        ow = outcome.one_way
+        tw = outcome.two_way
+        if ow is None:
+            failures += 1
+        else:
+            sum_ow += ow
+            count_ow += 1
+            if worst_ow is None or ow > worst_ow:
+                worst_ow, worst_ow_off = ow, offset
+        if tw is not None:
+            sum_tw += tw
+            count_tw += 1
+            if worst_tw is None or tw > worst_tw:
+                worst_tw, worst_tw_off = tw, offset
+    return SweepReport(
+        offsets_evaluated=n,
+        failures=failures,
+        worst_one_way=worst_ow,
+        worst_two_way=worst_tw,
+        mean_one_way=sum_ow / count_ow if count_ow else None,
+        mean_two_way=sum_tw / count_tw if count_tw else None,
+        worst_offset_one_way=worst_ow_off,
+        worst_offset_two_way=worst_tw_off,
+    )

@@ -1,0 +1,116 @@
+"""A deterministic discrete-event engine on an integer-microsecond clock.
+
+``simpy`` is not available in the offline environment, so the package
+ships its own calendar-queue simulator: a binary heap of timestamped
+events with deterministic FIFO tie-breaking (events at equal timestamps
+fire in scheduling order).  Determinism matters here -- worst-case
+latency validation compares exact microsecond values across runs, so the
+engine forbids wall-clock or hash-order dependence anywhere.
+
+The simulator knows nothing about radios; :mod:`repro.simulation.node`
+and :mod:`repro.simulation.channel` build the wireless semantics on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Simulator", "Event"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordering: time, then insertion sequence."""
+
+    time: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The event calendar.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(at=100, callback=fire)
+        sim.run_until(10_000)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (us)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    def schedule(self, at: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``at`` (>= now)."""
+        if at < self._now:
+            raise ValueError(
+                f"cannot schedule at {at}, simulation time is {self._now}"
+            )
+        event = Event(time=at, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` ``delay`` us from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    def run_until(self, end_time: int) -> None:
+        """Process events with ``time <= end_time``; leave later ones queued.
+
+        The simulation clock lands on ``end_time`` when the queue drains
+        early, so repeated calls advance monotonically.
+        """
+        while self._queue and self._queue[0].time <= end_time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+        self._now = max(self._now, end_time)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue completely (with a runaway guard)."""
+        processed = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"run_until_idle exceeded {max_events} events; "
+                    f"likely a self-rescheduling loop"
+                )
+
+    def peek(self) -> int | None:
+        """Timestamp of the next live event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

@@ -1,0 +1,390 @@
+"""Experiment drivers: pair simulations, offset sweeps and networks.
+
+Three levels of fidelity:
+
+* :func:`simulate_pair` -- full event-driven run of two nodes (supports
+  drift, jitter, turnaround; collisions cannot occur with only one
+  transmitter audible per receiver pair unless both transmit, which the
+  channel handles).
+* :func:`simulate_network` -- ``S`` devices discovering each other
+  simultaneously on one collision-prone channel (the Appendix-B
+  scenario).
+* The exact analytic sweep lives in :mod:`repro.simulation.analytic`;
+  :func:`verified_worst_case` cross-checks DES against analytic results
+  on critical offsets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.sequences import NDProtocol
+from .analytic import (
+    critical_offsets,
+    DiscoveryOutcome,
+    mutual_discovery_times,
+    ReceptionModel,
+    sweep_offsets,
+    SweepReport,
+)
+from .channel import Channel
+from .clock import DriftingClock, IdealClock
+from .engine import Simulator
+from .node import Node
+
+__all__ = [
+    "simulate_pair",
+    "simulate_network",
+    "NetworkResult",
+    "verified_worst_case",
+    "PairWorstCase",
+]
+
+
+def simulate_pair(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    offset: int,
+    horizon: int,
+    reception_model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+    drift_ppm_e: int = 0,
+    drift_ppm_f: int = 0,
+    advertising_jitter: int = 0,
+    seed: int = 0,
+) -> DiscoveryOutcome:
+    """Event-driven discovery between two devices.
+
+    Device E runs at phase 0, device F at phase ``offset``; both are in
+    range from time 0.  Returns first-decode times per direction (packet
+    start timestamps), ``None`` for directions not discovered within
+    ``horizon``.
+    """
+    sim = Simulator()
+    channel = Channel()
+    clock_e = (
+        DriftingClock(phase=0, drift_ppm=drift_ppm_e)
+        if drift_ppm_e
+        else IdealClock(phase=0)
+    )
+    clock_f = (
+        DriftingClock(phase=offset, drift_ppm=drift_ppm_f)
+        if drift_ppm_f
+        else IdealClock(phase=offset)
+    )
+    node_e = Node(
+        "E",
+        protocol_e,
+        sim,
+        channel,
+        clock=clock_e,
+        reception_model=reception_model,
+        turnaround=turnaround,
+        advertising_jitter=advertising_jitter,
+        seed=seed,
+    )
+    node_f = Node(
+        "F",
+        protocol_f,
+        sim,
+        channel,
+        clock=clock_f,
+        reception_model=reception_model,
+        turnaround=turnaround,
+        advertising_jitter=advertising_jitter,
+        seed=seed + 1,
+    )
+    node_e.activate()
+    node_f.activate()
+    # Slack covers decode decisions deferred past the last packet end.
+    sim.run_until(horizon + turnaround + 1)
+    return DiscoveryOutcome(
+        offset=offset,
+        e_discovered_by_f=node_f.discoveries.get("E"),
+        f_discovered_by_e=node_e.discoveries.get("F"),
+    )
+
+
+@dataclass
+class NetworkResult:
+    """Outcome of a multi-device discovery scenario."""
+
+    n_nodes: int
+    horizon: int
+    discovery_times: dict[tuple[str, str], int] = field(default_factory=dict)
+    """``(receiver, sender) -> time`` for every completed discovery."""
+    total_transmissions: int = 0
+    total_collisions: int = 0
+    packets_lost_to_collisions: int = 0
+
+    @property
+    def pairs_expected(self) -> int:
+        """Directed pairs that could discover each other."""
+        return self.n_nodes * (self.n_nodes - 1)
+
+    @property
+    def pairs_discovered(self) -> int:
+        """Directed pairs that completed discovery within the horizon."""
+        return len(self.discovery_times)
+
+    @property
+    def discovery_rate(self) -> float:
+        """Fraction of directed pairs discovered."""
+        if self.pairs_expected == 0:
+            return 1.0
+        return self.pairs_discovered / self.pairs_expected
+
+    def latencies(self) -> list[int]:
+        """All completed discovery latencies, sorted ascending."""
+        return sorted(self.discovery_times.values())
+
+    def quantile(self, q: float) -> int | None:
+        """Latency quantile over *completed* discoveries (``None`` if no
+        discovery completed)."""
+        lat = self.latencies()
+        if not lat:
+            return None
+        index = min(len(lat) - 1, int(q * len(lat)))
+        return lat[index]
+
+
+def simulate_network(
+    protocols: list[NDProtocol],
+    phases: list[int] | None = None,
+    horizon: int = 10_000_000,
+    reception_model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+    advertising_jitter: int = 0,
+    drift_ppm: list[int] | None = None,
+    start_times: list[int] | None = None,
+    seed: int = 0,
+) -> NetworkResult:
+    """``S = len(protocols)`` devices discovering each other on one
+    collision-prone channel (the Section 5.2.2 / Appendix B scenario).
+
+    ``phases`` default to uniformly random offsets within each device's
+    own schedule hyperperiod; pass explicit phases for reproducible
+    adversarial placements.  ``start_times`` stagger device boots for
+    gradual-join scenarios (a device neither transmits nor listens before
+    its start time); discovery timestamps stay on the global clock.
+    """
+    n = len(protocols)
+    if n < 2:
+        raise ValueError("need at least two devices")
+    rng = random.Random(seed)
+    if phases is None:
+        phases = []
+        for proto in protocols:
+            period = 1
+            if proto.beacons is not None:
+                period = max(period, int(proto.beacons.period))
+            if proto.reception is not None:
+                period = max(period, int(proto.reception.period))
+            phases.append(rng.randrange(period))
+    if len(phases) != n:
+        raise ValueError("phases must match protocols in length")
+    if drift_ppm is not None and len(drift_ppm) != n:
+        raise ValueError("drift_ppm must match protocols in length")
+    if start_times is not None and len(start_times) != n:
+        raise ValueError("start_times must match protocols in length")
+
+    sim = Simulator()
+    channel = Channel()
+    nodes: list[Node] = []
+    for i, (proto, phase) in enumerate(zip(protocols, phases)):
+        ppm = drift_ppm[i] if drift_ppm is not None else 0
+        clock = (
+            DriftingClock(phase=phase, drift_ppm=ppm)
+            if ppm
+            else IdealClock(phase=phase)
+        )
+        nodes.append(
+            Node(
+                f"n{i}",
+                proto,
+                sim,
+                channel,
+                clock=clock,
+                reception_model=reception_model,
+                turnaround=turnaround,
+                advertising_jitter=advertising_jitter,
+                seed=seed + i,
+                start_time=start_times[i] if start_times is not None else 0,
+            )
+        )
+    for node in nodes:
+        node.activate()
+    sim.run_until(horizon + turnaround + 1)
+
+    result = NetworkResult(n_nodes=n, horizon=horizon)
+    for node in nodes:
+        for sender_name, time in node.discoveries.items():
+            result.discovery_times[(node.name, sender_name)] = time
+        result.packets_lost_to_collisions += node.packets_missed_collision
+    result.total_transmissions = channel.total_transmissions
+    result.total_collisions = channel.total_collisions
+    return result
+
+
+def simulate_pair_mutual_assistance(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    offset: int,
+    horizon: int,
+    reception_model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+) -> DiscoveryOutcome:
+    """Pair discovery with *mutual assistance* (Appendix C / Griassdi [13]).
+
+    Each beacon carries the sender's next reception-window time; a device
+    that discovers its peer schedules one extra response beacon into that
+    announced window, converting a one-way discovery into a two-way one
+    within at most one reception period -- "actually a form of
+    synchronous connectivity", as the paper puts it.
+
+    Returns the two directed discovery times including assisted
+    responses.  The interesting metric is ``two_way``: with assistance it
+    tracks ``one_way + T_C`` instead of two independent one-way
+    latencies.
+    """
+    sim = Simulator()
+    channel = Channel()
+    node_e = Node(
+        "E",
+        protocol_e,
+        sim,
+        channel,
+        clock=IdealClock(phase=0),
+        reception_model=reception_model,
+        turnaround=turnaround,
+    )
+    node_f = Node(
+        "F",
+        protocol_f,
+        sim,
+        channel,
+        clock=IdealClock(phase=offset),
+        reception_model=reception_model,
+        turnaround=turnaround,
+    )
+    nodes = {"E": node_e, "F": node_f}
+    omega_by_node = {
+        name: (
+            int(node.protocol.beacons.beacons[0].duration)
+            if node.protocol.beacons is not None
+            else 32
+        )
+        for name, node in nodes.items()
+    }
+
+    def assist(discoverer: Node, sender: Node, time: int) -> None:
+        # The discovered packet announced the sender's next window: the
+        # discoverer answers inside it (schedules are known to the
+        # simulator exactly as the payload would convey them).
+        if sender.protocol.reception is None:
+            return
+        omega = omega_by_node[discoverer.name]
+        for window in sender.protocol.reception.iter_windows(
+            until=sim.now + 2 * int(sender.protocol.reception.period),
+            phase=sender.clock.phase,
+        ):
+            # Aim at the window's middle so turnaround guards and the
+            # sender's own beacons are unlikely to blank the response.
+            target = int(window.start) + int(window.duration) // 2
+            if target > sim.now + turnaround:
+                sim.schedule(
+                    target, lambda d=omega: discoverer._begin_tx(d)
+                )
+                return
+
+    node_e.on_discovery = lambda me, peer, t: assist(me, nodes[peer.name], t)
+    node_f.on_discovery = lambda me, peer, t: assist(me, nodes[peer.name], t)
+    node_e.activate()
+    node_f.activate()
+    sim.run_until(horizon + turnaround + 1)
+    return DiscoveryOutcome(
+        offset=offset,
+        e_discovered_by_f=node_f.discoveries.get("E"),
+        f_discovered_by_e=node_e.discoveries.get("F"),
+    )
+
+
+@dataclass(frozen=True)
+class PairWorstCase:
+    """Exact worst-case discovery of a protocol pair with DES cross-check."""
+
+    analytic: SweepReport
+    des_agrees: bool
+    """Did the event-driven simulator reproduce the analytic worst case?"""
+    offsets_checked: int
+
+
+def verified_worst_case(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    horizon: int,
+    omega: int | None = None,
+    reception_model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+    max_critical: int = 200_000,
+    des_spot_checks: int = 16,
+    fallback_samples: int = 4096,
+) -> PairWorstCase:
+    """Exact worst-case latency over all phase offsets, cross-validated.
+
+    Uses the critical-offset enumeration for exactness (falling back to a
+    uniform sweep when the critical set explodes), then replays a handful
+    of offsets -- including the worst ones -- through the event-driven
+    simulator and checks for exact agreement.
+    """
+    try:
+        offsets = critical_offsets(
+            protocol_e, protocol_f, omega=omega, max_count=max_critical
+        )
+    except ValueError:
+        hyper = 1
+        import math
+
+        for proto in (protocol_e, protocol_f):
+            if proto.beacons is not None:
+                hyper = math.lcm(hyper, int(proto.beacons.period))
+            if proto.reception is not None:
+                hyper = math.lcm(hyper, int(proto.reception.period))
+        step = max(1, hyper // fallback_samples)
+        offsets = list(range(0, hyper, step))
+    report = sweep_offsets(
+        protocol_e, protocol_f, offsets, horizon, reception_model, turnaround
+    )
+
+    # DES cross-check on the most informative offsets.
+    check_offsets = set()
+    if report.worst_offset_one_way is not None:
+        check_offsets.add(report.worst_offset_one_way)
+    if report.worst_offset_two_way is not None:
+        check_offsets.add(report.worst_offset_two_way)
+    rng = random.Random(1234)
+    while len(check_offsets) < min(des_spot_checks, len(offsets)):
+        check_offsets.add(offsets[rng.randrange(len(offsets))])
+    agrees = True
+    for offset in sorted(check_offsets):
+        analytic_outcome = mutual_discovery_times(
+            protocol_e, protocol_f, offset, horizon, reception_model, turnaround
+        )
+        des_outcome = simulate_pair(
+            protocol_e,
+            protocol_f,
+            offset,
+            horizon,
+            reception_model,
+            turnaround,
+        )
+        if (
+            analytic_outcome.e_discovered_by_f != des_outcome.e_discovered_by_f
+            or analytic_outcome.f_discovered_by_e != des_outcome.f_discovered_by_e
+        ):
+            agrees = False
+            break
+    return PairWorstCase(
+        analytic=report, des_agrees=agrees, offsets_checked=len(offsets)
+    )

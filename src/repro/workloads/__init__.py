@@ -1,0 +1,19 @@
+"""Workload / scenario generators for examples and benchmarks."""
+
+from .scenarios import (
+    gradual_join,
+    dense_network,
+    drifting_pair,
+    gateway_and_peripherals,
+    Scenario,
+    symmetric_pair,
+)
+
+__all__ = [
+    "Scenario",
+    "dense_network",
+    "drifting_pair",
+    "gateway_and_peripherals",
+    "gradual_join",
+    "symmetric_pair",
+]

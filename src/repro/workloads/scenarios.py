@@ -1,0 +1,191 @@
+"""Scenario generators: the deployment patterns the paper motivates.
+
+Each scenario bundles protocols, phases and simulation knobs into a
+ready-to-run description consumed by the examples and benchmarks:
+
+* :func:`symmetric_pair` -- two peers with equal budgets (Section 5.2).
+* :func:`gateway_and_peripherals` -- one mains-powered master with a
+  generous duty-cycle, several battery peripherals (Section 5.3's
+  asymmetric case; the "devices join gradually" network of Section 6).
+* :func:`dense_network` -- ``S`` devices discovering simultaneously, the
+  collision-bound regime of Section 5.2.2 / Appendix B.
+* :func:`drifting_pair` -- a pair with ppm clock errors for robustness
+  studies (the decorrelation discussion of Section 8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.optimal import synthesize_asymmetric, synthesize_symmetric
+from ..core.sequences import NDProtocol
+
+__all__ = [
+    "Scenario",
+    "symmetric_pair",
+    "gateway_and_peripherals",
+    "dense_network",
+    "drifting_pair",
+]
+
+
+@dataclass
+class Scenario:
+    """A ready-to-simulate deployment."""
+
+    name: str
+    protocols: list[NDProtocol]
+    phases: list[int]
+    horizon: int
+    drift_ppm: list[int] = field(default_factory=list)
+    start_times: list[int] = field(default_factory=list)
+    """Per-device boot times for gradual-join scenarios (empty: all at 0)."""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.protocols) != len(self.phases):
+            raise ValueError("protocols and phases must align")
+        if self.drift_ppm and len(self.drift_ppm) != len(self.protocols):
+            raise ValueError("drift_ppm must align with protocols")
+        if self.start_times and len(self.start_times) != len(self.protocols):
+            raise ValueError("start_times must align with protocols")
+
+
+def _random_phases(
+    protocols: list[NDProtocol], seed: int
+) -> list[int]:
+    rng = random.Random(seed)
+    phases = []
+    for proto in protocols:
+        period = 1
+        if proto.beacons is not None:
+            period = max(period, int(proto.beacons.period))
+        if proto.reception is not None:
+            period = max(period, int(proto.reception.period))
+        phases.append(rng.randrange(period))
+    return phases
+
+
+def symmetric_pair(
+    eta: float = 0.01, omega: int = 32, alpha: float = 1.0, seed: int = 0
+) -> Scenario:
+    """Two peers running the bound-attaining symmetric protocol."""
+    protocol, design = synthesize_symmetric(omega, eta, alpha)
+    protocols = [protocol, protocol]
+    return Scenario(
+        name=f"symmetric-pair(eta={eta:g})",
+        protocols=protocols,
+        phases=_random_phases(protocols, seed),
+        horizon=design.worst_case_latency * 4,
+        description=(
+            f"Two peers at eta={eta:g}; guaranteed one-way discovery within "
+            f"{design.worst_case_latency} us"
+        ),
+    )
+
+
+def gateway_and_peripherals(
+    n_peripherals: int = 4,
+    eta_gateway: float = 0.10,
+    eta_peripheral: float = 0.005,
+    omega: int = 32,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> Scenario:
+    """A mains-powered gateway plus battery peripherals (Theorem 5.7).
+
+    The gateway spends a rich duty-cycle so the peripherals can stay
+    frugal -- Figure 6's point is that only the *sum* matters.
+    """
+    gateway, peripheral, design_gp, design_pg = synthesize_asymmetric(
+        omega, eta_gateway, eta_peripheral, alpha
+    )
+    protocols = [gateway] + [peripheral] * n_peripherals
+    horizon = 4 * max(design_gp.worst_case_latency, design_pg.worst_case_latency)
+    return Scenario(
+        name=f"gateway+{n_peripherals}p",
+        protocols=protocols,
+        phases=_random_phases(protocols, seed),
+        horizon=horizon,
+        description=(
+            f"Gateway at eta={eta_gateway:g}, {n_peripherals} peripherals at "
+            f"eta={eta_peripheral:g}"
+        ),
+    )
+
+
+def dense_network(
+    n_devices: int = 10,
+    eta: float = 0.02,
+    omega: int = 32,
+    alpha: float = 1.0,
+    seed: int = 0,
+    horizon_multiple: int = 8,
+) -> Scenario:
+    """``S`` identical devices discovering simultaneously -- the regime
+    where channel utilization must be constrained (Section 5.2.2)."""
+    protocol, design = synthesize_symmetric(omega, eta, alpha)
+    protocols = [protocol] * n_devices
+    return Scenario(
+        name=f"dense-{n_devices}(eta={eta:g})",
+        protocols=protocols,
+        phases=_random_phases(protocols, seed),
+        horizon=design.worst_case_latency * horizon_multiple,
+        description=(
+            f"{n_devices} devices at eta={eta:g} on one collision-prone "
+            f"channel"
+        ),
+    )
+
+
+def gradual_join(
+    n_devices: int = 6,
+    eta: float = 0.02,
+    join_spacing_multiple: float = 0.5,
+    omega: int = 32,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> Scenario:
+    """Devices booting one after another -- the "new devices join
+    gradually" network of Section 6, where at any moment essentially one
+    master and one joiner run ND and the *unconstrained* bound is the
+    relevant one (the regime slotted protocols cannot win).
+
+    Each device joins ``join_spacing_multiple`` worst-case latencies
+    after the previous one.
+    """
+    protocol, design = synthesize_symmetric(omega, eta, alpha)
+    protocols = [protocol] * n_devices
+    spacing = max(1, int(design.worst_case_latency * join_spacing_multiple))
+    start_times = [i * spacing for i in range(n_devices)]
+    return Scenario(
+        name=f"gradual-join-{n_devices}(eta={eta:g})",
+        protocols=protocols,
+        phases=_random_phases(protocols, seed),
+        horizon=start_times[-1] + design.worst_case_latency * 4,
+        start_times=start_times,
+        description=(
+            f"{n_devices} devices at eta={eta:g}, one joining every "
+            f"{spacing} us"
+        ),
+    )
+
+
+def drifting_pair(
+    eta: float = 0.01,
+    drift_ppm: int = 40,
+    omega: int = 32,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> Scenario:
+    """A symmetric pair whose crystals disagree by ``2 x drift_ppm``."""
+    base = symmetric_pair(eta, omega, alpha, seed)
+    return Scenario(
+        name=f"drifting-pair(eta={eta:g}, {drift_ppm}ppm)",
+        protocols=base.protocols,
+        phases=base.phases,
+        horizon=base.horizon,
+        drift_ppm=[drift_ppm, -drift_ppm],
+        description=base.description + f"; +-{drift_ppm} ppm clock drift",
+    )

@@ -1,0 +1,178 @@
+"""Tests of the analysis layer: tables, gaps, Pareto fronts, statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    format_seconds,
+    format_table,
+    format_value,
+    front_distance,
+    gap_for_protocol,
+    gap_table_rows,
+    pareto_front,
+    ParetoPoint,
+    summarize_latencies,
+    wilson_interval,
+    write_csv,
+)
+from repro.core.bounds import symmetric_bound
+from repro.protocols import Diffcodes, OptimalSlotless, Searchlight
+
+
+class TestFormatting:
+    def test_format_value_variants(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(0.0) == "0"
+        assert format_value(3.14159, precision=3) == "3.14"
+        assert "e" in format_value(1.5e12)
+        assert format_value("text") == "text"
+
+    def test_format_seconds_units(self):
+        assert format_seconds(None) == "-"
+        assert format_seconds(500) == "500 us"
+        assert format_seconds(2_500) == "2.5 ms"
+        assert format_seconds(3_200_000) == "3.2 s"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["a", 1], ["bb", 22]],
+            title="demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(
+            tmp_path / "sub" / "out.csv",
+            ["a", "b"],
+            [[1, 2], [3, None]],
+        )
+        content = path.read_text().strip().splitlines()
+        assert content == ["a,b", "1,2", "3,"]
+
+
+class TestOptimalityGap:
+    def test_optimal_protocol_near_ratio_one(self):
+        p = OptimalSlotless(eta=0.02, omega=32)
+        gap = gap_for_protocol(p, omega=32)
+        assert gap.ratio_unconstrained == pytest.approx(1.0, rel=0.1)
+
+    def test_searchlight_pays_at_least_2x_in_utilization_metric(self):
+        p = Searchlight(20, slot_length=20_000, omega=32)
+        gap = gap_for_protocol(p, omega=32)
+        # Table 1: Searchlight-S = 2x the utilization-matched bound.
+        assert gap.ratio_constrained >= 1.8
+
+    def test_diffcodes_close_to_utilization_bound(self):
+        # Large slots: diffcodes approach the Table-1 optimum.
+        p = Diffcodes(7, slot_length=50_000, omega=32)
+        gap = gap_for_protocol(p, omega=32)
+        assert gap.ratio_constrained == pytest.approx(1.0, rel=0.25)
+
+    def test_measured_latency_override(self):
+        p = OptimalSlotless(eta=0.02, omega=32)
+        gap = gap_for_protocol(p, omega=32, measured_latency=1e9)
+        assert gap.latency == 1e9
+
+    def test_nondeterministic_protocol_rejected(self):
+        from repro.protocols import Birthday
+
+        with pytest.raises(ValueError, match="no deterministic latency"):
+            gap_for_protocol(Birthday(), omega=32)
+
+    def test_gap_table_rows_sorted(self):
+        gaps = [
+            gap_for_protocol(Searchlight(20, slot_length=20_000), omega=32),
+            gap_for_protocol(OptimalSlotless(eta=0.02), omega=32),
+        ]
+        rows = gap_table_rows(gaps)
+        assert rows[0][0] == "Optimal-Slotless"
+
+
+class TestPareto:
+    def test_front_extraction(self):
+        points = [
+            ParetoPoint(0.01, 100.0, "a"),
+            ParetoPoint(0.02, 50.0, "b"),
+            ParetoPoint(0.02, 80.0, "dominated"),
+            ParetoPoint(0.03, 60.0, "dominated-too"),
+        ]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["a", "b"]
+
+    def test_dominates(self):
+        assert ParetoPoint(0.01, 50).dominates(ParetoPoint(0.02, 60))
+        assert not ParetoPoint(0.01, 50).dominates(ParetoPoint(0.01, 50))
+        assert not ParetoPoint(0.01, 70).dominates(ParetoPoint(0.02, 60))
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.001, 0.5), st.floats(1.0, 1e6)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_front_is_mutually_nondominated(self, raw):
+        points = [ParetoPoint(e, l) for e, l in raw]
+        front = pareto_front(points)
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    def test_front_distance_bound_points_at_one(self):
+        eta = 0.01
+        p = ParetoPoint(eta, symmetric_bound(32, eta))
+        [(_, ratio)] = front_distance([p], omega=32)
+        assert ratio == pytest.approx(1.0)
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize_latencies([5, 1, 3, 2, 4])
+        assert s.count == 5
+        assert s.minimum == 1 and s.maximum == 5
+        assert s.median == 3
+        assert s.mean == 3.0
+
+    def test_quantiles_nearest_rank(self):
+        s = summarize_latencies(list(range(1, 101)))
+        assert s.p90 == 90
+        assert s.p99 == 99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+    def test_wilson_contains_point_estimate(self):
+        lo, hi = wilson_interval(20, 100)
+        assert lo < 0.2 < hi
+
+    def test_wilson_extreme_rates(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0 and hi > 0
+        lo2, hi2 = wilson_interval(50, 50)
+        assert hi2 == 1.0 and lo2 < 1
+
+    def test_wilson_narrower_with_more_trials(self):
+        lo1, hi1 = wilson_interval(10, 50)
+        lo2, hi2 = wilson_interval(100, 500)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_wilson_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 5)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=0.5)

@@ -1,0 +1,86 @@
+"""Tests of the energy-to-discovery analysis."""
+
+import pytest
+
+from repro.analysis.energy import (
+    energy_per_discovery_curve,
+    protocol_energy_table,
+)
+from repro.core.power import PowerModel, TYPICAL_RADIOS
+from repro.protocols import Birthday, Diffcodes, Nihao, OptimalSlotless
+
+
+class TestEnergyCurve:
+    def test_quadratic_latency_linear_power(self):
+        """E = P * L ~ eta * (1/eta^2) = 1/eta: energy per worst-case
+        discovery *falls* with duty-cycle for a sleep-free ideal radio."""
+        radio = PowerModel(tx_power=10.0, rx_power=10.0, sleep_power=0.0)
+        points = energy_per_discovery_curve([0.01, 0.02, 0.04], radio)
+        energies = [p.energy_uj for p in points]
+        assert energies == sorted(energies, reverse=True)
+        assert energies[0] == pytest.approx(2 * energies[1], rel=1e-6)
+
+    def test_sleep_power_floors_the_curve(self):
+        """With non-negligible sleep power, tiny duty-cycles stop paying
+        off: sleep dominates the discovery energy."""
+        leaky = PowerModel(tx_power=10.0, rx_power=10.0, sleep_power=1.0)
+        points = energy_per_discovery_curve([0.001, 0.01, 0.1], leaky)
+        # At 0.1% duty-cycle almost all energy is sleep.
+        sleepy = points[0]
+        sleep_fraction = 1.0 / sleepy.average_power_mw * 1.0  # ~ sleep/total
+        assert sleepy.average_power_mw < 1.2  # dominated by the 1 mW sleep
+        assert sleepy.energy_uj > points[1].energy_uj
+
+    def test_alpha_from_radio(self):
+        radio = PowerModel(tx_power=20.0, rx_power=10.0)
+        [point] = energy_per_discovery_curve([0.01], radio)
+        from repro.core.bounds import symmetric_bound
+
+        assert point.latency_us == symmetric_bound(32, 0.01, alpha=2.0)
+
+
+class TestProtocolEnergyTable:
+    def test_sorted_by_energy_with_unbounded_last(self):
+        radio = TYPICAL_RADIOS["ble-soc"]
+        rows = protocol_energy_table(
+            [
+                Diffcodes(7, slot_length=20_000, omega=32),
+                OptimalSlotless(eta=0.05, omega=32),
+                Birthday(p_tx=0.05, p_rx=0.05),
+            ],
+            radio,
+        )
+        assert rows[-1].name == "Birthday"
+        assert rows[-1].energy_uj is None
+        bounded = [r.energy_uj for r in rows[:-1]]
+        assert bounded == sorted(bounded)
+
+    def test_optimal_slotless_most_efficient_at_budget(self):
+        """At comparable duty-cycles the optimal schedule's quadratically
+        better latency dominates the energy comparison."""
+        radio = TYPICAL_RADIOS["ble-soc"]
+        rows = protocol_energy_table(
+            [
+                OptimalSlotless(eta=0.05, omega=32),
+                Nihao(n=40, slot_length=1_300, omega=32),
+                Diffcodes(9, slot_length=20_000, omega=32),
+            ],
+            radio,
+        )
+        assert rows[0].name in ("Optimal-Slotless", "Nihao")
+        by_name = {r.name: r for r in rows}
+        assert (
+            by_name["Optimal-Slotless"].energy_uj
+            < by_name["Diffcodes"].energy_uj
+        )
+
+    def test_effective_duty_cycles_include_overheads(self):
+        radio = TYPICAL_RADIOS["ble-soc"]  # 130 us switching overheads
+        [row] = protocol_energy_table(
+            [OptimalSlotless(eta=0.05, omega=32)], radio
+        )
+        device = OptimalSlotless(eta=0.05, omega=32).device(
+            __import__("repro.protocols", fromlist=["Role"]).Role.E
+        )
+        assert row.beta_effective > device.beta
+        assert row.gamma_effective > device.gamma

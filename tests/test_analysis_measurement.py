@@ -1,0 +1,54 @@
+"""Tests of the protocol-measurement helper."""
+
+import pytest
+
+from repro.analysis import measure_pair_worst_case
+from repro.protocols import Birthday, Diffcodes, Nihao, OptimalSlotless
+
+
+class TestMeasurePairWorstCase:
+    def test_optimal_slotless_meets_its_claim(self):
+        m = measure_pair_worst_case(
+            OptimalSlotless(eta=0.05, omega=32), n_offsets=200
+        )
+        assert m.failures <= m.offsets_evaluated * 0.05  # A.5 sliver only
+        assert m.meets_claim
+        assert m.measured_full_worst_case <= m.claimed_worst_case * 1.01
+
+    def test_diffcodes_with_alignment_exclusion(self):
+        m = measure_pair_worst_case(
+            Diffcodes(3, slot_length=2_000, omega=32),
+            n_offsets=128,
+            exclude_aligned=64,
+        )
+        assert m.failures == 0
+        assert m.meets_claim
+
+    def test_nihao(self):
+        m = measure_pair_worst_case(Nihao(n=20, slot_length=1_000), n_offsets=150)
+        assert m.meets_claim
+        assert m.measured_worst_packet <= 20_000
+
+    def test_probabilistic_protocol_has_no_claim(self):
+        m = measure_pair_worst_case(
+            Birthday(p_tx=0.1, p_rx=0.1, slot_length=1_000, horizon_slots=128),
+            n_offsets=32,
+            horizon=2_000_000,
+        )
+        assert m.claimed_worst_case is None
+        assert m.meets_claim is None
+
+    def test_explicit_horizon_respected(self):
+        m = measure_pair_worst_case(
+            OptimalSlotless(eta=0.05, omega=32), n_offsets=50, horizon=1_000
+        )
+        # A 1 ms horizon cannot cover the ~50 ms guarantee: most offsets fail.
+        assert m.failures > 0
+
+    def test_fields_consistent(self):
+        m = measure_pair_worst_case(
+            OptimalSlotless(eta=0.05, omega=32), n_offsets=100
+        )
+        assert m.offsets_evaluated == m.report.offsets_evaluated
+        assert m.measured_worst_packet == m.report.worst_one_way
+        assert m.eta == pytest.approx(0.05, rel=0.1)

@@ -1,0 +1,119 @@
+"""Tests of the BLE parameter catalogue and mutual assistance."""
+
+import pytest
+
+from repro.protocols import Role
+from repro.protocols.ble_modes import (
+    ADV_PACKET_US,
+    ble_config,
+    BLE_TIME_GRID_US,
+    STANDARD_PROFILES,
+    validate_ble_config,
+)
+from repro.core.optimal import synthesize_symmetric
+from repro.simulation import simulate_pair, simulate_pair_mutual_assistance
+
+
+class TestBleValidation:
+    def test_valid_config_passes(self):
+        assert validate_ble_config(100_000, 1_280_000, 11_250) == []
+
+    def test_off_grid_rejected(self):
+        problems = validate_ble_config(100_001, 1_280_000, 11_250)
+        assert any("0.625" in p for p in problems)
+
+    def test_out_of_range_rejected(self):
+        assert validate_ble_config(10_000, 1_280_000, 11_250)  # < 20 ms
+        assert validate_ble_config(100_000, 1_280_000, 2_000_000)  # w > i
+
+    def test_ble_config_raises_with_all_problems(self):
+        with pytest.raises(ValueError, match="0.625"):
+            ble_config(100_001, 1_280_000, 11_250)
+
+    def test_ble_config_uses_real_packet_length(self):
+        cfg = ble_config(100_000, 1_280_000, 11_250, with_adv_delay=False)
+        assert cfg.omega == ADV_PACKET_US
+
+    def test_adv_delay_default_on(self):
+        cfg = ble_config(100_000, 1_280_000, 11_250)
+        assert cfg.advertising_jitter == 10_000
+        assert not cfg.info().deterministic
+
+
+class TestStandardProfiles:
+    def test_all_profiles_on_spec_grid(self):
+        for profile in STANDARD_PROFILES.values():
+            assert validate_ble_config(
+                profile.adv_interval,
+                profile.scan_interval,
+                profile.scan_window,
+            ) == []
+            assert profile.adv_interval % BLE_TIME_GRID_US == 0
+
+    def test_fast_connect_is_fast_and_deterministic(self):
+        cfg = STANDARD_PROFILES["fast-connect"].config(with_adv_delay=False)
+        latency = cfg.predicted_worst_case_latency()
+        assert latency is not None and latency <= 40_000
+
+    def test_eddystone_default_is_coupling_trapped(self):
+        """A real-world instance of the paper's coupling problem: the
+        Eddystone 1 s / 1.28 s / 11.25 ms defaults are NOT deterministic
+        without advDelay (gcd(Ta, Ts) = 40 ms exceeds the scan window)."""
+        cfg = STANDARD_PROFILES["eddystone"].config(with_adv_delay=False)
+        assert cfg.predicted_worst_case_latency() is None
+
+    def test_adv_delay_rescues_eddystone(self):
+        cfg = STANDARD_PROFILES["eddystone"].config(with_adv_delay=True)
+        adv, scan = cfg.device(Role.E), cfg.device(Role.F)
+        outcome = simulate_pair(
+            adv,
+            scan,
+            offset=500_000,
+            horizon=400_000_000,
+            advertising_jitter=cfg.advertising_jitter,
+            seed=3,
+        )
+        assert outcome.e_discovered_by_f is not None
+
+
+class TestMutualAssistance:
+    def test_two_way_within_one_reception_period_of_one_way(self):
+        protocol, design = synthesize_symmetric(32, 0.02)
+        period = int(design.reception.period)
+        for offset in (7_777, 123_457, 250_001):
+            assisted = simulate_pair_mutual_assistance(
+                protocol, protocol, offset, design.worst_case_latency * 4
+            )
+            assert assisted.two_way is not None
+            assert assisted.two_way <= assisted.one_way + period
+
+    def test_beats_plain_two_way(self):
+        protocol, design = synthesize_symmetric(32, 0.02)
+        improved = 0
+        for offset in (7_777, 123_457, 250_001):
+            plain = simulate_pair(
+                protocol, protocol, offset, design.worst_case_latency * 4
+            )
+            assisted = simulate_pair_mutual_assistance(
+                protocol, protocol, offset, design.worst_case_latency * 4
+            )
+            if (
+                plain.two_way is not None
+                and assisted.two_way is not None
+                and assisted.two_way < plain.two_way
+            ):
+                improved += 1
+        assert improved >= 2  # assistance helps for typical offsets
+
+    def test_one_way_unchanged_by_assistance(self):
+        """The assist response follows the first discovery; it cannot
+        accelerate the first direction."""
+        protocol, design = synthesize_symmetric(32, 0.02)
+        offset = 123_457
+        plain = simulate_pair(
+            protocol, protocol, offset, design.worst_case_latency * 4
+        )
+        assisted = simulate_pair_mutual_assistance(
+            protocol, protocol, offset, design.worst_case_latency * 4
+        )
+        assert assisted.one_way == plain.one_way

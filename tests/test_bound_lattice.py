@@ -1,0 +1,121 @@
+"""Cross-theorem consistency: the lattice of bounds.
+
+The paper's bounds are not independent facts; they relate to each other
+in fixed ways.  These property tests pin the whole lattice down at once,
+so a regression in any one formula breaks a visible relation:
+
+    one-way (C.1)  =  symmetric (5.5) / 2
+    symmetric (5.5)  =  asymmetric (5.7) at eta_E = eta_F
+    asymmetric (5.7) =  unidirectional (5.4) at the optimal per-device splits
+    constrained (5.6) >= symmetric (5.5), equality iff the cap is slack
+    slotted Eq 21     = constrained (5.6) wherever the cap binds
+    Table-1 rows     >= slotted Eq 21, Diffcodes with equality
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bounds, slotted_bounds
+
+OMEGA = 32e-6
+etas = st.floats(min_value=1e-3, max_value=0.5)
+alphas = st.floats(min_value=0.5, max_value=2.0)
+
+
+@given(eta=etas, alpha=alphas)
+def test_one_way_is_half_symmetric(eta, alpha):
+    assert bounds.one_way_bound(OMEGA, eta, alpha) == pytest.approx(
+        bounds.symmetric_bound(OMEGA, eta, alpha) / 2
+    )
+
+
+@given(eta=etas, alpha=alphas)
+def test_asymmetric_degenerates_to_symmetric(eta, alpha):
+    assert bounds.asymmetric_bound(OMEGA, eta, eta, alpha) == pytest.approx(
+        bounds.symmetric_bound(OMEGA, eta, alpha)
+    )
+
+
+@given(eta_e=etas, eta_f=etas, alpha=alphas)
+def test_asymmetric_composes_from_unidirectional(eta_e, eta_f, alpha):
+    """Theorem 5.7 equals the slower of the two optimally-split
+    unidirectional directions -- which are equal by the balancing
+    argument in its proof."""
+    split_e = bounds.optimal_split(eta_e, alpha)
+    split_f = bounds.optimal_split(eta_f, alpha)
+    if split_e.beta >= 1 or split_f.beta >= 1:
+        return  # clamped regime: the interior-optimum identity breaks
+    l_ef = bounds.unidirectional_bound(OMEGA, split_e.beta, split_f.gamma)
+    l_fe = bounds.unidirectional_bound(OMEGA, split_f.beta, split_e.gamma)
+    assert max(l_ef, l_fe) == pytest.approx(
+        bounds.asymmetric_bound(OMEGA, eta_e, eta_f, alpha)
+    )
+    assert l_ef == pytest.approx(l_fe)
+
+
+@given(eta=etas, cap=st.floats(min_value=1e-4, max_value=0.5), alpha=alphas)
+def test_constraint_only_hurts(eta, cap, alpha):
+    constrained = bounds.constrained_bound(OMEGA, eta, cap, alpha)
+    unconstrained = bounds.symmetric_bound(OMEGA, eta, alpha)
+    assert constrained >= unconstrained * (1 - 1e-12)
+    if eta <= 2 * alpha * cap:
+        assert constrained == pytest.approx(unconstrained)
+
+
+@given(eta=etas, alpha=alphas, frac=st.floats(0.05, 0.45))
+def test_slotted_utilization_bound_meets_theorem_5_6_when_binding(
+    eta, alpha, frac
+):
+    beta = frac * eta / alpha  # always below the eta/2alpha kink
+    slotted = slotted_bounds.slotted_channel_utilization_bound(
+        OMEGA, eta, beta, alpha
+    )
+    fundamental = bounds.constrained_bound(OMEGA, eta, beta, alpha)
+    assert slotted == pytest.approx(fundamental)
+
+
+@given(eta=etas, frac=st.floats(0.05, 0.45))
+def test_table1_rows_dominate_their_own_optimum(eta, frac):
+    beta = frac * eta
+    base = slotted_bounds.table1_diffcodes(OMEGA, eta, beta)
+    for name, formula in slotted_bounds.TABLE1_PROTOCOLS.items():
+        value = formula(OMEGA, eta, beta)
+        if name == "Diffcodes":
+            assert value == pytest.approx(base)
+        else:
+            assert value > base
+
+
+@given(eta=etas, alpha=alphas)
+def test_inverse_forms_are_true_inverses(eta, alpha):
+    latency = bounds.symmetric_bound(OMEGA, eta, alpha)
+    assert bounds.eta_for_latency_symmetric(OMEGA, latency, alpha) == (
+        pytest.approx(eta)
+    )
+    latency_ow = bounds.one_way_bound(OMEGA, eta, alpha)
+    assert bounds.eta_for_latency_one_way(OMEGA, latency_ow, alpha) == (
+        pytest.approx(eta)
+    )
+
+
+@given(
+    eta=etas,
+    alpha=alphas,
+    tx_ovh=st.floats(0, 4),
+    rx_ovh=st.floats(0, 0.5),
+)
+def test_nonideal_bound_dominates_ideal(eta, alpha, tx_ovh, rx_ovh):
+    split = bounds.optimal_split(eta, alpha)
+    if split.beta >= 1:
+        return
+    ideal = bounds.unidirectional_bound(OMEGA, split.beta, split.gamma)
+    nonideal = bounds.nonideal_unidirectional_bound(
+        OMEGA,
+        split.beta,
+        split.gamma,
+        overhead_tx=tx_ovh * OMEGA,
+        overhead_rx=rx_ovh * 1e-3,
+        window_duration=1e-3,
+    )
+    assert nonideal >= ideal * (1 - 1e-12)

@@ -1,0 +1,259 @@
+"""Tests of the fundamental bounds (Section 5, Appendices A and C)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bounds
+
+OMEGA = 32e-6  # 32 us in seconds; bounds are unit-agnostic
+
+etas = st.floats(min_value=1e-4, max_value=1.0)
+alphas = st.floats(min_value=0.25, max_value=4.0)
+
+
+class TestCoverageBound:
+    def test_equation_6(self):
+        # T_C = 1000, sum(d) = 100 -> M = 10; L = 10 * omega / beta.
+        assert bounds.coverage_bound(1_000, 100, omega=32, beta=0.01) == 32_000
+
+    def test_ceiling_behaviour(self):
+        a = bounds.coverage_bound(1_000, 100, omega=32, beta=0.01)
+        b = bounds.coverage_bound(1_001, 100, omega=32, beta=0.01)
+        assert b == a * 11 / 10  # M jumps from 10 to 11
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            bounds.coverage_bound(0, 100, 32, 0.01)
+        with pytest.raises(ValueError):
+            bounds.coverage_bound(1_000, 100, 32, 0)
+
+
+class TestUnidirectionalBound:
+    def test_theorem_5_4(self):
+        assert bounds.unidirectional_bound(OMEGA, 0.01, 0.01) == pytest.approx(
+            OMEGA / 1e-4
+        )
+
+    def test_symmetry_in_arguments(self):
+        assert bounds.unidirectional_bound(
+            OMEGA, 0.02, 0.005
+        ) == bounds.unidirectional_bound(OMEGA, 0.005, 0.02)
+
+    @given(beta=etas, gamma=etas)
+    def test_monotone_decreasing_in_duty_cycles(self, beta, gamma):
+        base = bounds.unidirectional_bound(OMEGA, beta, gamma)
+        more_tx = bounds.unidirectional_bound(OMEGA, min(1.0, beta * 2), gamma)
+        assert more_tx <= base
+
+
+class TestSymmetricBound:
+    def test_theorem_5_5_value(self):
+        # eta = 1%, alpha = 1: L = 4 * omega / 1e-4
+        assert bounds.symmetric_bound(OMEGA, 0.01) == pytest.approx(
+            4 * OMEGA * 1e4
+        )
+
+    def test_optimal_split_attains_bound(self):
+        """The interior optimum: unidirectional bound at beta = eta/2a,
+        gamma = eta/2 equals the symmetric bound."""
+        for alpha in (0.5, 1.0, 2.0):
+            for eta in (0.002, 0.01, 0.2):
+                split = bounds.optimal_split(eta, alpha)
+                uni = bounds.unidirectional_bound(OMEGA, split.beta, split.gamma)
+                sym = bounds.symmetric_bound(OMEGA, eta, alpha)
+                assert uni == pytest.approx(sym)
+
+    @given(eta=etas, alpha=alphas)
+    def test_optimal_split_is_a_minimum(self, eta, alpha):
+        """Perturbing the split away from beta = eta/2a only hurts."""
+        split = bounds.optimal_split(eta, alpha)
+        best = bounds.unidirectional_bound(OMEGA, split.beta, split.gamma)
+        for factor in (0.5, 0.9, 1.1, 1.5):
+            beta = split.beta * factor
+            gamma = eta - alpha * beta
+            if 0 < beta <= 1 and 0 < gamma <= 1:
+                assert (
+                    bounds.unidirectional_bound(OMEGA, beta, gamma)
+                    >= best * (1 - 1e-12)
+                )
+
+    @given(eta=etas)
+    def test_quadratic_scaling(self, eta):
+        """Halving the duty-cycle quadruples the bound."""
+        if eta / 2 > 1e-5:
+            assert bounds.symmetric_bound(OMEGA, eta / 2) == pytest.approx(
+                4 * bounds.symmetric_bound(OMEGA, eta)
+            )
+
+    def test_split_consistency_check(self):
+        with pytest.raises(ValueError):
+            bounds.DutyCycleSplit(eta=0.01, beta=0.01, gamma=0.01, alpha=1.0)
+
+
+class TestConstrainedBound:
+    def test_theorem_5_6_unconstrained_branch(self):
+        # beta_max above the optimum: cap not binding.
+        eta = 0.01
+        assert bounds.constrained_bound(
+            OMEGA, eta, beta_max=eta
+        ) == bounds.symmetric_bound(OMEGA, eta)
+
+    def test_theorem_5_6_constrained_branch(self):
+        eta, beta_max = 0.05, 0.001
+        expected = OMEGA / (eta * beta_max - beta_max**2)
+        assert bounds.constrained_bound(OMEGA, eta, beta_max) == pytest.approx(
+            expected
+        )
+
+    def test_kink_continuity(self):
+        """The two branches agree at eta = 2 alpha beta_max."""
+        beta_max, alpha = 0.004, 1.3
+        eta = 2 * alpha * beta_max
+        below = bounds.constrained_bound(OMEGA, eta * 0.9999, beta_max, alpha)
+        at = bounds.constrained_bound(OMEGA, eta, beta_max, alpha)
+        above = bounds.constrained_bound(OMEGA, eta * 1.0001, beta_max, alpha)
+        assert below == pytest.approx(at, rel=1e-3)
+        assert above == pytest.approx(at, rel=1e-3)
+
+    @given(eta=st.floats(0.001, 0.5), beta_max=st.floats(0.0005, 0.5))
+    def test_cap_never_helps(self, eta, beta_max):
+        if eta <= beta_max:  # keep the constrained branch feasible
+            return
+        constrained = bounds.constrained_bound(OMEGA, eta, beta_max)
+        assert constrained >= bounds.symmetric_bound(OMEGA, eta) * (1 - 1e-12)
+
+    def test_generous_cap_is_never_binding(self):
+        """A cap above eta/2a falls in the unconstrained branch -- the
+        binding branch's denominator is then always positive, so the
+        formula has no feasibility gap for valid inputs."""
+        assert bounds.constrained_bound(
+            OMEGA, 0.01, beta_max=0.02
+        ) == bounds.symmetric_bound(OMEGA, 0.01)
+        assert bounds.constrained_bound(
+            OMEGA, 0.0005, beta_max=0.01
+        ) == bounds.symmetric_bound(OMEGA, 0.0005)
+
+
+class TestAsymmetricBound:
+    def test_theorem_5_7(self):
+        assert bounds.asymmetric_bound(OMEGA, 0.02, 0.005) == pytest.approx(
+            4 * OMEGA / (0.02 * 0.005)
+        )
+
+    def test_reduces_to_symmetric(self):
+        assert bounds.asymmetric_bound(OMEGA, 0.01, 0.01) == pytest.approx(
+            bounds.symmetric_bound(OMEGA, 0.01)
+        )
+
+    @given(eta_e=etas, eta_f=etas)
+    def test_symmetry(self, eta_e, eta_f):
+        assert bounds.asymmetric_bound(OMEGA, eta_e, eta_f) == pytest.approx(
+            bounds.asymmetric_bound(OMEGA, eta_f, eta_e)
+        )
+
+    @given(s=st.floats(0.002, 0.4), ratio=st.floats(1.0, 20.0))
+    def test_figure_6_geometry(self, s, ratio):
+        """For a fixed duty-cycle *sum*, the symmetric split minimizes the
+        bound (the honest reading of Figure 6; see EXPERIMENTS.md)."""
+        eta_e = s * ratio / (1 + ratio)
+        eta_f = s / (1 + ratio)
+        sym = bounds.asymmetric_bound(OMEGA, s / 2, s / 2)
+        asym = bounds.asymmetric_bound(OMEGA, eta_e, eta_f)
+        assert asym >= sym * (1 - 1e-9)
+
+
+class TestOneWayBound:
+    def test_theorem_c1_halves_symmetric(self):
+        assert bounds.one_way_bound(OMEGA, 0.01) == pytest.approx(
+            bounds.symmetric_bound(OMEGA, 0.01) / 2
+        )
+
+    @given(eta=etas, alpha=alphas)
+    def test_always_half(self, eta, alpha):
+        assert bounds.one_way_bound(OMEGA, eta, alpha) == pytest.approx(
+            bounds.symmetric_bound(OMEGA, eta, alpha) / 2
+        )
+
+
+class TestInverseForms:
+    @given(eta=st.floats(0.02, 1.0))
+    def test_eta_for_latency_roundtrip_symmetric(self, eta):
+        latency = bounds.symmetric_bound(OMEGA, eta)
+        assert bounds.eta_for_latency_symmetric(OMEGA, latency) == pytest.approx(
+            eta
+        )
+
+    @given(eta=st.floats(0.02, 1.0))
+    def test_eta_for_latency_roundtrip_one_way(self, eta):
+        latency = bounds.one_way_bound(OMEGA, eta)
+        assert bounds.eta_for_latency_one_way(OMEGA, latency) == pytest.approx(eta)
+
+    def test_unreachable_latency_raises(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            bounds.eta_for_latency_symmetric(OMEGA, latency=OMEGA / 1_000)
+
+    def test_unidirectional_feasibility(self):
+        split = bounds.duty_cycles_for_latency_unidirectional(
+            OMEGA, latency=10.0, joint_eta=0.01
+        )
+        assert split.beta == pytest.approx(0.005)
+        with pytest.raises(ValueError, match="below the fundamental bound"):
+            bounds.duty_cycles_for_latency_unidirectional(
+                OMEGA, latency=0.1, joint_eta=0.01
+            )
+
+
+class TestAppendixA:
+    def test_nonideal_reduces_to_ideal(self):
+        ideal = bounds.unidirectional_bound(OMEGA, 0.01, 0.01)
+        assert bounds.nonideal_unidirectional_bound(
+            OMEGA, 0.01, 0.01
+        ) == pytest.approx(ideal)
+
+    def test_equation_27_overheads_increase_bound(self):
+        base = bounds.nonideal_unidirectional_bound(OMEGA, 0.01, 0.01)
+        with_tx = bounds.nonideal_unidirectional_bound(
+            OMEGA, 0.01, 0.01, overhead_tx=OMEGA
+        )
+        with_rx = bounds.nonideal_unidirectional_bound(
+            OMEGA, 0.01, 0.01, overhead_rx=1e-4, window_duration=1e-3
+        )
+        assert with_tx == pytest.approx(base * 2)  # omega + d_oTx = 2 omega
+        assert with_rx == pytest.approx(base * 1.1)  # 1 + 0.1
+
+    def test_rx_overhead_requires_window(self):
+        with pytest.raises(ValueError, match="window_duration"):
+            bounds.nonideal_unidirectional_bound(
+                OMEGA, 0.01, 0.01, overhead_rx=1e-4
+            )
+
+    def test_last_beacon_correction(self):
+        assert bounds.last_beacon_corrected_bound(1.0, OMEGA) == 1.0 + OMEGA
+
+    def test_equation_29_finite_window(self):
+        # Small T_C: significant penalty; must exceed the ideal bound.
+        ideal = bounds.unidirectional_bound(OMEGA, 0.01, 0.01)
+        finite = bounds.finite_window_bound(
+            reception_period=OMEGA * 1_000,
+            window_duration=OMEGA * 10,
+            omega=OMEGA,
+            beta=0.01,
+        )
+        assert finite > ideal
+
+    def test_equation_30_limit(self):
+        """As T_C grows with gamma fixed, Eq. 29 converges to omega/(beta*gamma)."""
+        beta, gamma = 0.01, 0.01
+        previous = None
+        for scale in (1e3, 1e5, 1e7):
+            period = OMEGA * scale
+            window = gamma * period
+            value = bounds.finite_window_bound(period, window, OMEGA, beta)
+            if previous is not None:
+                assert value <= previous
+            previous = value
+        ideal = bounds.unidirectional_bound(OMEGA, beta, gamma)
+        assert previous == pytest.approx(ideal, rel=1e-3)

@@ -1,0 +1,168 @@
+"""Tests of collision theory: Equation 12, Theorem 5.6 inputs, Appendix B."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import collisions
+
+
+class TestCollisionProbability:
+    def test_equation_12(self):
+        # Pc = 1 - exp(-2 (S-1) beta)
+        assert collisions.collision_probability(3, 0.01) == pytest.approx(
+            1 - math.exp(-0.04)
+        )
+
+    def test_zero_beta_no_collisions(self):
+        assert collisions.collision_probability(100, 0.0) == 0.0
+
+    def test_s_minus_2_variant(self):
+        # The Equation-32 form: one fewer interferer.
+        assert collisions.collision_probability(
+            3, 0.01, interferers="s-2"
+        ) == pytest.approx(1 - math.exp(-0.02))
+
+    def test_lone_pair_s2_never_collides(self):
+        assert collisions.collision_probability(2, 0.5, interferers="s-2") == 0.0
+
+    @given(beta=st.floats(0.0, 0.2), senders=st.integers(2, 100))
+    def test_monotone_in_senders(self, beta, senders):
+        p1 = collisions.collision_probability(senders, beta)
+        p2 = collisions.collision_probability(senders + 1, beta)
+        assert p2 >= p1
+
+    def test_rejects_single_sender(self):
+        with pytest.raises(ValueError):
+            collisions.collision_probability(1, 0.01)
+
+
+class TestBetaMaxInversion:
+    @given(pc=st.floats(0.001, 0.9), senders=st.integers(2, 500))
+    def test_roundtrip(self, pc, senders):
+        beta = collisions.beta_max_for_collision_probability(pc, senders)
+        assert collisions.collision_probability(senders, beta) == pytest.approx(
+            pc
+        )
+
+    def test_one_percent_figure7_values(self):
+        # The Figure-7 caps: beta_max = -ln(0.99) / (2 (S-1)).
+        for senders in (2, 10, 100, 1000):
+            beta = collisions.beta_max_for_collision_probability(0.01, senders)
+            assert beta == pytest.approx(
+                -math.log(0.99) / (2 * (senders - 1))
+            )
+
+    def test_rejects_degenerate_probability(self):
+        with pytest.raises(ValueError):
+            collisions.beta_max_for_collision_probability(0.0, 5)
+        with pytest.raises(ValueError):
+            collisions.beta_max_for_collision_probability(1.0, 5)
+
+
+class TestFailureRate:
+    def test_equation_32_q_zero(self):
+        beta, q_deg, senders = 0.02, 3, 5
+        pc = collisions.collision_probability(senders, beta)
+        assert collisions.failure_rate(beta, q_deg, 0.0, senders) == pytest.approx(
+            pc**3
+        )
+
+    def test_equation_32_fractional_extra(self):
+        beta, senders = 0.02, 5
+        pc = collisions.collision_probability(senders, beta)
+        pf = collisions.failure_rate(beta, 2, 0.25, senders)
+        assert pf == pytest.approx(0.75 * pc**2 + 0.25 * pc**3)
+
+    @given(
+        beta=st.floats(0.001, 0.1),
+        q_deg=st.integers(1, 6),
+        senders=st.integers(3, 20),
+    )
+    def test_more_redundancy_fewer_failures(self, beta, q_deg, senders):
+        lower = collisions.failure_rate(beta, q_deg + 1, 0.0, senders)
+        higher = collisions.failure_rate(beta, q_deg, 0.0, senders)
+        assert lower <= higher
+
+    def test_beta_for_failure_rate_roundtrip(self):
+        beta = collisions.beta_for_failure_rate(1e-3, 3, 4)
+        assert collisions.failure_rate(beta, 3, 0.0, 4) == pytest.approx(1e-3)
+
+
+class TestOptimizeRedundancy:
+    def test_appendix_b_worked_example(self):
+        """The paper's numeric example: eta=5%, Pf=0.05%, S=3 gives Q=3,
+        channel utilization 2.07%, L'(Pf) = 0.1583 s and a pair worst-case
+        around 0.05 s, with each beacon facing Pc = 7.9%.
+
+        (The example states omega=36us but its numbers are only consistent
+        with omega=32us used elsewhere in the paper -- see EXPERIMENTS.md.)
+        """
+        plan = collisions.optimize_redundancy(
+            eta=0.05, target_pf=0.0005, n_senders=3, omega=32e-6
+        )
+        assert plan.redundancy == 3
+        assert plan.beta == pytest.approx(0.0207, abs=2e-4)
+        assert plan.latency == pytest.approx(0.1583, abs=2e-3)
+        assert plan.pair_latency == pytest.approx(0.053, abs=3e-3)
+        assert plan.per_beacon_collision_prob == pytest.approx(0.079, abs=2e-3)
+
+    def test_slack_constraint_falls_back_to_optimal_split(self):
+        """A loose failure target in a tiny network never binds: the plan
+        is the plain Theorem-5.5 split with Q=1."""
+        plan = collisions.optimize_redundancy(
+            eta=0.05, target_pf=0.5, n_senders=2, omega=32e-6
+        )
+        assert plan.redundancy == 1
+        assert not plan.constraint_binding
+        assert plan.beta == pytest.approx(0.025)  # eta / 2 alpha
+        assert plan.failure_rate <= 0.5
+
+    def test_budget_constraint_respected(self):
+        plan = collisions.optimize_redundancy(
+            eta=0.01, target_pf=0.01, n_senders=10, omega=32e-6
+        )
+        assert plan.beta + plan.gamma == pytest.approx(0.01)
+
+    def test_strict_target_tiny_budget_still_feasible(self):
+        """Even Pf=1e-9 at eta=0.02% has a plan: beta just shrinks below
+        the cap until the achieved failure rate meets the target."""
+        plan = collisions.optimize_redundancy(
+            eta=0.0002, target_pf=1e-9, n_senders=3, omega=32e-6
+        )
+        assert plan.gamma > 0
+        assert plan.failure_rate <= 1e-9 * (1 + 1e-9)
+
+    @given(
+        eta=st.floats(0.02, 0.2),
+        pf=st.floats(1e-5, 1e-2),
+        senders=st.integers(3, 30),
+    )
+    def test_plan_meets_failure_constraint(self, eta, pf, senders):
+        plan = collisions.optimize_redundancy(eta, pf, senders, 32e-6)
+        achieved = collisions.failure_rate(
+            plan.beta, plan.redundancy, 0.0, senders
+        )
+        assert achieved <= pf * (1 + 1e-9)
+        if plan.constraint_binding:
+            assert achieved == pytest.approx(pf, rel=1e-6)
+
+
+class TestConstrainedLatencyCurve:
+    def test_figure7_kink_marking(self):
+        etas = [0.001, 0.005, 0.02, 0.1, 0.5]
+        curve = collisions.constrained_latency_curve(
+            etas, collision_prob=0.01, n_senders=10, omega=32e-6
+        )
+        assert len(curve) == len(etas)
+        # Small duty-cycles unaffected, large ones capped.
+        flags = [binding for _, _, binding in curve]
+        assert flags == sorted(flags)  # once binding, stays binding
+
+    def test_more_senders_worse_latency_at_high_eta(self):
+        eta = [0.2]
+        few = collisions.constrained_latency_curve(eta, 0.01, 10, 32e-6)[0][1]
+        many = collisions.constrained_latency_curve(eta, 0.01, 1000, 32e-6)[0][1]
+        assert many > few

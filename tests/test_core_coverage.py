@@ -1,0 +1,208 @@
+"""Tests of coverage maps (Section 4): determinism, redundancy, latency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import beacon_coverage_set, CoverageMap, minimum_beacons
+from repro.core.sequences import BeaconSchedule, ReceptionSchedule
+
+
+def single_window(duration=100, period=1_000):
+    return ReceptionSchedule.single_window(duration=duration, period=period)
+
+
+class TestMinimumBeacons:
+    def test_theorem_4_3_exact_division(self):
+        # T_C = 1000, sum(d) = 100 -> M = 10
+        assert minimum_beacons(single_window()) == 10
+
+    def test_theorem_4_3_ceiling(self):
+        # T_C = 1050, sum(d) = 100 -> M = ceil(10.5) = 11
+        assert minimum_beacons(single_window(duration=100, period=1_050)) == 11
+
+    def test_multi_window(self):
+        c = ReceptionSchedule.from_pairs([(0, 60), (500, 40)], period=1_000)
+        assert minimum_beacons(c) == 10
+
+
+class TestBeaconCoverageSet:
+    def test_zero_shift_is_window_itself(self):
+        omega = beacon_coverage_set(0, single_window())
+        assert omega.intervals[0].start == 0
+        assert omega.intervals[0].end == 100
+        assert omega.measure == 100
+
+    def test_shift_moves_left_with_wrap(self):
+        omega = beacon_coverage_set(150, single_window())
+        # window [0,100) shifted left 150 -> [-150,-50) -> wraps to [850,950)
+        assert omega.intervals == (
+            pytest.approx(omega.intervals),
+        ) or omega.contains(850)
+        assert omega.measure == 100
+        assert omega.contains(850) and omega.contains(949)
+        assert not omega.contains(950)
+
+    def test_theorem_4_2_coverage_per_beacon_invariant(self):
+        # Every beacon induces exactly sum(d_k) coverage regardless of shift.
+        c = ReceptionSchedule.from_pairs([(0, 37), (400, 63)], period=1_000)
+        for shift in [0, 1, 99, 250, 999, 1_000, 12_345]:
+            assert beacon_coverage_set(shift, c).measure == 100
+
+    @given(shift=st.integers(0, 100_000))
+    @settings(max_examples=80)
+    def test_theorem_4_2_property(self, shift):
+        c = ReceptionSchedule.from_pairs([(0, 10), (50, 30), (200, 60)], 1_000)
+        assert beacon_coverage_set(shift, c).measure == 100
+
+
+class TestCoverageMapDeterminism:
+    def test_perfect_tiling_is_deterministic_and_disjoint(self):
+        # 10 beacons, gap 1100 = 11 * 100: stride 11 mod 10 = 1, coprime.
+        shifts = [i * 1_100 for i in range(10)]
+        cover = CoverageMap(shifts, single_window())
+        assert cover.is_deterministic()
+        assert cover.is_disjoint()
+        assert cover.coverage() == 1_000
+        assert cover.redundancy() == 0
+
+    def test_bad_stride_leaves_gaps(self):
+        # gap 1000 = T_C: every beacon covers the same offsets.
+        shifts = [i * 1_000 for i in range(10)]
+        cover = CoverageMap(shifts, single_window())
+        assert not cover.is_deterministic()
+        assert cover.uncovered_set().measure == 900
+        assert cover.max_multiplicity() == 10  # all stacked on one residue
+
+    def test_noncoprime_stride_gaps(self):
+        # stride 12 mod 10 = 2, gcd 2: covers only even residues.
+        shifts = [i * 1_200 for i in range(10)]
+        cover = CoverageMap(shifts, single_window())
+        assert not cover.is_deterministic()
+        assert cover.uncovered_set().measure == 500
+
+    def test_too_few_beacons_cannot_be_deterministic(self):
+        # Theorem 4.3: 9 beacons < M = 10 can never cover T_C.
+        shifts = [i * 1_100 for i in range(9)]
+        cover = CoverageMap(shifts, single_window())
+        assert not cover.is_deterministic()
+
+    def test_redundant_map(self):
+        # 20 beacons with coprime stride cover everything twice.
+        shifts = [i * 1_100 for i in range(20)]
+        cover = CoverageMap(shifts, single_window())
+        assert cover.is_deterministic()
+        assert cover.is_redundant()
+        assert cover.min_multiplicity() == 2
+        assert cover.redundancy() == 1_000
+
+    def test_requires_first_shift_zero(self):
+        with pytest.raises(ValueError):
+            CoverageMap([5, 10], single_window())
+
+    def test_requires_sorted_shifts(self):
+        with pytest.raises(ValueError):
+            CoverageMap([0, 500, 300], single_window())
+
+
+class TestCoverageMapFromSchedules:
+    def test_hyperperiod_unroll(self):
+        beacons = BeaconSchedule.uniform(n_beacons=1, gap=1_100, duration=32)
+        cover = CoverageMap.from_schedules(beacons, single_window())
+        # lcm(1100, 1000) = 11000 -> 10 beacons
+        assert cover.n_beacons == 10
+        assert cover.is_deterministic()
+
+    def test_max_beacons_cap(self):
+        beacons = BeaconSchedule.uniform(n_beacons=1, gap=1_100, duration=32)
+        cover = CoverageMap.from_schedules(
+            beacons, single_window(), max_beacons=4
+        )
+        assert cover.n_beacons == 4
+        assert not cover.is_deterministic()
+
+
+class TestLatency:
+    def _tiling_map(self):
+        shifts = [i * 1_100 for i in range(10)]
+        return CoverageMap(shifts, single_window())
+
+    def test_first_covering_beacon(self):
+        cover = self._tiling_map()
+        # Offset 0..99 covered by beacon 0 directly.
+        assert cover.first_covering_beacon(50) == 0
+        # Offset in [900, 1000): beacon shifted by 1100 covers [-1100,-1000)
+        # -> wrapped [900, 1000): beacon 1.
+        assert cover.first_covering_beacon(950) == 1
+
+    def test_uncovered_offset_returns_none(self):
+        shifts = [0]
+        cover = CoverageMap(shifts, single_window())
+        assert cover.first_covering_beacon(500) is None
+        assert cover.packet_latency(500) is None
+
+    def test_packet_latency_values(self):
+        cover = self._tiling_map()
+        assert cover.packet_latency(50) == 0
+        assert cover.packet_latency(950) == 1_100
+
+    def test_worst_packet_latency(self):
+        cover = self._tiling_map()
+        # Last-covered residue needs 9 gaps: 9 * 1100.
+        assert cover.worst_packet_latency() == 9 * 1_100
+
+    def test_worst_latency_none_when_not_deterministic(self):
+        cover = CoverageMap([0], single_window())
+        assert cover.worst_packet_latency() is None
+        assert cover.mean_packet_latency() is None
+
+    def test_mean_packet_latency_uniform_tiling(self):
+        cover = self._tiling_map()
+        # Each of the 10 residue blocks has latency i*1100, i = 0..9.
+        expected = sum(i * 1_100 for i in range(10)) / 10
+        assert cover.mean_packet_latency() == pytest.approx(expected)
+
+    def test_latency_pieces_partition_coverage(self):
+        cover = self._tiling_map()
+        pieces = cover.latency_pieces()
+        assert sum(iv.length for iv, _ in pieces) == 1_000
+
+    def test_latency_pieces_first_beacon_wins(self):
+        # Redundant map: offsets covered twice get the EARLIER latency.
+        shifts = [i * 1_100 for i in range(20)]
+        cover = CoverageMap(shifts, single_window())
+        assert cover.worst_packet_latency() == 9 * 1_100
+
+
+class TestCoverageProperties:
+    @given(stride=st.integers(1, 30), k=st.integers(2, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_coprime_stride_iff_deterministic(self, stride, k):
+        """The number-theoretic heart of the optimal construction: a
+        uniform beacon train with gap stride*d tiles [0, k*d) iff
+        gcd(stride mod k, k) == 1 (with exactly k beacons)."""
+        import math
+
+        d = 50
+        reception = ReceptionSchedule.single_window(duration=d, period=k * d)
+        shifts = [i * stride * d for i in range(k)]
+        cover = CoverageMap(shifts, reception)
+        r = stride % k
+        expect = r != 0 and math.gcd(r, k) == 1
+        assert cover.is_deterministic() == expect
+        if expect:
+            assert cover.is_disjoint()
+
+    @given(
+        k=st.integers(1, 10),
+        n_beacons=st.integers(1, 30),
+        stride=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_equals_beacons_times_window(self, k, n_beacons, stride):
+        """Theorem 4.2 aggregated: Lambda = m * sum(d)."""
+        d = 20
+        reception = ReceptionSchedule.single_window(duration=d, period=k * d)
+        shifts = [i * stride * d for i in range(n_beacons)]
+        cover = CoverageMap(shifts, reception)
+        assert cover.coverage() == n_beacons * d

@@ -1,0 +1,283 @@
+"""Unit and property tests for the interval calculus substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import (
+    Interval,
+    IntervalSet,
+    integral_of_counts,
+    lcm,
+    multiset_coverage,
+    wrap_interval,
+)
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(2, 7).length == 5
+
+    def test_empty_interval_has_zero_length(self):
+        assert Interval(5, 5).length == 0
+        assert Interval(7, 3).length == 0
+
+    def test_is_empty(self):
+        assert Interval(3, 3).is_empty
+        assert not Interval(3, 4).is_empty
+
+    def test_contains_is_half_open(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2)
+        assert iv.contains(4)
+        assert not iv.contains(5)
+        assert not iv.contains(1)
+
+    def test_shifted(self):
+        assert Interval(1, 3).shifted(10) == Interval(11, 13)
+        assert Interval(1, 3).shifted(-2) == Interval(-1, 1)
+
+    def test_intersects(self):
+        assert Interval(0, 5).intersects(Interval(4, 10))
+        assert not Interval(0, 5).intersects(Interval(5, 10))  # half-open
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 2).intersection(Interval(3, 4)).is_empty
+
+
+class TestWrapInterval:
+    def test_inside_domain_unchanged(self):
+        assert wrap_interval(Interval(1, 3), 10) == [Interval(1, 3)]
+
+    def test_straddling_origin_splits(self):
+        pieces = wrap_interval(Interval(8, 12), 10)
+        assert pieces == [Interval(8, 10), Interval(0, 2)]
+
+    def test_negative_interval_wraps(self):
+        pieces = wrap_interval(Interval(-3, -1), 10)
+        assert pieces == [Interval(7, 9)]
+
+    def test_negative_straddle(self):
+        pieces = wrap_interval(Interval(-2, 1), 10)
+        assert sorted(pieces, key=lambda i: i.start) == [
+            Interval(0, 1),
+            Interval(8, 10),
+        ]
+
+    def test_longer_than_period_covers_everything(self):
+        assert wrap_interval(Interval(3, 25), 10) == [Interval(0, 10)]
+
+    def test_empty_input(self):
+        assert wrap_interval(Interval(4, 4), 10) == []
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            wrap_interval(Interval(0, 1), 0)
+
+    @given(
+        start=st.integers(-1000, 1000),
+        length=st.integers(1, 500),
+        period=st.integers(1, 300),
+    )
+    def test_wrap_preserves_measure_up_to_period(self, start, length, period):
+        pieces = wrap_interval(Interval(start, start + length), period)
+        total = sum(p.length for p in pieces)
+        assert total == min(length, period)
+
+    @given(
+        start=st.integers(-1000, 1000),
+        length=st.integers(1, 500),
+        period=st.integers(1, 300),
+    )
+    def test_wrap_stays_in_domain(self, start, length, period):
+        for piece in wrap_interval(Interval(start, start + length), period):
+            assert 0 <= piece.start < piece.end <= period
+
+
+class TestIntervalSet:
+    def test_normalization_merges_overlaps(self):
+        s = IntervalSet([Interval(0, 5), Interval(3, 8), Interval(10, 12)])
+        assert s.intervals == (Interval(0, 8), Interval(10, 12))
+
+    def test_normalization_merges_adjacent(self):
+        s = IntervalSet([Interval(0, 5), Interval(5, 8)])
+        assert s.intervals == (Interval(0, 8),)
+
+    def test_empty_intervals_dropped(self):
+        s = IntervalSet([Interval(3, 3), Interval(1, 2)])
+        assert s.intervals == (Interval(1, 2),)
+
+    def test_measure(self):
+        s = IntervalSet([Interval(0, 4), Interval(10, 11)])
+        assert s.measure == 5
+
+    def test_contains_binary_search(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 9), Interval(20, 21)])
+        assert s.contains(0)
+        assert s.contains(8)
+        assert s.contains(20)
+        assert not s.contains(2)
+        assert not s.contains(4)
+        assert not s.contains(21)
+
+    def test_union(self):
+        a = IntervalSet([Interval(0, 3)])
+        b = IntervalSet([Interval(2, 6)])
+        assert a.union(b).intervals == (Interval(0, 6),)
+
+    def test_intersection(self):
+        a = IntervalSet([Interval(0, 5), Interval(8, 12)])
+        b = IntervalSet([Interval(3, 9)])
+        assert a.intersection(b).intervals == (Interval(3, 5), Interval(8, 9))
+
+    def test_difference(self):
+        a = IntervalSet([Interval(0, 10)])
+        b = IntervalSet([Interval(2, 4), Interval(6, 7)])
+        assert a.difference(b).intervals == (
+            Interval(0, 2),
+            Interval(4, 6),
+            Interval(7, 10),
+        )
+
+    def test_complement(self):
+        s = IntervalSet([Interval(2, 4)])
+        assert s.complement(10).intervals == (Interval(0, 2), Interval(4, 10))
+
+    def test_covers_exact(self):
+        assert IntervalSet([Interval(0, 5), Interval(5, 10)]).covers(10)
+        assert not IntervalSet([Interval(0, 5), Interval(6, 10)]).covers(10)
+
+    def test_covers_with_tolerance(self):
+        gappy = IntervalSet([Interval(0, 5), Interval(6, 10)])
+        assert gappy.covers(10, tolerance=1)
+        assert not gappy.covers(10, tolerance=0.5)
+
+    def test_wrapped(self):
+        s = IntervalSet([Interval(-2, 1), Interval(4, 5)])
+        w = s.wrapped(10)
+        assert w.intervals == (Interval(0, 1), Interval(4, 5), Interval(8, 10))
+
+    def test_boundaries(self):
+        s = IntervalSet([Interval(1, 3), Interval(7, 9)])
+        assert s.boundaries() == [1, 3, 7, 9]
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([Interval(0, 2), Interval(2, 4)])
+        b = IntervalSet([Interval(0, 4)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(1, 30)),
+            max_size=12,
+        )
+    )
+    def test_union_is_idempotent(self, pairs):
+        s = IntervalSet(Interval(a, a + d) for a, d in pairs)
+        assert s.union(s) == s
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 100), st.integers(1, 30)), max_size=10),
+        st.lists(st.tuples(st.integers(0, 100), st.integers(1, 30)), max_size=10),
+    )
+    def test_demorgan_within_domain(self, pairs_a, pairs_b):
+        period = 200
+        a = IntervalSet(Interval(s, s + d) for s, d in pairs_a)
+        b = IntervalSet(Interval(s, s + d) for s, d in pairs_b)
+        lhs = a.union(b).complement(period)
+        rhs = a.complement(period).intersection(b.complement(period))
+        assert lhs == rhs
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 100), st.integers(1, 30)), max_size=10),
+        st.lists(st.tuples(st.integers(0, 100), st.integers(1, 30)), max_size=10),
+    )
+    def test_difference_disjoint_from_subtrahend(self, pairs_a, pairs_b):
+        a = IntervalSet(Interval(s, s + d) for s, d in pairs_a)
+        b = IntervalSet(Interval(s, s + d) for s, d in pairs_b)
+        assert a.difference(b).intersection(b).is_empty
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 100), st.integers(1, 30)), max_size=10),
+        st.lists(st.tuples(st.integers(0, 100), st.integers(1, 30)), max_size=10),
+    )
+    def test_inclusion_exclusion_measure(self, pairs_a, pairs_b):
+        a = IntervalSet(Interval(s, s + d) for s, d in pairs_a)
+        b = IntervalSet(Interval(s, s + d) for s, d in pairs_b)
+        assert (
+            a.union(b).measure + a.intersection(b).measure
+            == a.measure + b.measure
+        )
+
+
+class TestMultisetCoverage:
+    def test_disjoint_sets_give_unit_depth(self):
+        sets = [
+            IntervalSet([Interval(0, 3)]),
+            IntervalSet([Interval(3, 6)]),
+        ]
+        pieces = multiset_coverage(sets, 6)
+        assert all(count == 1 for _, count in pieces)
+
+    def test_overlap_counted(self):
+        sets = [
+            IntervalSet([Interval(0, 4)]),
+            IntervalSet([Interval(2, 6)]),
+        ]
+        pieces = dict(
+            ((p.start, p.end), c) for p, c in multiset_coverage(sets, 6)
+        )
+        assert pieces[(0, 2)] == 1
+        assert pieces[(2, 4)] == 2
+        assert pieces[(4, 6)] == 1
+
+    def test_gap_has_zero_count(self):
+        sets = [IntervalSet([Interval(0, 2)])]
+        pieces = multiset_coverage(sets, 5)
+        assert (Interval(2, 5), 0) in pieces
+
+    def test_integral_matches_total_measure(self):
+        sets = [
+            IntervalSet([Interval(0, 4)]),
+            IntervalSet([Interval(2, 6)]),
+            IntervalSet([Interval(1, 3)]),
+        ]
+        pieces = multiset_coverage(sets, 6)
+        assert integral_of_counts(pieces) == sum(s.measure for s in sets)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 50), st.integers(1, 20)), max_size=5
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50)
+    def test_pieces_partition_domain(self, groups):
+        period = 60
+        sets = [
+            IntervalSet(Interval(s, s + d) for s, d in grp).wrapped(period)
+            for grp in groups
+        ]
+        pieces = multiset_coverage(sets, period)
+        # Pieces tile [0, period) exactly, in order, with no gaps.
+        assert pieces[0][0].start == 0
+        assert pieces[-1][0].end == period
+        for (left, _), (right, _) in zip(pieces, pieces[1:]):
+            assert left.end == right.start
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+        assert lcm(7, 7) == 7
+        assert lcm(1, 9) == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lcm(0, 3)
+        with pytest.raises(ValueError):
+            lcm(4, -2)

@@ -1,0 +1,217 @@
+"""Tests of optimal-schedule synthesis: the constructive side of Section 5."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounds
+from repro.core.coverage import CoverageMap
+from repro.core.optimal import (
+    coprime_stride_near,
+    plan_unidirectional,
+    synthesize_asymmetric,
+    synthesize_constrained,
+    synthesize_redundant,
+    synthesize_symmetric,
+    synthesize_unidirectional,
+)
+
+
+class TestCoprimeStride:
+    @given(target=st.integers(1, 500), k=st.integers(1, 60))
+    def test_result_is_valid_stride(self, target, k):
+        n = coprime_stride_near(target, k)
+        assert n >= 1
+        if k > 1:
+            assert n % k != 0
+            assert math.gcd(n % k, k) == 1
+
+    @given(target=st.integers(1, 500), k=st.integers(2, 60))
+    def test_result_is_close(self, target, k):
+        n = coprime_stride_near(target, k)
+        # Some residue coprime to k exists within any k consecutive integers.
+        assert abs(n - target) <= k
+
+    def test_k_one_returns_target(self):
+        assert coprime_stride_near(17, 1) == 17
+
+    def test_exact_when_already_valid(self):
+        assert coprime_stride_near(11, 10) == 11
+
+
+class TestSynthesizeUnidirectional:
+    def test_design_attains_theorem_5_4_exactly(self):
+        design = synthesize_unidirectional(omega=32, window=320, k=10, stride=11)
+        assert design.deterministic and design.disjoint
+        predicted = bounds.unidirectional_bound(32, design.beta, design.gamma)
+        assert design.worst_case_latency == predicted
+
+    def test_gamma_is_exactly_one_over_k(self):
+        design = synthesize_unidirectional(omega=32, window=100, k=7, stride=8)
+        assert design.gamma == pytest.approx(1 / 7)
+
+    def test_rejects_noncoprime_stride(self):
+        with pytest.raises(ValueError, match="not a coverage stride"):
+            synthesize_unidirectional(omega=32, window=100, k=10, stride=12)
+
+    def test_rejects_gap_shorter_than_beacon(self):
+        with pytest.raises(ValueError, match="shorter than the beacon"):
+            synthesize_unidirectional(omega=500, window=100, k=3, stride=1)
+
+    def test_redundant_design_covers_q_times(self):
+        design = synthesize_unidirectional(
+            omega=32, window=100, k=5, stride=6, redundancy=3
+        )
+        assert design.deterministic
+        assert not design.disjoint
+        shifts = [i * design.beacons.period for i in range(3 * 5)]
+        cover = CoverageMap(shifts, design.reception)
+        assert cover.min_multiplicity() == 3
+        assert cover.max_multiplicity() == 3
+
+    @given(
+        k=st.integers(1, 40),
+        stride_target=st.integers(1, 80),
+        window=st.sampled_from([64, 100, 320, 1000]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_integer_design_verifies(self, k, stride_target, window):
+        """Property: any synthesized design is deterministic, disjoint and
+        attains its own Theorem-5.4 bound exactly."""
+        stride = coprime_stride_near(stride_target, k)
+        if stride * window < 32:
+            return
+        design = synthesize_unidirectional(
+            omega=32, window=window, k=k, stride=stride
+        )
+        assert design.deterministic
+        assert design.disjoint
+        assert design.worst_case_latency == pytest.approx(
+            design.predicted_bound()
+        )
+
+
+class TestPlanUnidirectional:
+    def test_hits_continuous_targets_closely(self):
+        design = plan_unidirectional(omega=32, target_beta=0.01, target_gamma=0.01)
+        assert design.deterministic
+        assert design.gamma == pytest.approx(0.01, rel=0.05)
+        assert design.beta == pytest.approx(0.01, rel=0.10)
+
+    def test_explicit_window(self):
+        design = plan_unidirectional(
+            omega=32, target_beta=0.005, target_gamma=0.02, window=64
+        )
+        assert design.reception.windows[0].duration == 64
+        assert design.deterministic
+
+    @given(
+        beta=st.floats(0.001, 0.2),
+        gamma=st.floats(0.01, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_achieved_latency_near_bound_at_targets(self, beta, gamma):
+        design = plan_unidirectional(omega=32, target_beta=beta, target_gamma=gamma)
+        assert design.deterministic
+        # Achieved latency equals the bound at the *achieved* duty-cycles...
+        assert design.worst_case_latency == pytest.approx(
+            bounds.unidirectional_bound(32, design.beta, design.gamma)
+        )
+        # ...and is within quantization error of the bound at the targets.
+        target_bound = bounds.unidirectional_bound(32, beta, gamma)
+        assert design.worst_case_latency <= target_bound * 1.6 + 1
+
+
+class TestSynthesizeSymmetric:
+    def test_splits_budget_optimally(self):
+        protocol, design = synthesize_symmetric(omega=32, eta=0.01)
+        assert design.beta == pytest.approx(0.005, rel=0.1)
+        assert design.gamma == pytest.approx(0.005, rel=0.05)
+
+    def test_latency_matches_symmetric_bound_at_achieved_eta(self):
+        protocol, design = synthesize_symmetric(omega=32, eta=0.02)
+        achieved_bound = bounds.symmetric_bound(32, protocol.eta)
+        # Quantization keeps us within a few percent of the bound at the
+        # achieved duty-cycle -- and never below it.
+        assert design.worst_case_latency >= achieved_bound * (1 - 1e-9)
+        assert design.worst_case_latency <= achieved_bound * 1.1
+
+    @given(eta=st.floats(0.004, 0.3), alpha=st.sampled_from([0.5, 1.0, 2.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_never_beats_the_bound(self, eta, alpha):
+        """No synthesized schedule may outperform Theorem 5.5 -- the
+        falsification test for the whole bound calculus."""
+        protocol, design = synthesize_symmetric(omega=32, eta=eta, alpha=alpha)
+        achieved_bound = bounds.symmetric_bound(32, protocol.eta, alpha)
+        assert design.worst_case_latency >= achieved_bound * (1 - 1e-9)
+
+
+class TestSynthesizeAsymmetric:
+    def test_two_way_latency_matches_theorem_5_7(self):
+        pe, pf, d_ef, d_fe = synthesize_asymmetric(32, eta_e=0.02, eta_f=0.005)
+        two_way = max(d_ef.worst_case_latency, d_fe.worst_case_latency)
+        achieved_bound = bounds.asymmetric_bound(32, pe.eta, pf.eta)
+        assert two_way >= achieved_bound * (1 - 1e-9)
+        assert two_way <= achieved_bound * 1.15
+
+    def test_directions_balanced(self):
+        """Optimal asymmetric protocols equalize L_EF and L_FE (proof of
+        Theorem 5.7)."""
+        _, _, d_ef, d_fe = synthesize_asymmetric(32, eta_e=0.02, eta_f=0.005)
+        assert d_ef.worst_case_latency == pytest.approx(
+            d_fe.worst_case_latency, rel=0.15
+        )
+
+    def test_devices_carry_correct_budgets(self):
+        pe, pf, _, _ = synthesize_asymmetric(32, eta_e=0.04, eta_f=0.01)
+        assert pe.eta == pytest.approx(0.04, rel=0.1)
+        assert pf.eta == pytest.approx(0.01, rel=0.1)
+
+
+class TestSynthesizeConstrained:
+    def test_cap_not_binding_reduces_to_symmetric(self):
+        eta = 0.01
+        protocol, design = synthesize_constrained(32, eta, beta_max=0.5)
+        assert design.beta == pytest.approx(eta / 2, rel=0.1)
+
+    def test_binding_cap_shifts_budget_to_reception(self):
+        eta, beta_max = 0.05, 0.005
+        protocol, design = synthesize_constrained(32, eta, beta_max)
+        assert design.beta <= beta_max * 1.05
+        assert design.gamma == pytest.approx(eta - beta_max, rel=0.1)
+
+    def test_latency_matches_theorem_5_6(self):
+        eta, beta_max = 0.05, 0.005
+        _, design = synthesize_constrained(32, eta, beta_max)
+        predicted = bounds.constrained_bound(
+            32, design.beta + design.gamma, design.beta
+        )
+        assert design.worst_case_latency == pytest.approx(predicted, rel=0.05)
+
+    def test_always_feasible(self):
+        """beta = min(beta_max, eta/2a) always leaves gamma >= eta/2 > 0."""
+        _, design = synthesize_constrained(32, eta=0.004, beta_max=0.004)
+        assert design.gamma > 0
+        assert design.deterministic
+
+
+class TestSynthesizeRedundant:
+    def test_plan_matches_appendix_b_shape(self):
+        protocol, design = synthesize_redundant(
+            omega=32, eta=0.05, redundancy=3, target_pf=0.0005, n_senders=3
+        )
+        assert design.deterministic
+        assert not design.disjoint
+        # Channel utilization near the worked example's 2.07%.
+        assert design.beta == pytest.approx(0.0207, rel=0.1)
+
+    def test_slack_constraint_uses_optimal_split(self):
+        """When the failure cap exceeds eta/2a, the redundant schedule
+        falls back to the latency-optimal channel utilization."""
+        _, design = synthesize_redundant(
+            omega=32, eta=0.001, redundancy=5, target_pf=0.9, n_senders=3
+        )
+        assert design.beta == pytest.approx(0.0005, rel=0.1)
+        assert design.deterministic

@@ -1,0 +1,96 @@
+"""Tests of the power model and Appendix-A.2 duty-cycle accounting."""
+
+import pytest
+
+from repro.core.power import effective_duty_cycles, PowerModel, TYPICAL_RADIOS
+from repro.core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
+
+
+class TestPowerModel:
+    def test_alpha(self):
+        model = PowerModel(tx_power=20.0, rx_power=10.0)
+        assert model.alpha == 2.0
+
+    def test_is_ideal(self):
+        assert PowerModel(1.0, 1.0).is_ideal
+        assert not PowerModel(1.0, 1.0, switch_tx=10).is_ideal
+
+    def test_average_power(self):
+        model = PowerModel(tx_power=20.0, rx_power=10.0, sleep_power=0.1)
+        # 1% tx, 2% rx, 97% sleep
+        expected = 20 * 0.01 + 10 * 0.02 + 0.1 * 0.97
+        assert model.average_power(0.01, 0.02) == pytest.approx(expected)
+
+    def test_average_power_validates_fractions(self):
+        model = PowerModel(1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.average_power(0.8, 0.3)
+        with pytest.raises(ValueError):
+            model.average_power(-0.1, 0.2)
+
+    def test_energy_per_discovery(self):
+        model = PowerModel(tx_power=10.0, rx_power=10.0)
+        energy = model.energy_per_discovery(0.01, 0.01, latency=1_000_000)
+        assert energy == pytest.approx(10 * 0.02 * 1_000_000)
+
+    def test_weighted_duty_cycle(self):
+        model = PowerModel(tx_power=20.0, rx_power=10.0)
+        assert model.weighted_duty_cycle(0.01, 0.03) == pytest.approx(
+            2 * 0.01 + 0.03
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(tx_power=0, rx_power=1)
+        with pytest.raises(ValueError):
+            PowerModel(tx_power=1, rx_power=1, switch_tx=-1)
+
+
+class TestEffectiveDutyCycles:
+    def test_ideal_radio_matches_schedule_duty_cycles(self):
+        model = PowerModel(1.0, 1.0)
+        beacons = BeaconSchedule.uniform(1, 1_000, 32)
+        reception = ReceptionSchedule.single_window(100, 10_000)
+        beta, gamma = effective_duty_cycles(model, beacons, reception)
+        assert beta == pytest.approx(beacons.duty_cycle)
+        assert gamma == pytest.approx(reception.duty_cycle)
+
+    def test_equation_24_tx_overhead(self):
+        model = PowerModel(1.0, 1.0, switch_tx=32)
+        beacons = BeaconSchedule.uniform(1, 1_000, 32)
+        beta, _ = effective_duty_cycles(model, beacons, None)
+        # Each beacon's effective airtime doubles: (32 + 32) / 1000.
+        assert beta == pytest.approx(0.064)
+
+    def test_equation_25_rx_overhead_scales_with_window_count(self):
+        model = PowerModel(1.0, 1.0, switch_rx=50)
+        one_window = ReceptionSchedule.single_window(200, 10_000)
+        two_windows = ReceptionSchedule.from_pairs(
+            [(0, 100), (5_000, 100)], 10_000
+        )
+        _, gamma_one = effective_duty_cycles(model, None, one_window)
+        _, gamma_two = effective_duty_cycles(model, None, two_windows)
+        # Same listening time, but two switching overheads instead of one:
+        # the Appendix-A.2 argument for single-window periods.
+        assert gamma_two > gamma_one
+
+    def test_protocol_average_power_includes_overheads(self):
+        ble = TYPICAL_RADIOS["ble-soc"]
+        protocol = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 100_000, 32),
+            reception=ReceptionSchedule.single_window(1_000, 100_000),
+        )
+        with_overheads = ble.protocol_average_power(protocol)
+        ideal_power = ble.average_power(protocol.beta, protocol.gamma)
+        assert with_overheads > ideal_power
+
+
+class TestTypicalRadios:
+    def test_catalogue_entries_valid(self):
+        for name, model in TYPICAL_RADIOS.items():
+            assert model.name == name
+            assert model.alpha > 0
+
+    def test_ideal_entry_is_ideal(self):
+        assert TYPICAL_RADIOS["ideal"].is_ideal
+        assert not TYPICAL_RADIOS["ble-soc"].is_ideal

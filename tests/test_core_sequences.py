@@ -1,0 +1,211 @@
+"""Unit tests for the sequence model (Section 3 definitions)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sequences import (
+    Beacon,
+    BeaconSchedule,
+    NDProtocol,
+    ReceptionSchedule,
+    ReceptionWindow,
+)
+
+
+class TestReceptionWindow:
+    def test_end_and_interval(self):
+        w = ReceptionWindow(10, 5)
+        assert w.end == 15
+        assert w.interval.start == 10 and w.interval.end == 15
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            ReceptionWindow(0, 0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            ReceptionWindow(-1, 5)
+
+
+class TestBeacon:
+    def test_end(self):
+        assert Beacon(100, 32).end == 132
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            Beacon(0, 0)
+        with pytest.raises(ValueError):
+            Beacon(-5, 10)
+
+
+class TestReceptionSchedule:
+    def test_duty_cycle_single_window(self):
+        c = ReceptionSchedule.single_window(duration=100, period=10_000)
+        assert c.duty_cycle == pytest.approx(0.01)
+        assert c.duty_cycle_exact() == Fraction(1, 100)
+
+    def test_duty_cycle_multi_window(self):
+        c = ReceptionSchedule.from_pairs([(0, 50), (500, 150)], period=1_000)
+        assert c.listen_time_per_period == 200
+        assert c.duty_cycle == pytest.approx(0.2)
+        assert c.n_windows == 2
+
+    def test_rejects_overlapping_windows(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ReceptionSchedule.from_pairs([(0, 100), (50, 100)], period=1_000)
+
+    def test_rejects_window_past_period(self):
+        with pytest.raises(ValueError, match="period"):
+            ReceptionSchedule.single_window(duration=200, period=100)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ReceptionSchedule((), 100)
+
+    def test_iter_windows_absolute_times(self):
+        c = ReceptionSchedule.single_window(duration=10, period=100)
+        starts = [w.start for w in c.iter_windows(until=350)]
+        assert starts == [0, 100, 200, 300]
+
+    def test_iter_windows_with_phase(self):
+        c = ReceptionSchedule.single_window(duration=10, period=100)
+        starts = [w.start for w in c.iter_windows(until=300, phase=42)]
+        assert starts == [42, 142, 242]
+
+    def test_is_listening_half_open(self):
+        c = ReceptionSchedule.single_window(duration=10, period=100)
+        assert c.is_listening(0)
+        assert c.is_listening(9)
+        assert not c.is_listening(10)
+        assert c.is_listening(100)
+        assert c.is_listening(105, phase=5) and not c.is_listening(4, phase=5)
+
+    def test_window_intervals(self):
+        c = ReceptionSchedule.from_pairs([(0, 5), (50, 10)], period=100)
+        assert c.window_intervals().measure == 15
+
+    def test_equality(self):
+        a = ReceptionSchedule.single_window(10, 100)
+        b = ReceptionSchedule.single_window(10, 100)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestBeaconSchedule:
+    def test_uniform_construction(self):
+        b = BeaconSchedule.uniform(n_beacons=4, gap=250, duration=32)
+        assert b.period == 1_000
+        assert b.n_beacons == 4
+        assert b.gaps == (250, 250, 250, 250)
+        assert b.mean_gap == 250
+        assert b.duty_cycle == pytest.approx(4 * 32 / 1_000)
+
+    def test_gaps_include_wraparound(self):
+        b = BeaconSchedule.from_times([0, 100, 300], period=1_000, duration=10)
+        assert b.gaps == (100, 200, 700)
+        assert sum(b.gaps) == b.period
+        assert b.max_gap == 700
+
+    def test_max_gap_sum_cyclic(self):
+        b = BeaconSchedule.from_times([0, 100, 300], period=1_000, duration=10)
+        assert b.max_gap_sum(1) == 700
+        assert b.max_gap_sum(2) == 900  # 200 + 700
+        assert b.max_gap_sum(3) == 1_000
+
+    def test_max_gap_sum_longer_than_period(self):
+        b = BeaconSchedule.from_times([0, 500], period=1_000, duration=10)
+        assert b.max_gap_sum(4) == 2_000
+        assert b.max_gap_sum(5) == 2_500
+
+    def test_rejects_overlapping_beacons(self):
+        with pytest.raises(ValueError, match="overlap"):
+            BeaconSchedule.from_times([0, 10], period=1_000, duration=20)
+
+    def test_straddling_last_beacon_allowed(self):
+        # The Appendix-C construction needs the final beacon to wrap: it
+        # may spill into the next instance as long as it clears the next
+        # instance's first beacon.
+        b = BeaconSchedule([Beacon(100, 10), Beacon(990, 32)], period=1_000)
+        assert b.n_beacons == 2
+
+    def test_straddle_into_next_first_beacon_rejected(self):
+        with pytest.raises(ValueError, match="wraps"):
+            BeaconSchedule([Beacon(5, 10), Beacon(995, 32)], period=1_000)
+
+    def test_beacon_starting_at_period_rejected(self):
+        with pytest.raises(ValueError, match="beyond the period"):
+            BeaconSchedule([Beacon(1_000, 10)], period=1_000)
+
+    def test_iter_beacons(self):
+        b = BeaconSchedule.uniform(n_beacons=2, gap=100, duration=10)
+        times = [x.time for x in b.iter_beacons(until=450)]
+        assert times == [0, 100, 200, 300, 400]
+
+    def test_beacon_times_with_phase(self):
+        b = BeaconSchedule.uniform(n_beacons=1, gap=300, duration=10)
+        assert b.beacon_times(3, phase=7) == [7, 307, 607]
+
+    @given(
+        n=st.integers(1, 8),
+        gap=st.integers(50, 500),
+        duration=st.integers(1, 40),
+    )
+    def test_uniform_gap_sum_equals_period(self, n, gap, duration):
+        gap = max(gap, duration + 1)
+        b = BeaconSchedule.uniform(n, gap, duration)
+        assert sum(b.gaps) == b.period
+        assert b.max_gap_sum(n) == b.period
+
+
+class TestNDProtocol:
+    def _proto(self, alpha=1.0):
+        return NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 1_000, 32),
+            reception=ReceptionSchedule.single_window(100, 10_000),
+            alpha=alpha,
+        )
+
+    def test_duty_cycles(self):
+        p = self._proto()
+        assert p.beta == pytest.approx(0.032)
+        assert p.gamma == pytest.approx(0.01)
+        assert p.eta == pytest.approx(0.042)
+
+    def test_alpha_weighting(self):
+        p = self._proto(alpha=2.0)
+        assert p.eta == pytest.approx(2 * 0.032 + 0.01)
+
+    def test_tx_only_protocol(self):
+        p = NDProtocol(beacons=BeaconSchedule.uniform(1, 1_000, 32), reception=None)
+        assert p.gamma == 0.0 and p.beta > 0
+
+    def test_rx_only_protocol(self):
+        p = NDProtocol(
+            beacons=None, reception=ReceptionSchedule.single_window(100, 1_000)
+        )
+        assert p.beta == 0.0 and p.gamma == pytest.approx(0.1)
+
+    def test_rejects_empty_protocol(self):
+        with pytest.raises(ValueError):
+            NDProtocol(beacons=None, reception=None)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            self._proto(alpha=0)
+
+    def test_sequences_overlap_detection(self):
+        # Beacon at 0 inside window [0, 100): overlap.
+        p = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 10_000, 32),
+            reception=ReceptionSchedule.single_window(100, 10_000),
+        )
+        assert p.sequences_overlap()
+
+    def test_sequences_no_overlap(self):
+        p = NDProtocol(
+            beacons=BeaconSchedule.from_times([5_000], 10_000, 32),
+            reception=ReceptionSchedule.single_window(100, 10_000),
+        )
+        assert not p.sequences_overlap()

@@ -1,0 +1,83 @@
+"""Tests of the doubly-infinite schedule semantics.
+
+Definition 3.4 models devices whose sequences have been running since
+before they came into range: the phase is a pure alignment, not a boot
+time.  ``iter_beacons_infinite`` implements that extension; these tests
+pin down its boundary behavior and its consistency with the plain
+instance-0-starts-at-phase iteration.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequences import Beacon, BeaconSchedule
+
+
+class TestIterBeaconsInfinite:
+    def test_phase_zero_matches_plain_iteration(self):
+        schedule = BeaconSchedule.from_times([0, 100, 450], 1_000, 32)
+        plain = [b.time for b in schedule.iter_beacons(until=3_000)]
+        infinite = [b.time for b in schedule.iter_beacons_infinite(until=3_000)]
+        assert plain == infinite
+
+    def test_large_phase_reduces_modulo_period(self):
+        schedule = BeaconSchedule.uniform(1, 1_000, 32)
+        times = [
+            b.time for b in schedule.iter_beacons_infinite(until=2_500, phase=7_300)
+        ]
+        assert times == [300, 1_300, 2_300]
+
+    def test_negative_history_beacon_surfaces_early(self):
+        """A phase near the period end pulls later in-period beacons of
+        the previous instance into [0, until)."""
+        schedule = BeaconSchedule.from_times([0, 900], 1_000, 32)
+        times = [
+            b.time for b in schedule.iter_beacons_infinite(until=1_000, phase=950)
+        ]
+        # phase 950: instance -1 has beacons at -50 (dropped: before 0)
+        # and 850; instance 0 at 950.
+        assert times == [850, 950]
+
+    def test_no_negative_times(self):
+        schedule = BeaconSchedule.from_times([0, 500], 1_000, 32)
+        for phase in (0, 1, 499, 500, 999, 123_456):
+            for beacon in schedule.iter_beacons_infinite(until=5_000, phase=phase):
+                assert beacon.time >= 0
+
+    @given(
+        phase=st.integers(0, 100_000),
+        gap=st.integers(50, 2_000),
+        until=st.integers(1, 20_000),
+    )
+    @settings(max_examples=80)
+    def test_times_form_arithmetic_progression(self, phase, gap, until):
+        schedule = BeaconSchedule.uniform(1, gap, 32)
+        times = [
+            b.time for b in schedule.iter_beacons_infinite(until=until, phase=phase)
+        ]
+        assert times == sorted(times)
+        for t in times:
+            assert 0 <= t < until
+            assert (t - phase) % gap == 0
+        # Completeness: every progression member in range is present.
+        expected = [
+            t for t in range(phase % gap, until, gap)
+        ]
+        assert times == expected
+
+    @given(phase=st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_phase_equivalence_mod_period(self, phase):
+        """Phases differing by a multiple of the period yield identical
+        on-air behavior."""
+        schedule = BeaconSchedule.from_times([10, 300], 1_000, 32)
+        base = [
+            b.time for b in schedule.iter_beacons_infinite(until=4_000, phase=phase)
+        ]
+        shifted = [
+            b.time
+            for b in schedule.iter_beacons_infinite(
+                until=4_000, phase=phase + 3_000
+            )
+        ]
+        assert base == shifted

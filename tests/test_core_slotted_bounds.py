@@ -1,0 +1,166 @@
+"""Tests of the slotted-protocol bounds and Table 1 (Section 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import slotted_bounds as sb
+from repro.core.bounds import constrained_bound, symmetric_bound
+
+OMEGA = 32e-6
+
+
+class TestSlottedDutyCycle:
+    def test_equation_17(self):
+        # eta = k (I + alpha omega) / (T I)
+        eta = sb.slotted_duty_cycle(
+            active_slots=10, total_slots=100, slot_length=1e-2, omega=OMEGA
+        )
+        assert eta == pytest.approx(10 * (1e-2 + OMEGA) / (100 * 1e-2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sb.slotted_duty_cycle(0, 100, 1e-2, OMEGA)
+        with pytest.raises(ValueError):
+            sb.slotted_duty_cycle(101, 100, 1e-2, OMEGA)
+
+
+class TestLatencyDutyCycleBounds:
+    def test_equation_18_alpha_one_matches_fundamental(self):
+        """For alpha = 1 the slotted bound (1+2a+a^2) = 4 equals Thm 5.5."""
+        for eta in (0.005, 0.02, 0.1):
+            assert sb.slotted_bound_one_beacon(OMEGA, eta, 1.0) == pytest.approx(
+                symmetric_bound(OMEGA, eta, 1.0)
+            )
+
+    @given(alpha=st.floats(0.25, 4.0), eta=st.floats(0.001, 0.5))
+    def test_equation_18_never_beats_fundamental(self, alpha, eta):
+        slotted = sb.slotted_bound_one_beacon(OMEGA, eta, alpha)
+        fundamental = symmetric_bound(OMEGA, eta, alpha)
+        assert slotted >= fundamental * (1 - 1e-12)
+
+    def test_equation_19_optimal_at_alpha_half(self):
+        """The two-beacon bound ties the fundamental bound only at a=1/2."""
+        alpha = sb.optimal_alpha_two_beacons()
+        assert alpha == 0.5
+        eta = 0.01
+        assert sb.slotted_bound_two_beacons(OMEGA, eta, alpha) == pytest.approx(
+            symmetric_bound(OMEGA, eta, alpha)
+        )
+
+    @given(alpha=st.floats(0.1, 4.0), eta=st.floats(0.001, 0.5))
+    def test_equation_19_never_beats_fundamental(self, alpha, eta):
+        slotted = sb.slotted_bound_two_beacons(OMEGA, eta, alpha)
+        fundamental = symmetric_bound(OMEGA, eta, alpha)
+        assert slotted >= fundamental * (1 - 1e-12)
+
+    def test_section_6_claim_two_beacons_lower_in_slots_not_in_time(self):
+        """[6,7] beats [16,17] in slots; in time it's equal or worse except
+        exactly at alpha=1/2 where both meet the fundamental bound."""
+        eta = 0.01
+        # alpha = 1: Eq 18 gives 4, Eq 19 gives 4.5 -> Eq 19 worse in time.
+        assert sb.slotted_bound_two_beacons(OMEGA, eta, 1.0) > (
+            sb.slotted_bound_one_beacon(OMEGA, eta, 1.0)
+        )
+
+
+class TestChannelUtilizationBound:
+    def test_equation_21_matches_theorem_5_6_when_binding(self):
+        """Below the kink (beta <= eta/2a) slotted protocols are optimal."""
+        eta = 0.05
+        for beta in (0.001, 0.01, 0.024):
+            assert beta <= eta / 2
+            assert sb.slotted_channel_utilization_bound(
+                OMEGA, eta, beta
+            ) == pytest.approx(constrained_bound(OMEGA, eta, beta))
+
+    def test_above_kink_slotted_cannot_reach_fundamental(self):
+        """For beta > eta/2a the fundamental bound stays at 4a w/eta^2 but
+        the slotted expression keeps growing."""
+        eta = 0.05
+        beta = 0.04  # > eta/2
+        slotted = sb.slotted_channel_utilization_bound(OMEGA, eta, beta)
+        fundamental = symmetric_bound(OMEGA, eta)
+        assert slotted > fundamental
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            sb.slotted_channel_utilization_bound(OMEGA, 0.01, beta=0.02)
+
+
+class TestTable1:
+    def test_diffcodes_equals_slotted_optimum(self):
+        eta, beta = 0.05, 0.01
+        assert sb.table1_diffcodes(OMEGA, eta, beta) == pytest.approx(
+            sb.slotted_channel_utilization_bound(OMEGA, eta, beta)
+        )
+
+    def test_protocol_constant_factors(self):
+        """Table 1's ordering: Diffcodes (1x) < Searchlight-S (2x) <
+        Disco (8x); U-Connect sits between Searchlight and Disco for
+        typical parameters."""
+        eta, beta = 0.05, 0.005
+        base = sb.table1_diffcodes(OMEGA, eta, beta)
+        assert sb.table1_searchlight_striped(OMEGA, eta, beta) == pytest.approx(
+            2 * base
+        )
+        assert sb.table1_disco(OMEGA, eta, beta) == pytest.approx(8 * base)
+        uconnect = sb.table1_uconnect(OMEGA, eta, beta)
+        assert base < uconnect < 8 * base
+
+    def test_uconnect_formula_structure(self):
+        """U-Connect per Table 1 at alpha=1:
+        (3w + sqrt(w^2 (8 eta - 8 beta + 9)))^2 / (8 w beta eta - 8 w beta^2).
+        Spot value computed independently."""
+        import math
+
+        eta, beta, w = 0.04, 0.004, OMEGA
+        expected = (3 * w + math.sqrt(w * w * (8 * eta - 8 * beta + 9))) ** 2 / (
+            8 * w * beta * eta - 8 * w * beta * beta
+        )
+        assert sb.table1_uconnect(w, eta, beta) == pytest.approx(expected)
+
+    def test_registry_contains_paper_rows(self):
+        assert set(sb.TABLE1_PROTOCOLS) == {
+            "Diffcodes",
+            "Disco",
+            "Searchlight-S",
+            "U-Connect",
+        }
+
+    @given(eta=st.floats(0.01, 0.3), frac=st.floats(0.05, 0.45))
+    def test_all_rows_above_fundamental(self, eta, frac):
+        beta = eta * frac
+        fundamental = constrained_bound(OMEGA, eta, beta)
+        for formula in sb.TABLE1_PROTOCOLS.values():
+            assert formula(OMEGA, eta, beta) >= fundamental * (1 - 1e-9)
+
+
+class TestSlotLengthAnalysis:
+    def test_figure_5_half_duplex_needs_long_slots(self):
+        """At I = 2 omega no overlap alignment yields a reception; the
+        success fraction grows towards 1 with the slot length."""
+        assert sb.slot_length_analysis(2.0).overlap_success_fraction == 0.0
+        assert sb.slot_length_analysis(4.0).overlap_success_fraction == 0.5
+        assert sb.slot_length_analysis(100.0).overlap_success_fraction == (
+            pytest.approx(0.98)
+        )
+
+    def test_latency_penalty_linear_in_slot_length(self):
+        assert sb.slot_length_analysis(10.0).latency_penalty == 10.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sb.slot_length_analysis(0)
+
+
+class TestOptimalityRatio:
+    def test_optimal_protocol_ratio_one(self):
+        eta = 0.01
+        latency = symmetric_bound(OMEGA, eta)
+        assert sb.optimality_ratio(latency, OMEGA, eta) == pytest.approx(1.0)
+
+    def test_suboptimal_ratio_above_one(self):
+        eta = 0.01
+        latency = 3 * symmetric_bound(OMEGA, eta)
+        assert sb.optimality_ratio(latency, OMEGA, eta) == pytest.approx(3.0)

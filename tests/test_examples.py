@@ -1,0 +1,44 @@
+"""Smoke tests: the runnable examples execute and print what they promise.
+
+The heavyweight examples (network simulations) run in the benchmark/CI
+pass; here the two fastest ones are executed in-process so a broken
+public API surfaces in the unit suite immediately.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Fundamental bounds" in out
+        assert "deterministic=True" in out
+        assert "0 failures" in out
+
+    def test_schedule_debugging(self, capsys):
+        out = run_example("schedule_debugging.py", capsys)
+        assert "deterministic, disjoint" in out
+        assert "NOT deterministic" in out  # the broken-stride map
+        assert "discovered" in out
+        assert "12/12 directed pairs" in out  # the advDelay cure
+
+    def test_examples_directory_complete(self):
+        """The README promises at least these six runnable examples."""
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "ble_advertising_scan.py",
+            "dense_network_collisions.py",
+            "asymmetric_gateway.py",
+            "protocol_shootout.py",
+            "schedule_debugging.py",
+        } <= present

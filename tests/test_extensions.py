@@ -1,0 +1,197 @@
+"""Tests of the extension features: fractional Appendix-B redundancy,
+Equation-31 self-blocking, grid quorums and the coverage visualizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import render_coverage_map, render_schedule
+from repro.core.collisions import (
+    failure_rate,
+    optimize_redundancy,
+    self_blocking_failure_probability,
+    solve_fractional_redundancy,
+)
+from repro.core.coverage import CoverageMap
+from repro.core.optimal import synthesize_unidirectional
+from repro.protocols import GridQuorum, Role
+
+
+class TestFractionalRedundancy:
+    def test_never_worse_than_integer_solution(self):
+        cases = [
+            (0.05, 0.0005, 3),
+            (0.05, 0.002, 5),
+            (0.03, 0.01, 10),
+            (0.10, 0.0001, 4),
+        ]
+        for eta, pf, s in cases:
+            integer_plan = optimize_redundancy(eta, pf, s, 32e-6)
+            plan, q = solve_fractional_redundancy(eta, pf, s, 32e-6)
+            assert plan.latency <= integer_plan.latency * (1 + 1e-9)
+            assert 0 <= q <= 1
+
+    def test_meets_failure_target(self):
+        plan, q = solve_fractional_redundancy(0.05, 0.002, 5, 32e-6)
+        achieved = failure_rate(plan.beta, plan.redundancy, q, 5)
+        assert achieved <= 0.002 * (1 + 1e-6)
+
+    def test_worked_example_unchanged(self):
+        """The paper's example sits at (or within numerical slack of) an
+        integer optimum: fractional search must not degrade it."""
+        plan, q = solve_fractional_redundancy(0.05, 0.0005, 3, 32e-6)
+        assert plan.redundancy == 3
+        assert plan.latency == pytest.approx(0.1583, abs=2e-3)
+
+    @given(
+        eta=st.floats(0.02, 0.1),
+        pf=st.floats(1e-4, 0.05),
+        senders=st.integers(3, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_dominates_integer(self, eta, pf, senders):
+        integer_plan = optimize_redundancy(eta, pf, senders, 32e-6)
+        plan, q = solve_fractional_redundancy(eta, pf, senders, 32e-6)
+        assert plan.latency <= integer_plan.latency * (1 + 1e-9)
+
+
+class TestSelfBlocking:
+    def test_equation_31_value(self):
+        # d_oTxRx + d_oRxTx + d_a = 150+150+32 over M * sum(d) = 40*1600.
+        p = self_blocking_failure_probability(150, 150, 32, 40, 1600)
+        assert p == pytest.approx(332 / 64_000)
+
+    def test_ideal_radio_still_blocks_packet_time(self):
+        # Even an ideal radio loses d_a = omega per overlap (A.5).
+        p = self_blocking_failure_probability(0, 0, 32, 40, 1600)
+        assert p == pytest.approx(32 / 64_000)
+
+    def test_more_listening_dilutes_blocking(self):
+        small = self_blocking_failure_probability(150, 150, 32, 10, 1000)
+        large = self_blocking_failure_probability(150, 150, 32, 10, 4000)
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self_blocking_failure_probability(1, 1, 1, 0, 100)
+        with pytest.raises(ValueError):
+            self_blocking_failure_probability(-1, 0, 0, 10, 100)
+
+    def test_matches_simulation_order_of_magnitude(self):
+        """The fraction of offsets deadlocked by self-blocking in a
+        symmetric optimal pair matches Eq. 31's prediction (ideal radio:
+        blocked time = omega per window overlap)."""
+        from repro.core.optimal import synthesize_symmetric
+        from repro.simulation import sweep_offsets
+
+        protocol, design = synthesize_symmetric(32, 0.05)
+        predicted = self_blocking_failure_probability(
+            0, 0, 32, design.k, design.reception.listen_time_per_period
+        )
+        period = int(design.beacons.period * design.k)
+        step = 7
+        report = sweep_offsets(
+            protocol,
+            protocol,
+            range(0, period, step),
+            horizon=design.worst_case_latency * 3,
+        )
+        measured = report.failures / report.offsets_evaluated
+        # Same order of magnitude (the deadlock set is the mutual overlap
+        # of both devices' blocking, so a small constant factor applies).
+        assert measured <= predicted * 4
+        assert measured > 0
+
+
+class TestGridQuorum:
+    def test_deterministic_for_all_shifts(self):
+        q = GridQuorum(4)
+        pattern = q.pattern()
+        assert pattern.is_deterministic()
+        assert pattern.worst_case_slots() <= 16
+
+    def test_any_row_column_choice_works(self):
+        for row in range(3):
+            for column in range(3):
+                q = GridQuorum(3, row=row, column=column)
+                assert q.pattern().is_deterministic()
+
+    def test_duty_cycle_2n_minus_1(self):
+        q = GridQuorum(5)
+        assert q.slot_duty_cycle == pytest.approx(9 / 25)
+        assert q.pattern().n_active == 9
+
+    def test_double_the_diffcode_cost(self):
+        """History quantified: quorums pay ~2x the difference-set
+        duty-cycle for the same worst case."""
+        from repro.protocols import Diffcodes
+
+        quorum = GridQuorum(5)  # wc 25 slots at 9/25 = 36%
+        diff = Diffcodes(4)  # wc 21 slots at 5/21 = 23.8%
+        assert quorum.worst_case_slots() == pytest.approx(
+            diff.worst_case_slots(), rel=0.25
+        )
+        assert quorum.slot_duty_cycle > 1.4 * diff.slot_duty_cycle
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridQuorum(1)
+        with pytest.raises(ValueError):
+            GridQuorum(3, row=3)
+
+    def test_device_lowering(self):
+        q = GridQuorum(3, slot_length=1_000)
+        proto = q.device(Role.E)
+        assert proto.beacons.n_beacons == 5  # 2n - 1
+        assert proto.beacons.period == 9_000
+
+
+class TestVisualization:
+    def _map(self, k=8, redundancy=1):
+        design = synthesize_unidirectional(32, 320, k, k + 1, redundancy)
+        shifts = [
+            i * design.beacons.period for i in range(redundancy * k)
+        ]
+        return CoverageMap(shifts, design.reception), design
+
+    def test_render_coverage_map_shape(self):
+        cover, _ = self._map()
+        art = render_coverage_map(cover, width=64)
+        lines = art.splitlines()
+        assert "deterministic" in lines[0] and "disjoint" in lines[0]
+        assert len([l for l in lines if " O" in l]) == 8  # one row per beacon
+        assert lines[-1].endswith("Lambda*")
+        assert "." not in lines[-1].split()[0]  # fully covered
+
+    def test_render_redundant_map_shows_depth_two(self):
+        cover, _ = self._map(k=5, redundancy=2)
+        art = render_coverage_map(cover, width=50)
+        footer = art.splitlines()[-1].split()[0]
+        assert set(footer) == {"2"}
+
+    def test_render_gap_shows_dots(self):
+        design = synthesize_unidirectional(32, 320, 8, 9)
+        cover = CoverageMap([0], design.reception)  # one beacon: gaps
+        footer = render_coverage_map(cover).splitlines()[-1].split()[0]
+        assert "." in footer and "NOT deterministic" in render_coverage_map(cover)
+
+    def test_row_elision(self):
+        cover, _ = self._map(k=12)
+        art = render_coverage_map(cover, max_rows=4)
+        assert "8 more rows elided" in art
+
+    def test_render_schedule_markers(self):
+        _, design = self._map()
+        art = render_schedule(
+            design.beacons, design.reception, span=int(design.reception.period)
+        )
+        body = art.splitlines()[1]
+        assert "X" in body or "!" in body  # a beacon lands somewhere
+        assert "=" in body
+
+    def test_render_schedule_validation(self):
+        with pytest.raises(ValueError):
+            render_schedule(None, None)
+        cover, _ = self._map()
+        with pytest.raises(ValueError):
+            render_coverage_map(cover, width=4)

@@ -1,0 +1,91 @@
+"""Tests of gradual-join scenarios and the permanent-collision lock.
+
+The staggered-boot workload surfaces the exact pathology the paper's
+Section 8 warns about: two devices whose identical-gap beacon trains
+happen to boot within one packet duration of each other (mod the gap)
+collide *forever* -- Lemma 5.2's repetitiveness means a collision is not
+an accident but a standing wave.  BLE-style advDelay jitter dissolves
+it.  Seed 2 below is exactly such a constellation (n1 and n2 boot 14 us
+apart mod the 1320-us gap).
+"""
+
+import pytest
+
+from repro.simulation import simulate_network
+from repro.workloads import gradual_join, Scenario
+
+
+class TestGradualJoinScenario:
+    def test_shape(self):
+        s = gradual_join(n_devices=5, eta=0.02, seed=0)
+        assert len(s.protocols) == 5
+        assert len(s.start_times) == 5
+        assert s.start_times == sorted(s.start_times)
+        assert s.start_times[0] == 0
+        assert s.horizon > s.start_times[-1]
+
+    def test_start_times_validation(self):
+        s = gradual_join(n_devices=3)
+        with pytest.raises(ValueError):
+            Scenario(
+                "bad", s.protocols, s.phases, horizon=1, start_times=[0]
+            )
+
+    def test_no_discovery_before_boot(self):
+        s = gradual_join(n_devices=4, eta=0.05, seed=2)
+        result = simulate_network(
+            s.protocols, s.phases, horizon=s.horizon,
+            start_times=s.start_times,
+        )
+        for (receiver, sender), time in result.discovery_times.items():
+            latest_boot = max(
+                s.start_times[int(receiver[1:])],
+                s.start_times[int(sender[1:])],
+            )
+            assert time >= latest_boot
+
+    def test_early_pairs_discover_before_later_boots(self):
+        """While only two devices are up, discovery completes within the
+        pair guarantee -- the 'gradually joining' regime where the
+        unconstrained bound governs."""
+        s = gradual_join(n_devices=3, eta=0.05, join_spacing_multiple=2.0,
+                         seed=1)
+        result = simulate_network(
+            s.protocols, s.phases, horizon=s.horizon,
+            start_times=s.start_times,
+        )
+        first_pair_times = [
+            t
+            for (receiver, sender), t in result.discovery_times.items()
+            if {receiver, sender} == {"n0", "n1"}
+        ]
+        assert first_pair_times
+        assert max(first_pair_times) < s.start_times[2]
+
+
+class TestPermanentCollisionLock:
+    def test_seed2_locks_without_jitter(self):
+        """Deterministic schedules born ~half a packet apart collide on
+        every beacon, forever: four directed pairs never discover no
+        matter the horizon."""
+        s = gradual_join(n_devices=4, eta=0.05, seed=2)
+        short = simulate_network(
+            s.protocols, s.phases, horizon=s.horizon,
+            start_times=s.start_times,
+        )
+        long = simulate_network(
+            s.protocols, s.phases, horizon=s.horizon * 3,
+            start_times=s.start_times,
+        )
+        assert short.discovery_rate < 1.0
+        # More time does not help: the collision pattern repeats.
+        assert long.discovery_rate == short.discovery_rate
+
+    def test_jitter_dissolves_the_lock(self):
+        s = gradual_join(n_devices=4, eta=0.05, seed=2)
+        result = simulate_network(
+            s.protocols, s.phases, horizon=s.horizon,
+            start_times=s.start_times,
+            advertising_jitter=200, seed=5,
+        )
+        assert result.discovery_rate == 1.0

@@ -1,0 +1,84 @@
+"""Tests of the Appendix-C correlated one-way construction."""
+
+import pytest
+
+from repro.core.bounds import one_way_bound, symmetric_bound
+from repro.protocols import CorrelatedOneWay, one_way_discovery_time, Role
+
+
+class TestConstruction:
+    def test_for_duty_cycle_hits_budget(self):
+        c = CorrelatedOneWay.for_duty_cycle(0.02, omega=32)
+        dev = c.device(Role.E)
+        assert dev.eta == pytest.approx(0.02, rel=0.05)
+        # Optimal split: half the budget on each of beta and gamma.
+        assert dev.beta == pytest.approx(dev.gamma, rel=0.05)
+
+    def test_half_the_beacons_of_direct_discovery(self):
+        """The Appendix-C selling point: k/2 beacons per period instead of
+        the k a direct bidirectional schedule needs."""
+        c = CorrelatedOneWay(k=10, window=160, omega=32)
+        dev = c.device(Role.E)
+        assert dev.beacons.n_beacons == 5
+
+    def test_zeta_is_fixed_relation(self):
+        c = CorrelatedOneWay(k=4, window=100, omega=32)
+        assert c.zeta == 2 * 100 - 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="even"):
+            CorrelatedOneWay(k=3, window=100, omega=32)
+        with pytest.raises(ValueError, match="omega"):
+            CorrelatedOneWay(k=4, window=100, omega=1)
+        with pytest.raises(ValueError, match="window"):
+            CorrelatedOneWay(k=4, window=16, omega=32)
+
+
+class TestOneWayDeterminism:
+    @pytest.mark.parametrize("k,window", [(4, 64), (6, 100), (10, 160)])
+    def test_every_offset_discovers_within_guarantee(self, k, window):
+        """Exhaustive offset sweep: either E discovers F or F discovers E
+        for every integer phase offset, within the predicted latency."""
+        c = CorrelatedOneWay(k=k, window=window, omega=32)
+        guarantee = c.predicted_worst_case_latency()
+        for offset in range(0, c.period):
+            t = one_way_discovery_time(c, offset)
+            assert t is not None, f"no discovery at offset {offset}"
+            assert t <= guarantee
+
+    def test_dense_sweep_larger_config(self):
+        c = CorrelatedOneWay.for_duty_cycle(0.05, omega=32)
+        guarantee = c.predicted_worst_case_latency()
+        step = max(1, c.period // 2_000)
+        for offset in range(0, c.period, step):
+            t = one_way_discovery_time(c, offset)
+            assert t is not None
+            assert t <= guarantee
+
+
+class TestOptimality:
+    def test_beats_the_symmetric_bound(self):
+        """Theorem C.1's point: one-way discovery can undercut the
+        bidirectional bound 4aw/eta^2 -- the measured worst case sits
+        between the C.1 bound and the symmetric bound."""
+        c = CorrelatedOneWay.for_duty_cycle(0.05, omega=32)
+        eta = c.device(Role.E).eta
+        worst = 0
+        step = max(1, c.period // 4_000)
+        for offset in range(0, c.period, step):
+            t = one_way_discovery_time(c, offset)
+            worst = max(worst, t)
+        assert worst < symmetric_bound(32, eta)  # undercuts two-way optimum
+        assert worst >= one_way_bound(32, eta) * (1 - 1e-9)  # respects C.1
+
+    def test_within_ten_percent_of_theorem_c1(self):
+        c = CorrelatedOneWay.for_duty_cycle(0.05, omega=32)
+        guarantee = c.predicted_worst_case_latency()
+        bound = c.bound_at_achieved_duty_cycle()
+        assert guarantee <= bound * 1.1
+
+    def test_info(self):
+        c = CorrelatedOneWay(k=4, window=64, omega=32)
+        info = c.info()
+        assert info.deterministic
+        assert info.family == "optimal"

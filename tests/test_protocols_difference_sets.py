@@ -1,0 +1,112 @@
+"""Tests of cyclic difference sets: catalogue, Singer construction, search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.difference_sets import (
+    difference_multiset,
+    find_difference_set,
+    is_difference_set,
+    PERFECT_DIFFERENCE_SETS,
+    relaxed_cover_set,
+    singer_difference_set,
+)
+
+
+class TestIsDifferenceSet:
+    def test_fano_plane(self):
+        assert is_difference_set({0, 1, 3}, 7)
+
+    def test_translation_invariance(self):
+        base = {0, 1, 3}
+        for shift in range(7):
+            translated = {(x + shift) % 7 for x in base}
+            assert is_difference_set(translated, 7)
+
+    def test_not_a_difference_set(self):
+        assert not is_difference_set({0, 1, 2}, 7)
+
+    def test_lambda_two(self):
+        # {0,1,2,4} mod 7: differences cover each residue lambda times?
+        counts = difference_multiset({0, 1, 2, 4}, 7)
+        # k(k-1) = 12 differences over 6 residues -> lambda = 2 if uniform.
+        assert is_difference_set({0, 1, 2, 4}, 7, lam=2) == all(
+            counts[d] == 2 for d in range(1, 7)
+        )
+
+
+class TestCatalogue:
+    @pytest.mark.parametrize("q", sorted(PERFECT_DIFFERENCE_SETS))
+    def test_every_entry_is_perfect(self, q):
+        residues, v = PERFECT_DIFFERENCE_SETS[q]
+        assert v == q * q + q + 1
+        assert len(residues) == q + 1
+        assert is_difference_set(residues, v)
+
+    def test_catalogue_covers_useful_duty_cycles(self):
+        # k/v from ~43% (q=2) down to ~11% (q=9).
+        ratios = [
+            len(ds) / v for ds, v in PERFECT_DIFFERENCE_SETS.values()
+        ]
+        assert min(ratios) < 0.12
+        assert max(ratios) > 0.4
+
+
+class TestSingerConstruction:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8])
+    def test_constructs_perfect_sets(self, q):
+        residues, v = singer_difference_set(q)
+        assert v == q * q + q + 1
+        assert len(residues) == q + 1
+        assert is_difference_set(residues, v)
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError, match="prime power"):
+            singer_difference_set(6)
+
+    def test_accepts_prime_powers(self):
+        # 4 = 2^2, 8 = 2^3, 9 = 3^2 are fine.
+        for q in (4, 8, 9):
+            singer_difference_set(q)
+
+
+class TestBruteForceSearch:
+    def test_finds_fano(self):
+        ds = find_difference_set(7, 3)
+        assert ds is not None
+        assert is_difference_set(ds, 7)
+
+    def test_finds_13_4(self):
+        ds = find_difference_set(13, 4)
+        assert ds is not None
+        assert is_difference_set(ds, 13)
+
+    def test_no_solution_for_wrong_parameters(self):
+        # v=8, k=3: k(k-1)=6 < 7 non-zero residues -> impossible.
+        assert find_difference_set(8, 3) is None
+
+    def test_degenerate_inputs(self):
+        assert find_difference_set(5, 1) is None
+        assert find_difference_set(3, 7) is None
+
+
+class TestRelaxedCoverSet:
+    def test_covers_all_differences(self):
+        cover = relaxed_cover_set(11, 4)
+        assert cover is not None
+        counts = difference_multiset(cover, 11)
+        assert all(counts.get(d, 0) >= 1 for d in range(1, 11))
+
+    def test_too_small_returns_none(self):
+        assert relaxed_cover_set(20, 3) is None
+
+    @given(modulus=st.integers(5, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_generous_size_always_covers(self, modulus):
+        size = max(3, int(modulus**0.5) + 2)
+        cover = relaxed_cover_set(modulus, size)
+        if cover is None:
+            return  # greedy may fail near the information bound
+        counts = difference_multiset(cover, modulus)
+        assert all(counts.get(d, 0) >= 1 for d in range(1, modulus))

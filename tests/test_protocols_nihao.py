@@ -1,0 +1,67 @@
+"""Tests of the Nihao (talk-more-listen-less) protocol."""
+
+import pytest
+
+from repro.core.bounds import symmetric_bound
+from repro.protocols import Disco, Nihao, Role
+from repro.simulation import sweep_offsets
+
+
+class TestNihaoModel:
+    def test_duty_cycle_split(self):
+        nh = Nihao(n=40, slot_length=1_000, omega=32)
+        dev = nh.device(Role.E)
+        assert dev.beta == pytest.approx(32 / 1_000)
+        assert dev.gamma == pytest.approx(1 / 40)
+
+    def test_beacons_every_slot(self):
+        nh = Nihao(n=10, slot_length=1_000)
+        dev = nh.device(Role.E)
+        assert dev.beacons.n_beacons == 10
+        assert dev.reception.n_windows == 1
+
+    def test_linear_worst_case_in_slots(self):
+        assert Nihao(n=25, slot_length=2_000).worst_case_slots() == 25
+        assert Nihao(n=25, slot_length=2_000).predicted_worst_case_latency() == 50_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Nihao(n=1)
+        with pytest.raises(ValueError):
+            Nihao(n=5, slot_length=60, omega=32)
+
+
+class TestNihaoBehaviour:
+    def test_guarantee_holds_for_all_nonaligned_offsets(self):
+        nh = Nihao(n=20, slot_length=1_000, omega=32)
+        dev = nh.device(Role.E)
+        claim = nh.predicted_worst_case_latency()
+        report = sweep_offsets(
+            dev, dev, range(1, 20_000, 13), horizon=claim * 3
+        )
+        assert report.failures == 0
+        assert report.worst_one_way <= claim
+
+    def test_exact_alignment_deadlocks(self):
+        """Offset 0 is the A.5 self-blocking pathology, as for every
+        identical symmetric schedule."""
+        nh = Nihao(n=20, slot_length=1_000, omega=32)
+        dev = nh.device(Role.E)
+        report = sweep_offsets(dev, dev, [0], horizon=200_000)
+        assert report.failures == 1
+
+    def test_near_optimal_at_its_duty_cycle(self):
+        """Nihao's decoupled split lands close to the Theorem-5.5 bound
+        -- far closer than Disco at a comparable budget."""
+        nh = Nihao(n=40, slot_length=1_000, omega=32)
+        dev = nh.device(Role.E)
+        claim = nh.predicted_worst_case_latency()
+        bound = symmetric_bound(32, dev.eta)
+        assert claim <= bound * 1.1
+
+        disco = Disco(37, 43, slot_length=1_000, omega=32)
+        disco_ratio = disco.predicted_worst_case_latency() / symmetric_bound(
+            32, disco.duty_cycle()
+        )
+        nihao_ratio = claim / bound
+        assert nihao_ratio < disco_ratio / 10

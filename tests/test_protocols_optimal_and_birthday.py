@@ -1,0 +1,96 @@
+"""Tests of the optimal-slotless wrappers and the Birthday baseline."""
+
+import math
+
+import pytest
+
+from repro.protocols import Birthday, OptimalAsymmetric, OptimalSlotless, Role
+
+
+class TestOptimalSlotless:
+    def test_design_verified(self):
+        p = OptimalSlotless(eta=0.01, omega=32)
+        info = p.info()
+        assert info.deterministic
+        design = p.design()
+        assert design.disjoint
+
+    def test_latency_within_quantization_of_bound(self):
+        p = OptimalSlotless(eta=0.01, omega=32)
+        latency = p.predicted_worst_case_latency()
+        bound = p.bound_at_achieved_duty_cycle()
+        assert bound * (1 - 1e-9) <= latency <= bound * 1.1
+
+    def test_both_roles_identical(self):
+        p = OptimalSlotless(eta=0.02, omega=32)
+        assert p.device(Role.E) == p.device(Role.F) or (
+            p.device(Role.E).beacons == p.device(Role.F).beacons
+            and p.device(Role.E).reception == p.device(Role.F).reception
+        )
+
+    def test_duty_cycle_accessor(self):
+        p = OptimalSlotless(eta=0.02, omega=32)
+        assert p.duty_cycle() == pytest.approx(0.02, rel=0.1)
+
+
+class TestOptimalAsymmetric:
+    def test_roles_have_distinct_budgets(self):
+        p = OptimalAsymmetric(eta_e=0.04, eta_f=0.01, omega=32)
+        assert p.device(Role.E).eta == pytest.approx(0.04, rel=0.1)
+        assert p.device(Role.F).eta == pytest.approx(0.01, rel=0.1)
+
+    def test_latency_matches_theorem_5_7(self):
+        p = OptimalAsymmetric(eta_e=0.04, eta_f=0.01, omega=32)
+        latency = p.predicted_worst_case_latency()
+        bound = p.bound_at_achieved_duty_cycle()
+        assert bound * (1 - 1e-9) <= latency <= bound * 1.2
+
+    def test_designs_balanced(self):
+        p = OptimalAsymmetric(eta_e=0.04, eta_f=0.01, omega=32)
+        d_ef, d_fe = p.designs()
+        assert d_ef.worst_case_latency == pytest.approx(
+            d_fe.worst_case_latency, rel=0.2
+        )
+
+    def test_info_not_symmetric(self):
+        assert not OptimalAsymmetric(0.04, 0.01).info().symmetric
+
+
+class TestBirthday:
+    def test_schedule_sampling_is_reproducible(self):
+        b = Birthday(p_tx=0.1, p_rx=0.1, seed=42)
+        d1 = b.device(Role.E)
+        d2 = b.device(Role.E)
+        assert d1.beacons == d2.beacons
+        assert d1.reception == d2.reception
+
+    def test_roles_draw_different_schedules(self):
+        b = Birthday(p_tx=0.2, p_rx=0.2, seed=1, horizon_slots=256)
+        assert b.device(Role.E).beacons != b.device(Role.F).beacons
+
+    def test_duty_cycle_tracks_probabilities(self):
+        b = Birthday(p_tx=0.1, p_rx=0.1, slot_length=1_000, horizon_slots=8192)
+        dev = b.device(Role.E)
+        # gamma ~ p_rx (listen whole slots), beta ~ p_tx * omega / slot.
+        assert dev.gamma == pytest.approx(0.1, rel=0.15)
+        assert dev.beta == pytest.approx(0.1 * 32 / 1_000, rel=0.15)
+
+    def test_geometric_statistics(self):
+        b = Birthday(p_tx=0.1, p_rx=0.1)
+        assert b.per_slot_hit_probability() == pytest.approx(0.02)
+        assert b.expected_discovery_slots() == pytest.approx(50)
+        q99 = b.latency_quantile_slots(0.99)
+        assert q99 == pytest.approx(math.log(0.01) / math.log(0.98))
+
+    def test_no_deterministic_guarantee(self):
+        b = Birthday()
+        assert b.predicted_worst_case_latency() is None
+        assert not b.info().deterministic
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Birthday(p_tx=0.7, p_rx=0.5)
+        with pytest.raises(ValueError):
+            Birthday(p_tx=0.0, p_rx=0.0)
+        with pytest.raises(ValueError):
+            Birthday(p_tx=-0.1, p_rx=0.5)

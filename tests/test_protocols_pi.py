@@ -1,0 +1,116 @@
+"""Tests of PI (BLE-like) protocols and their exact latency computation."""
+
+import math
+
+import pytest
+
+from repro.protocols import (
+    ble_parametrization_for_duty_cycle,
+    PeriodicInterval,
+    pi_is_deterministic,
+    pi_latency_profile,
+    pi_worst_case_latency,
+    Role,
+)
+from repro.protocols.pi_latency import hyperperiod_beacons
+
+
+class TestPeriodicIntervalModel:
+    def test_duty_cycles(self):
+        pi = PeriodicInterval(
+            adv_interval=1_000_000, scan_interval=1_280_000, scan_window=11_250
+        )
+        assert pi.beta == pytest.approx(32 / 1_000_000)
+        assert pi.gamma == pytest.approx(11_250 / 1_280_000)
+
+    def test_unidirectional_roles(self):
+        pi = PeriodicInterval(100_000, 200_000, 10_000)
+        adv = pi.device(Role.E)
+        scan = pi.device(Role.F)
+        assert adv.reception is None and adv.beacons is not None
+        assert scan.beacons is None and scan.reception is not None
+
+    def test_bidirectional_role(self):
+        pi = PeriodicInterval(100_000, 200_000, 10_000, bidirectional=True)
+        dev = pi.device(Role.E)
+        assert dev.beacons is not None and dev.reception is not None
+
+    def test_jitter_makes_nondeterministic(self):
+        pi = PeriodicInterval(
+            100_000, 200_000, 10_000, advertising_jitter=10_000
+        )
+        assert not pi.info().deterministic
+        assert pi.predicted_worst_case_latency() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicInterval(10, 200_000, 10_000)  # Ta <= omega
+        with pytest.raises(ValueError):
+            PeriodicInterval(100_000, 200_000, 300_000)  # ds > Ts
+
+
+class TestPiLatency:
+    def test_coupling_trap(self):
+        """Ta == Ts with a partial window never discovers some offsets --
+        the lockstep problem BLE's advDelay exists to break."""
+        assert not pi_is_deterministic(100_000, 100_000, 30_000)
+        assert pi_worst_case_latency(100_000, 100_000, 30_000) is None
+
+    def test_residue_gap_trap(self):
+        """If gcd(Ta, Ts) exceeds the window, beacon residues stride over
+        the scan window: non-deterministic."""
+        assert not pi_is_deterministic(1_000_000, 2_560_000, 30_000)
+        # gcd = 40_000 > 30_000.
+        assert math.gcd(1_000_000, 2_560_000) == 40_000
+
+    def test_window_covering_gcd_is_deterministic(self):
+        assert pi_is_deterministic(1_000_000, 2_560_000, 50_000)
+
+    def test_latency_formula_for_tiling_config(self):
+        """A (Ta, Ts, ds) built like the optimal construction: Ta = 11 ds,
+        Ts = 10 ds -> worst l* = 9 Ta, L = worst l* + Ta = 10 Ta."""
+        ds = 1_000
+        latency = pi_worst_case_latency(
+            adv_interval=11 * ds, scan_interval=10 * ds, scan_window=ds
+        )
+        assert latency == 10 * 11 * ds
+
+    def test_profile_fields(self):
+        profile = pi_latency_profile(11_000, 10_000, 1_000)
+        assert profile.deterministic
+        assert profile.worst_case_us == 110_000
+        assert profile.worst_packet_to_packet_us == 99_000
+        assert 0 < profile.mean_packet_to_packet_us < 99_000
+        assert profile.beacons_needed == hyperperiod_beacons(11_000, 10_000)
+
+    def test_shorter_window_longer_latency(self):
+        slow = pi_worst_case_latency(11_000, 10_000, 1_000)
+        # Double window halves the residues to sweep: faster.
+        fast = pi_worst_case_latency(11_000 * 2, 10_000, 2_000)
+        assert fast is not None and slow is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pi_worst_case_latency(0, 10_000, 1_000)
+        with pytest.raises(ValueError):
+            pi_worst_case_latency(10_000, 1_000, 2_000)
+
+
+class TestBleParametrization:
+    def test_achieves_duty_cycle(self):
+        pi = ble_parametrization_for_duty_cycle(eta=0.02, omega=32)
+        dev = pi.device(Role.E)
+        assert dev.eta == pytest.approx(0.02, rel=0.1)
+
+    def test_is_deterministic_and_near_optimal(self):
+        from repro.core.bounds import symmetric_bound
+
+        pi = ble_parametrization_for_duty_cycle(eta=0.02, omega=32)
+        latency = pi.predicted_worst_case_latency()
+        assert latency is not None
+        bound = symmetric_bound(32, pi.device(Role.E).eta)
+        assert bound * (1 - 1e-9) <= latency <= bound * 1.2
+
+    def test_scan_window_tiles_advertising_interval(self):
+        pi = ble_parametrization_for_duty_cycle(eta=0.05, omega=32)
+        assert pi.adv_interval % pi.scan_window == 0

@@ -1,0 +1,125 @@
+"""Tests of the slotted-protocol substrate (SlotPattern / SlotTiming)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.slotted import SlotPattern, SlotTiming
+
+
+class TestSlotTiming:
+    def test_two_beacon_layout(self):
+        t = SlotTiming(slot_length=1_000, omega=32, two_beacons=True)
+        assert t.listen_start == 32
+        assert t.listen_end == 1_000 - 32
+        assert t.listen_duration == 936
+        assert t.beacons_per_slot == 2
+
+    def test_one_beacon_layout_listens_to_slot_end(self):
+        t = SlotTiming(slot_length=1_000, omega=32, two_beacons=False)
+        assert t.listen_end == 1_000
+        assert t.beacons_per_slot == 1
+
+    def test_turnaround_shrinks_listening(self):
+        t = SlotTiming(slot_length=1_000, omega=32, turnaround=100)
+        assert t.listen_start == 132
+        assert t.listen_duration == 1_000 - 2 * 132
+
+    def test_too_short_slot_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            SlotTiming(slot_length=64, omega=32, two_beacons=True)
+
+
+class TestSlotPattern:
+    def test_active_slots_normalized(self):
+        p = SlotPattern([5, 3, 3, 12], total_slots=10)
+        assert p.active_slots == (2, 3, 5)  # 12 mod 10 = 2, dedup
+        assert p.n_active == 3
+
+    def test_slot_duty_cycle(self):
+        p = SlotPattern([0, 5], 10)
+        assert p.slot_duty_cycle == pytest.approx(0.2)
+
+    def test_overlap_slots_shift_zero_is_active_set(self):
+        p = SlotPattern([0, 2, 7], 10)
+        assert p.overlap_slots(0) == [0, 2, 7]
+
+    def test_overlap_with_shift(self):
+        p = SlotPattern([0, 1], 5)
+        # shift 1: my slot s overlaps if s and s-1 both active -> s = 1.
+        assert p.overlap_slots(1) == [1]
+
+    def test_deterministic_difference_set_pattern(self):
+        # {0,1,3} is a perfect difference set mod 7.
+        p = SlotPattern([0, 1, 3], 7)
+        assert p.is_deterministic()
+        assert p.worst_case_slots() <= 7
+
+    def test_nondeterministic_pattern(self):
+        # {0, 2} mod 8: differences {2, 6}; shift 1 never overlaps.
+        p = SlotPattern([0, 2], 8)
+        assert not p.is_deterministic()
+        assert p.worst_case_slots() is None
+        assert p.slots_to_discovery(1) is None
+
+    def test_sqrt_bound_check(self):
+        assert SlotPattern([0, 1, 3], 7).meets_sqrt_bound()
+        assert not SlotPattern([0], 9).meets_sqrt_bound()
+
+    @given(
+        total=st.integers(3, 40),
+        shift=st.integers(-100, 100),
+    )
+    @settings(max_examples=60)
+    def test_full_pattern_always_overlaps(self, total, shift):
+        p = SlotPattern(range(total), total)
+        assert p.slots_to_discovery(shift) == 0
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_symmetry(self, data):
+        """Slot overlap is symmetric: shift delta from A's view equals
+        shift -delta from B's view (same pattern on both devices)."""
+        total = data.draw(st.integers(4, 30))
+        active = data.draw(
+            st.sets(st.integers(0, total - 1), min_size=1, max_size=total)
+        )
+        delta = data.draw(st.integers(0, total - 1))
+        p = SlotPattern(active, total)
+        a = p.slots_to_discovery(delta) is not None
+        b = p.slots_to_discovery(-delta) is not None
+        assert a == b
+
+
+class TestToProtocol:
+    def test_lowering_two_beacons(self):
+        p = SlotPattern([0, 3], 5)
+        timing = SlotTiming(slot_length=1_000, omega=32, two_beacons=True)
+        proto = p.to_protocol(timing)
+        assert proto.beacons.n_beacons == 4  # 2 per active slot
+        assert proto.reception.n_windows == 2
+        assert proto.beacons.period == 5_000
+        assert proto.reception.period == 5_000
+
+    def test_lowering_one_beacon(self):
+        p = SlotPattern([0], 4)
+        timing = SlotTiming(slot_length=1_000, omega=32, two_beacons=False)
+        proto = p.to_protocol(timing)
+        assert proto.beacons.n_beacons == 1
+        # Window spans from after the beacon to the slot end.
+        w = proto.reception.windows[0]
+        assert w.start == 32 and w.end == 1_000
+
+    def test_duty_cycle_tracks_equation_17(self):
+        """For I >> omega, eta approaches k(I + a*w)/(T*I)."""
+        p = SlotPattern([0, 7, 13], 50)
+        timing = SlotTiming(slot_length=100_000, omega=32, two_beacons=False)
+        eta = p.duty_cycle(timing)
+        expected = 3 * (100_000 + 32) / (50 * 100_000)
+        assert eta == pytest.approx(expected, rel=1e-3)
+
+    def test_beacons_inside_windows_never_overlap_own_listening(self):
+        p = SlotPattern([0, 2], 6)
+        timing = SlotTiming(slot_length=1_000, omega=32, two_beacons=True)
+        proto = p.to_protocol(timing)
+        assert not proto.sequences_overlap()

@@ -1,0 +1,178 @@
+"""Tests of the classic slotted protocols: Disco, U-Connect, Searchlight,
+Diffcodes -- pattern correctness and published worst-case guarantees."""
+
+import pytest
+
+from repro.protocols import (
+    available_duty_cycles,
+    Diffcodes,
+    Disco,
+    disco_primes_for_duty_cycle,
+    Role,
+    Searchlight,
+    UConnect,
+    uconnect_prime_for_duty_cycle,
+)
+
+
+class TestDisco:
+    def test_pattern_is_multiples_of_primes(self):
+        d = Disco(3, 5, slot_length=1_000)
+        pattern = d.pattern()
+        expected = {s for s in range(15) if s % 3 == 0 or s % 5 == 0}
+        assert set(pattern.active_slots) == expected
+
+    def test_crt_guarantee(self):
+        """Any slot shift overlaps within p1*p2 slots (Chinese remainder)."""
+        d = Disco(5, 7)
+        pattern = d.pattern()
+        assert pattern.is_deterministic()
+        assert pattern.worst_case_slots() <= 35
+
+    def test_slot_duty_cycle_formula(self):
+        d = Disco(5, 7)
+        assert d.slot_duty_cycle == pytest.approx(1 / 5 + 1 / 7 - 1 / 35)
+        assert d.pattern().slot_duty_cycle == pytest.approx(d.slot_duty_cycle)
+
+    def test_predicted_latency(self):
+        d = Disco(5, 7, slot_length=2_000)
+        assert d.predicted_worst_case_latency() == 35 * 2_000
+
+    def test_prime_validation(self):
+        with pytest.raises(ValueError):
+            Disco(4, 7)
+        with pytest.raises(ValueError):
+            Disco(7, 5)  # must be ordered
+
+    def test_prime_picker(self):
+        p1, p2 = disco_primes_for_duty_cycle(0.05)
+        assert 1 / p1 + 1 / p2 == pytest.approx(0.05, rel=0.15)
+
+    def test_prime_picker_unbalanced(self):
+        p1, p2 = disco_primes_for_duty_cycle(0.05, balanced=False)
+        assert p2 >= 2 * p1
+
+    def test_device_schedules_consistent(self):
+        d = Disco(5, 7, slot_length=1_000, omega=32)
+        proto = d.device(Role.E)
+        assert proto.beacons.period == proto.reception.period == 35_000
+        # Two beacons per active slot (start and end).
+        assert proto.beacons.n_beacons == 2 * len(d.pattern().active_slots)
+
+
+class TestUConnect:
+    def test_pattern_contains_hello_and_burst(self):
+        u = UConnect(5)
+        active = set(u.pattern().active_slots)
+        assert {0, 5, 10, 15, 20}.issubset(active)  # every p-th
+        assert {1, 2, 3}.issubset(active)  # burst of (p+1)/2 = 3
+
+    def test_p_squared_guarantee(self):
+        u = UConnect(7)
+        pattern = u.pattern()
+        assert pattern.is_deterministic()
+        assert pattern.worst_case_slots() <= 49
+
+    def test_duty_cycle_approximates_3_over_2p(self):
+        u = UConnect(31)
+        assert u.slot_duty_cycle == pytest.approx(3 / (2 * 31), rel=0.1)
+
+    def test_uses_fewer_slots_than_disco_at_equal_guarantee(self):
+        """U-Connect's selling point: ~1.5/p vs Disco's ~2/p duty-cycle
+        for the same p^2-ish worst case."""
+        p = 13
+        u = UConnect(p)
+        d = Disco(11, 13)  # worst case 143 slots ~ p^2 = 169
+        assert u.slot_duty_cycle < d.slot_duty_cycle
+
+    def test_prime_picker(self):
+        p = uconnect_prime_for_duty_cycle(0.05)
+        assert (3 * p + 1) / (2 * p * p) == pytest.approx(0.05, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UConnect(9)
+
+
+class TestSearchlight:
+    def test_pattern_anchor_and_probe(self):
+        s = Searchlight(6, striped=True)
+        pattern = s.pattern()
+        # 3 periods (probe positions 1..3), anchor at each period start.
+        assert {0, 6, 12}.issubset(set(pattern.active_slots))
+        assert pattern.n_active == 6  # anchor + probe per period
+
+    def test_probe_positions(self):
+        assert Searchlight(10, striped=True).probe_positions == 5
+        assert Searchlight(10, striped=False).probe_positions == 9
+
+    def test_guarantee(self):
+        s = Searchlight(8)
+        pattern = s.pattern()
+        assert pattern.is_deterministic()
+        assert pattern.worst_case_slots() <= s.worst_case_slots()
+
+    def test_duty_cycle_2_over_t(self):
+        assert Searchlight(10).slot_duty_cycle == pytest.approx(0.2)
+
+    def test_striped_halves_worst_case(self):
+        striped = Searchlight(10, striped=True).worst_case_slots()
+        plain = Searchlight(10, striped=False).worst_case_slots()
+        assert striped < plain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Searchlight(1)
+
+
+class TestDiffcodes:
+    def test_guarantee_is_v_slots(self):
+        dc = Diffcodes(3)
+        pattern = dc.pattern()
+        assert pattern.is_deterministic()
+        assert pattern.worst_case_slots() <= 13
+        assert dc.worst_case_slots() == 13
+
+    def test_optimal_k_over_sqrt_v(self):
+        """Diffcodes hit k = ~sqrt(v): the [16,17] optimum."""
+        dc = Diffcodes(7)
+        pattern = dc.pattern()
+        assert pattern.n_active**2 >= pattern.total_slots
+        assert (pattern.n_active - 1) ** 2 < pattern.total_slots
+
+    def test_available_duty_cycles(self):
+        cycles = available_duty_cycles()
+        assert cycles[2] == pytest.approx(3 / 7)
+        assert cycles[9] == pytest.approx(10 / 91)
+
+    def test_unknown_q_rejected(self):
+        with pytest.raises(ValueError, match="no catalogued"):
+            Diffcodes(6)
+
+    def test_two_beacon_variant(self):
+        dc = Diffcodes(3, two_beacons=True)
+        proto = dc.device(Role.E)
+        assert proto.beacons.n_beacons == 2 * 4  # two per active slot
+
+
+class TestCrossProtocolRanking:
+    def test_worst_case_slots_ranking_at_comparable_duty_cycle(self):
+        """Paper narrative: at similar duty-cycles, Diffcodes < U-Connect <
+        Disco in worst-case slots (Searchlight sits near U-Connect)."""
+        disco = Disco(37, 43)  # dc ~ 5.0%, wc = 1591
+        uconnect = UConnect(31)  # dc ~ 4.9%, wc = 961
+        searchlight = Searchlight(40)  # dc = 5.0%, wc = 800
+        diffcodes = Diffcodes(9)  # dc ~ 11% (closest catalogued), wc = 91
+        assert (
+            diffcodes.worst_case_slots()
+            < searchlight.worst_case_slots()
+            < uconnect.worst_case_slots()
+            < disco.worst_case_slots()
+        )
+
+    def test_all_patterns_meet_their_published_guarantee(self):
+        zoo = [Disco(11, 13), UConnect(11), Searchlight(12), Diffcodes(5)]
+        for proto in zoo:
+            measured = proto.pattern().worst_case_slots()
+            assert measured is not None
+            assert measured <= proto.worst_case_slots()

