@@ -35,12 +35,12 @@ def analytic_rows():
     ]
 
 
-def empirical_failure_fraction(slot_length, n_offsets=400):
+def empirical_failure_fraction(slot_length, n_offsets=400, sweep=sweep_offsets):
     proto = Searchlight(8, slot_length=slot_length, omega=OMEGA)
     device_e, device_f = proto.device(Role.E), proto.device(Role.F)
     period = int(device_e.beacons.period)
     step = max(1, period // n_offsets)
-    report = sweep_offsets(
+    report = sweep(
         device_e,
         device_f,
         range(0, period, step),
@@ -65,10 +65,14 @@ def test_abl_slot_analytic(benchmark, emit):
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_abl_slot_empirical(benchmark, emit):
+def test_abl_slot_empirical(benchmark, emit, parallel_sweep_offsets):
     def run():
         return [
-            [slot, slot / OMEGA, empirical_failure_fraction(slot)]
+            [
+                slot,
+                slot / OMEGA,
+                empirical_failure_fraction(slot, sweep=parallel_sweep_offsets),
+            ]
             for slot in SIM_SLOTS
         ]
 

@@ -1,0 +1,121 @@
+"""BENCH-PARALLEL -- serial vs parallel wall-clock on a fixed offset sweep.
+
+Not a paper figure: the performance-trajectory tracker for the parallel
+sweep engine.  Runs one fixed, deterministic workload -- a uniform
+phase-offset sweep of the synthesized symmetric eta=0.02 pair -- through
+the serial :func:`repro.simulation.analytic.sweep_offsets` and through
+:class:`repro.parallel.ParallelSweep`, asserts the reports are
+bit-identical, and writes ``results/BENCH_parallel.json`` so successive
+PRs can be compared::
+
+    python benchmarks/bench_parallel_speedup.py --jobs 4
+
+The acceptance gate for PR 1 is a >= 2x speedup at 4 workers; on
+single-core machines that margin comes from the memoized listening-set
+pattern the workers evaluate against, not from core count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.optimal import synthesize_symmetric
+from repro.parallel import ParallelSweep
+from repro.simulation import sweep_offsets
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+# Fixed workload: keep these stable across PRs so the JSON series stays
+# comparable.
+OMEGA = 32
+ETA = 0.02
+OFFSET_STRIDE = 997  # prime: exercises every residue class of the pattern
+N_OFFSETS = 6000
+HORIZON_MULTIPLE = 3
+
+
+def build_workload():
+    protocol, design = synthesize_symmetric(OMEGA, ETA)
+    offsets = [i * OFFSET_STRIDE for i in range(N_OFFSETS)]
+    horizon = design.worst_case_latency * HORIZON_MULTIPLE
+    return protocol, offsets, horizon
+
+
+def best_of(repeats: int, fn):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output", default=str(RESULTS_DIR / "BENCH_parallel.json")
+    )
+    args = parser.parse_args(argv)
+
+    protocol, offsets, horizon = build_workload()
+    print(
+        f"workload: {len(offsets)} offsets, horizon {horizon} us, "
+        f"eta={protocol.eta:.6f}"
+    )
+
+    serial_s, serial_report = best_of(
+        args.repeats,
+        lambda: sweep_offsets(protocol, protocol, offsets, horizon),
+    )
+    print(f"serial       : {serial_s:.3f} s (best of {args.repeats})")
+
+    executor = ParallelSweep(jobs=args.jobs)
+    parallel_s, parallel_report = best_of(
+        args.repeats,
+        lambda: executor.sweep_offsets(protocol, protocol, offsets, horizon),
+    )
+    print(f"parallel({args.jobs:2d}) : {parallel_s:.3f} s (best of {args.repeats})")
+
+    identical = parallel_report == serial_report
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"speedup      : {speedup:.2f}x   bit-identical: {identical}")
+
+    payload = {
+        "experiment": "BENCH-PARALLEL",
+        "workload": {
+            "omega": OMEGA,
+            "eta": ETA,
+            "n_offsets": len(offsets),
+            "offset_stride": OFFSET_STRIDE,
+            "horizon": horizon,
+        },
+        "jobs": args.jobs,
+        "repeats": args.repeats,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": speedup,
+        "bit_identical": identical,
+        "worst_one_way": serial_report.worst_one_way,
+        "worst_two_way": serial_report.worst_two_way,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"-> {output}")
+
+    if not identical:
+        print("FAIL: parallel report diverged from the serial reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,7 @@ ZOO = [
 ]
 
 
-def measure(protocol, n_offsets=256):
+def measure(protocol, n_offsets=256, sweep=sweep_offsets):
     device_e = protocol.device(Role.E)
     device_f = protocol.device(Role.F)
     period = int(device_e.beacons.period)
@@ -35,15 +35,18 @@ def measure(protocol, n_offsets=256):
         for off in range(0, period, step)
         if 2 * OMEGA <= off % SLOT <= SLOT - 2 * OMEGA
     ]
-    return sweep_offsets(
+    return sweep(
         device_e, device_f, offsets, horizon=guarantee * 3
     )
 
 
 @pytest.mark.benchmark(group="validation")
-def test_val_prot_guarantees_and_ranking(benchmark, emit):
+def test_val_prot_guarantees_and_ranking(benchmark, emit, parallel_sweep_offsets):
     def run():
-        return [(name, proto, measure(proto)) for name, proto in ZOO]
+        return [
+            (name, proto, measure(proto, sweep=parallel_sweep_offsets))
+            for name, proto in ZOO
+        ]
 
     results = benchmark(run)
     rows = []

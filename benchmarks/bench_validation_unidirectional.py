@@ -28,21 +28,24 @@ CONFIGS = [
 ]
 
 
-def validate(window, k, stride):
+def validate(window, k, stride, sweep=sweep_offsets):
     design = synthesize_unidirectional(OMEGA, window, k, stride)
     adv = NDProtocol(beacons=design.beacons, reception=None)
     scan = NDProtocol(beacons=None, reception=design.reception)
     offsets = critical_offsets(adv, scan, omega=OMEGA)
-    report = sweep_offsets(
+    report = sweep(
         adv, scan, offsets, horizon=design.worst_case_latency * 2 + 1
     )
     return design, report
 
 
 @pytest.mark.benchmark(group="validation")
-def test_val_uni_bound_attained(benchmark, emit):
+def test_val_uni_bound_attained(benchmark, emit, parallel_sweep_offsets):
     def run_all():
-        return [validate(*config) for config in CONFIGS]
+        return [
+            validate(*config, sweep=parallel_sweep_offsets)
+            for config in CONFIGS
+        ]
 
     results = benchmark(run_all)
     rows = []

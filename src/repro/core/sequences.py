@@ -21,6 +21,7 @@ which all schedule arithmetic is exact.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterator, Sequence, Union
@@ -468,6 +469,21 @@ class NDProtocol:
     def eta(self) -> float:
         """Total duty-cycle ``eta = alpha * beta + gamma`` (Definition 3.5)."""
         return self.alpha * self.beta + self.gamma
+
+    def hyperperiod(self) -> int:
+        """``lcm`` of the device's schedule periods on the integer grid.
+
+        The period after which the device's whole TX+RX pattern repeats
+        -- the quantity every sweep/cache layer needs.  Periods are
+        coerced with ``int()`` exactly as the historical call sites did;
+        use only for integer-microsecond schedules.
+        """
+        hyper = 1
+        if self.beacons is not None:
+            hyper = math.lcm(hyper, int(self.beacons.period))
+        if self.reception is not None:
+            hyper = math.lcm(hyper, int(self.reception.period))
+        return hyper
 
     def sequences_overlap(self, horizon_periods: int = 4) -> bool:
         """Check whether the device's own TX and RX schedules ever collide.

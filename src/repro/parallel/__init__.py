@@ -1,0 +1,27 @@
+"""Parallel orchestration of independent simulation runs.
+
+The sweep workloads behind the paper's validation experiments are
+embarrassingly parallel -- one exact computation per phase offset, one
+event-driven run per scenario grid point.  This package shards them
+across worker processes while guaranteeing results *bit-identical* to
+the serial path (same iteration order, same tie-breaking, same derived
+seeds), so everything downstream -- tier-1 tests, paper-figure
+reproductions -- is unchanged, only faster.
+
+* :class:`ParallelSweep` -- chunked multiprocessing executor with
+  order-stable merging.
+* :class:`ListeningCache` / :class:`CachedPairEvaluator` -- memoized
+  listening-set evaluation keyed on phase residue, shared within and
+  across chunks inside each worker.
+* :func:`derive_seed` -- chunking-invariant per-item seeding.
+"""
+
+from .cache import CachedPairEvaluator, derive_seed, ListeningCache
+from .executor import ParallelSweep
+
+__all__ = [
+    "CachedPairEvaluator",
+    "derive_seed",
+    "ListeningCache",
+    "ParallelSweep",
+]

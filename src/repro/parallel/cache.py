@@ -1,0 +1,254 @@
+"""Memoized listening-set evaluation for offset sweeps.
+
+Every offset evaluated by :func:`repro.simulation.analytic.sweep_offsets`
+re-derives the receiver's effective listening set (reception windows
+minus own-transmission blocking) segment-by-segment for each candidate
+beacon.  That work repeats heavily across a sweep: away from time zero
+the listening set is *periodic* with the receiver's schedule hyperperiod
+``H = lcm(T_C, T_B)`` and shifts rigidly with the phase, so a decode
+decision depends only on the phase residue
+``(packet_start - rx_phase) mod H`` (plus packet length and reception
+model).  Translation invariance only breaks near time zero, where
+beacons scheduled before boot never went on air: blocks of those beacons
+all end before ``max_beacon_duration + turnaround``.
+
+:class:`ListeningCache` therefore precomputes the periodic pattern once
+-- two hyperperiods of exact listening segments, so any query interval
+of length up to ``H`` falls inside the linear list -- and answers each
+decode query with a binary search instead of rebuilding segments:
+
+* queries with ``start >= max_beacon_duration + turnaround`` are past
+  the boot boundary and answered from the precomputed pattern;
+* earlier queries, non-integer schedules, and degenerate shapes (packet
+  longer than the hyperperiod, pattern too large to precompute) take the
+  uncached exact path;
+
+so the cache is *bit-identical* to the direct computation by
+construction.  The pattern stores segments exactly as
+:func:`repro.simulation.analytic.listening_segments` returns them --
+unmerged, abutting windows kept distinct -- because the CONTAINMENT
+model's equality test distinguishes one spanning segment from two
+abutting ones.
+
+One cache per receiver is shared across all chunks a worker process
+evaluates; :class:`CachedPairEvaluator` mirrors
+:func:`repro.simulation.analytic.mutual_discovery_times` on top of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from ..core.sequences import NDProtocol
+from ..simulation.analytic import (
+    _packet_heard,
+    DiscoveryOutcome,
+    listening_segments,
+    ReceptionModel,
+)
+
+__all__ = ["ListeningCache", "CachedPairEvaluator", "derive_seed"]
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A stable per-item seed for sharded runs.
+
+    Hash-derived (not ``base_seed + index``) so neighbouring items do
+    not get correlated RNG streams, and a pure function of the item's
+    *global* index so results are independent of how items are chunked
+    across workers -- the serial and parallel grid drivers both use it.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _all_int(*values) -> bool:
+    return all(isinstance(v, int) for v in values)
+
+
+class ListeningCache:
+    """Precomputed periodic listening pattern for one receiver protocol.
+
+    Answers the same question as
+    :func:`repro.simulation.analytic._packet_heard` -- "is a packet
+    occupying ``[start, end)`` decoded by ``receiver`` at phase
+    ``rx_phase``?" -- in ``O(log segments)`` where the pattern is
+    translation-invariant, falling back to the exact per-query
+    computation everywhere else.
+    """
+
+    def __init__(
+        self,
+        receiver: NDProtocol,
+        turnaround: int = 0,
+        max_segments: int = 1 << 22,
+    ) -> None:
+        self.receiver = receiver
+        self.turnaround = turnaround
+        self.hyper = 1
+        self.threshold = 0
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        self.enabled = self._analyze(max_segments)
+        if self.enabled:
+            base = -(-self.threshold // self.hyper) * self.hyper
+            segments = listening_segments(
+                receiver, 0, base, base + 2 * self.hyper, turnaround
+            )
+            self._starts = [a - base for a, _ in segments]
+            self._ends = [b - base for _, b in segments]
+
+    def _analyze(self, max_segments: int) -> bool:
+        """Integer-grid + size preconditions for the precomputed path."""
+        reception = self.receiver.reception
+        if reception is None or not isinstance(reception.period, int):
+            return False
+        if not all(
+            _all_int(w.start, w.duration) for w in reception.windows
+        ):
+            return False
+        threshold = 0
+        n_segments = 0
+        beacons = self.receiver.beacons
+        if beacons is not None:
+            if not isinstance(beacons.period, int) or not all(
+                _all_int(b.time, b.duration) for b in beacons.beacons
+            ):
+                return False
+            # Blocks of beacons scheduled before time 0 (which never went
+            # on air) end strictly before max-duration + guard; at or
+            # past that instant the listening set equals its
+            # doubly-infinite periodic extension.
+            threshold = (
+                max(int(b.duration) for b in beacons.beacons)
+                + self.turnaround
+            )
+        hyper = self.receiver.hyperperiod()
+        if beacons is not None:
+            n_segments += hyper // int(beacons.period) * beacons.n_beacons
+        n_segments += hyper // int(reception.period) * reception.n_windows
+        if 2 * n_segments > max_segments:
+            return False
+        self.hyper = hyper
+        self.threshold = threshold
+        return True
+
+    def packet_heard(
+        self, rx_phase: int, start: int, end: int, model: ReceptionModel
+    ) -> bool:
+        """Decode decision, bit-identical to the uncached computation."""
+        duration = end - start
+        if (
+            not self.enabled
+            or start < self.threshold
+            or duration > self.hyper
+            or type(start) is not int
+            or type(end) is not int
+            or type(rx_phase) is not int
+        ):
+            return _packet_heard(
+                self.receiver, rx_phase, start, end, model, self.turnaround
+            )
+        lo = (start - rx_phase) % self.hyper
+        hi = lo + duration
+        starts, ends = self._starts, self._ends
+        i = bisect_right(starts, lo) - 1
+        covers_lo = i >= 0 and ends[i] > lo
+        if model is ReceptionModel.POINT:
+            return covers_lo
+        if model is ReceptionModel.ANY_OVERLAP:
+            if covers_lo:
+                return True
+            return i + 1 < len(starts) and starts[i + 1] < hi
+        # CONTAINMENT: one pattern segment spans the whole packet (two
+        # abutting segments do not count, matching the exact equality
+        # test in ``_packet_heard``).
+        return i >= 0 and ends[i] >= hi
+
+    @property
+    def pattern_segments(self) -> int:
+        """Number of precomputed segments (0 when disabled)."""
+        return len(self._starts)
+
+
+class CachedPairEvaluator:
+    """Drop-in replacement for per-offset pair evaluation.
+
+    ``evaluate(offset)`` returns exactly what
+    :func:`repro.simulation.analytic.mutual_discovery_times` returns for
+    the same arguments; the two directions share one
+    :class:`ListeningCache` per receiver across all offsets evaluated by
+    this instance.
+    """
+
+    def __init__(
+        self,
+        protocol_e: NDProtocol,
+        protocol_f: NDProtocol,
+        horizon: int,
+        model: ReceptionModel = ReceptionModel.POINT,
+        turnaround: int = 0,
+    ) -> None:
+        self.protocol_e = protocol_e
+        self.protocol_f = protocol_f
+        self.horizon = horizon
+        self.model = model
+        self.cache_e = ListeningCache(protocol_e, turnaround)
+        self.cache_f = ListeningCache(protocol_f, turnaround)
+
+    def _first_discovery(
+        self,
+        transmitter: NDProtocol,
+        cache: ListeningCache,
+        tx_phase: int,
+        rx_phase: int,
+    ) -> int | None:
+        # Inlined ``BeaconSchedule.iter_beacons_infinite``: same
+        # doubly-infinite enumeration and identical arithmetic --
+        # ``reduced + instance * period`` multiplication, never a
+        # running ``+= period`` sum, which would drift off the exact
+        # enumeration for non-integer periods -- minus one
+        # Beacon-object construction per candidate on this hot path.
+        schedule = transmitter.beacons
+        period = schedule.period
+        pattern = [(b.time, b.duration) for b in schedule.beacons]
+        horizon = self.horizon
+        model = self.model
+        heard = cache.packet_heard
+        reduced = tx_phase % period
+        instance = -1
+        while True:
+            base = reduced + instance * period
+            if base >= horizon:
+                return None
+            for tau, duration in pattern:
+                time = base + tau
+                if 0 <= time < horizon and heard(
+                    rx_phase, time, time + duration, model
+                ):
+                    return time
+            instance += 1
+
+    def evaluate(self, offset: int) -> DiscoveryOutcome:
+        """Both-direction discovery at one phase offset (E at 0, F at
+        ``offset``), exactly as the uncached analytic computation."""
+        e_by_f = None
+        f_by_e = None
+        if (
+            self.protocol_e.beacons is not None
+            and self.protocol_f.reception is not None
+        ):
+            e_by_f = self._first_discovery(
+                self.protocol_e, self.cache_f, tx_phase=0, rx_phase=offset
+            )
+        if (
+            self.protocol_f.beacons is not None
+            and self.protocol_e.reception is not None
+        ):
+            f_by_e = self._first_discovery(
+                self.protocol_f, self.cache_e, tx_phase=offset, rx_phase=0
+            )
+        return DiscoveryOutcome(
+            offset=offset, e_discovered_by_f=e_by_f, f_discovered_by_e=f_by_e
+        )

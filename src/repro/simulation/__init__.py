@@ -15,9 +15,11 @@ The two are bit-compatible on their common domain, which
 from .analytic import (
     critical_offsets,
     DiscoveryOutcome,
+    evaluate_offsets,
     first_discovery,
     mutual_discovery_times,
     ReceptionModel,
+    summarize_outcomes,
     sweep_offsets,
     SweepReport,
 )
@@ -32,6 +34,7 @@ from .runner import (
     simulate_network,
     simulate_pair,
     simulate_pair_mutual_assistance,
+    sweep_network_grid,
     verified_worst_case,
 )
 
@@ -52,11 +55,14 @@ __all__ = [
     "EventKind",
     "Transmission",
     "critical_offsets",
+    "evaluate_offsets",
     "first_discovery",
     "mutual_discovery_times",
     "simulate_network",
     "simulate_pair",
     "simulate_pair_mutual_assistance",
+    "summarize_outcomes",
+    "sweep_network_grid",
     "sweep_offsets",
     "verified_worst_case",
 ]

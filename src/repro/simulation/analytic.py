@@ -36,6 +36,8 @@ __all__ = [
     "mutual_discovery_times",
     "DiscoveryOutcome",
     "critical_offsets",
+    "evaluate_offsets",
+    "summarize_outcomes",
     "sweep_offsets",
     "SweepReport",
 ]
@@ -280,15 +282,7 @@ def critical_offsets(
     versa).  Raises ``ValueError`` if the critical set would exceed
     ``max_count`` (fall back to a uniform sweep for such configs).
     """
-    periods: list[int] = []
-    for proto in (protocol_e, protocol_f):
-        if proto.beacons is not None:
-            periods.append(int(proto.beacons.period))
-        if proto.reception is not None:
-            periods.append(int(proto.reception.period))
-    hyper = 1
-    for p in periods:
-        hyper = math.lcm(hyper, p)
+    hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
 
     offsets: set[int] = set()
 
@@ -350,16 +344,37 @@ class SweepReport:
     worst_offset_two_way: int | None
 
 
-def sweep_offsets(
+def evaluate_offsets(
     protocol_e: NDProtocol,
     protocol_f: NDProtocol,
     offsets: Iterable[int],
     horizon: int,
     model: ReceptionModel = ReceptionModel.POINT,
     turnaround: int = 0,
-) -> SweepReport:
-    """Evaluate both-direction discovery over a set of phase offsets and
-    aggregate worst/mean statistics."""
+) -> list[DiscoveryOutcome]:
+    """Per-offset discovery outcomes, in the order offsets are given.
+
+    Batch-friendly primitive behind :func:`sweep_offsets`: a chunked
+    executor can evaluate disjoint offset slices independently and
+    aggregate them later (see :func:`summarize_outcomes`), since each
+    outcome depends only on its own offset.
+    """
+    return [
+        mutual_discovery_times(
+            protocol_e, protocol_f, offset, horizon, model, turnaround
+        )
+        for offset in offsets
+    ]
+
+
+def summarize_outcomes(outcomes: Iterable[DiscoveryOutcome]) -> SweepReport:
+    """Aggregate per-offset outcomes into a :class:`SweepReport`.
+
+    Worst-case ties break toward the *earliest* outcome in iteration
+    order (strict ``>`` updates only), so the result is a pure function
+    of the outcome sequence -- the invariant the parallel executor's
+    order-stable chunk merging relies on.
+    """
     n = 0
     failures = 0
     worst_ow: int | None = None
@@ -370,11 +385,8 @@ def sweep_offsets(
     sum_tw = 0
     count_ow = 0
     count_tw = 0
-    for offset in offsets:
+    for outcome in outcomes:
         n += 1
-        outcome = mutual_discovery_times(
-            protocol_e, protocol_f, offset, horizon, model, turnaround
-        )
         ow = outcome.one_way
         tw = outcome.two_way
         if ow is None:
@@ -383,12 +395,12 @@ def sweep_offsets(
             sum_ow += ow
             count_ow += 1
             if worst_ow is None or ow > worst_ow:
-                worst_ow, worst_ow_off = ow, offset
+                worst_ow, worst_ow_off = ow, outcome.offset
         if tw is not None:
             sum_tw += tw
             count_tw += 1
             if worst_tw is None or tw > worst_tw:
-                worst_tw, worst_tw_off = tw, offset
+                worst_tw, worst_tw_off = tw, outcome.offset
     return SweepReport(
         offsets_evaluated=n,
         failures=failures,
@@ -398,4 +410,21 @@ def sweep_offsets(
         mean_two_way=sum_tw / count_tw if count_tw else None,
         worst_offset_one_way=worst_ow_off,
         worst_offset_two_way=worst_tw_off,
+    )
+
+
+def sweep_offsets(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    offsets: Iterable[int],
+    horizon: int,
+    model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+) -> SweepReport:
+    """Evaluate both-direction discovery over a set of phase offsets and
+    aggregate worst/mean statistics."""
+    return summarize_outcomes(
+        evaluate_offsets(
+            protocol_e, protocol_f, offsets, horizon, model, turnaround
+        )
     )

@@ -117,6 +117,22 @@ class Node:
             lambda: self._schedule_beacon_instance(instance + 1),
         )
 
+    def schedule_response_tx(self, duration: int, at: int | None = None) -> None:
+        """Schedule a one-off, out-of-schedule transmission.
+
+        Public entry point for protocol extensions that inject extra
+        beacons -- e.g. the mutual-assistance response of Appendix C,
+        which answers inside the peer's announced reception window.  The
+        transmission behaves exactly like a scheduled beacon: it occupies
+        the channel, can collide, and blocks the node's own reception
+        (half-duplex plus turnaround guards).
+
+        ``at`` is the global start time (default: now); it must not lie
+        in the past.
+        """
+        when = self.sim.now if at is None else at
+        self.sim.schedule(when, lambda: self._begin_tx(duration))
+
     def _begin_tx(self, duration: int) -> None:
         start = self.sim.now
         block = (start - self.turnaround, start + duration + self.turnaround)

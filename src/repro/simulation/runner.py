@@ -16,6 +16,7 @@ Three levels of fidelity:
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 
@@ -25,7 +26,6 @@ from .analytic import (
     DiscoveryOutcome,
     mutual_discovery_times,
     ReceptionModel,
-    sweep_offsets,
     SweepReport,
 )
 from .channel import Channel
@@ -37,32 +37,28 @@ __all__ = [
     "simulate_pair",
     "simulate_network",
     "NetworkResult",
+    "sweep_network_grid",
     "verified_worst_case",
     "PairWorstCase",
 ]
 
 
-def simulate_pair(
+def _make_pair(
     protocol_e: NDProtocol,
     protocol_f: NDProtocol,
     offset: int,
-    horizon: int,
-    reception_model: ReceptionModel = ReceptionModel.POINT,
-    turnaround: int = 0,
-    drift_ppm_e: int = 0,
-    drift_ppm_f: int = 0,
-    advertising_jitter: int = 0,
-    seed: int = 0,
-) -> DiscoveryOutcome:
-    """Event-driven discovery between two devices.
-
-    Device E runs at phase 0, device F at phase ``offset``; both are in
-    range from time 0.  Returns first-decode times per direction (packet
-    start timestamps), ``None`` for directions not discovered within
-    ``horizon``.
-    """
-    sim = Simulator()
-    channel = Channel()
+    sim: Simulator,
+    channel: Channel,
+    reception_model: ReceptionModel,
+    turnaround: int,
+    drift_ppm_e: int,
+    drift_ppm_f: int,
+    advertising_jitter: int,
+    seed: int,
+) -> tuple[Node, Node]:
+    """Build the canonical two-device setup: E at phase 0, F at phase
+    ``offset``, node seeds ``seed``/``seed + 1`` -- shared by every pair
+    runner so the fidelity knobs cannot diverge between them again."""
     clock_e = (
         DriftingClock(phase=0, drift_ppm=drift_ppm_e)
         if drift_ppm_e
@@ -94,6 +90,43 @@ def simulate_pair(
         turnaround=turnaround,
         advertising_jitter=advertising_jitter,
         seed=seed + 1,
+    )
+    return node_e, node_f
+
+
+def simulate_pair(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    offset: int,
+    horizon: int,
+    reception_model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+    drift_ppm_e: int = 0,
+    drift_ppm_f: int = 0,
+    advertising_jitter: int = 0,
+    seed: int = 0,
+) -> DiscoveryOutcome:
+    """Event-driven discovery between two devices.
+
+    Device E runs at phase 0, device F at phase ``offset``; both are in
+    range from time 0.  Returns first-decode times per direction (packet
+    start timestamps), ``None`` for directions not discovered within
+    ``horizon``.
+    """
+    sim = Simulator()
+    channel = Channel()
+    node_e, node_f = _make_pair(
+        protocol_e,
+        protocol_f,
+        offset,
+        sim,
+        channel,
+        reception_model,
+        turnaround,
+        drift_ppm_e,
+        drift_ppm_f,
+        advertising_jitter,
+        seed,
     )
     node_e.activate()
     node_f.activate()
@@ -141,11 +174,19 @@ class NetworkResult:
 
     def quantile(self, q: float) -> int | None:
         """Latency quantile over *completed* discoveries (``None`` if no
-        discovery completed)."""
+        discovery completed).
+
+        Nearest-rank semantics (matching
+        :func:`repro.analysis.stats._quantile`): the smallest latency
+        whose rank is at least ``q * n``, i.e. index ``ceil(q*n) - 1``,
+        clamped to the sample.  ``quantile(0.5)`` over ``[1, 2, 3, 4]``
+        is therefore 2 -- the value at rank 2 -- not 3 as naive
+        ``int(q*n)`` truncation would give.
+        """
         lat = self.latencies()
         if not lat:
             return None
-        index = min(len(lat) - 1, int(q * len(lat)))
+        index = min(len(lat) - 1, max(0, math.ceil(q * len(lat)) - 1))
         return lat[index]
 
 
@@ -234,6 +275,10 @@ def simulate_pair_mutual_assistance(
     horizon: int,
     reception_model: ReceptionModel = ReceptionModel.POINT,
     turnaround: int = 0,
+    drift_ppm_e: int = 0,
+    drift_ppm_f: int = 0,
+    advertising_jitter: int = 0,
+    seed: int = 0,
 ) -> DiscoveryOutcome:
     """Pair discovery with *mutual assistance* (Appendix C / Griassdi [13]).
 
@@ -243,6 +288,10 @@ def simulate_pair_mutual_assistance(
     within at most one reception period -- "actually a form of
     synchronous connectivity", as the paper puts it.
 
+    Accepts the same fidelity knobs as :func:`simulate_pair` (clock
+    drift, advertising jitter, RNG seed) so Appendix-C experiments can
+    study assistance under imperfect oscillators.
+
     Returns the two directed discovery times including assisted
     responses.  The interesting metric is ``two_way``: with assistance it
     tracks ``one_way + T_C`` instead of two independent one-way
@@ -250,23 +299,18 @@ def simulate_pair_mutual_assistance(
     """
     sim = Simulator()
     channel = Channel()
-    node_e = Node(
-        "E",
+    node_e, node_f = _make_pair(
         protocol_e,
-        sim,
-        channel,
-        clock=IdealClock(phase=0),
-        reception_model=reception_model,
-        turnaround=turnaround,
-    )
-    node_f = Node(
-        "F",
         protocol_f,
+        offset,
         sim,
         channel,
-        clock=IdealClock(phase=offset),
-        reception_model=reception_model,
-        turnaround=turnaround,
+        reception_model,
+        turnaround,
+        drift_ppm_e,
+        drift_ppm_f,
+        advertising_jitter,
+        seed,
     )
     nodes = {"E": node_e, "F": node_f}
     omega_by_node = {
@@ -293,9 +337,7 @@ def simulate_pair_mutual_assistance(
             # sender's own beacons are unlikely to blank the response.
             target = int(window.start) + int(window.duration) // 2
             if target > sim.now + turnaround:
-                sim.schedule(
-                    target, lambda d=omega: discoverer._begin_tx(d)
-                )
+                discoverer.schedule_response_tx(omega, at=target)
                 return
 
     node_e.on_discovery = lambda me, peer, t: assist(me, nodes[peer.name], t)
@@ -330,6 +372,7 @@ def verified_worst_case(
     max_critical: int = 200_000,
     des_spot_checks: int = 16,
     fallback_samples: int = 4096,
+    jobs: int = 1,
 ) -> PairWorstCase:
     """Exact worst-case latency over all phase offsets, cross-validated.
 
@@ -337,23 +380,24 @@ def verified_worst_case(
     uniform sweep when the critical set explodes), then replays a handful
     of offsets -- including the worst ones -- through the event-driven
     simulator and checks for exact agreement.
+
+    ``jobs > 1`` shards the offset sweep across worker processes via
+    :class:`repro.parallel.ParallelSweep`; the report is bit-identical
+    to the serial sweep (the DES spot checks always run in-process).
     """
     try:
         offsets = critical_offsets(
             protocol_e, protocol_f, omega=omega, max_count=max_critical
         )
     except ValueError:
-        hyper = 1
-        import math
-
-        for proto in (protocol_e, protocol_f):
-            if proto.beacons is not None:
-                hyper = math.lcm(hyper, int(proto.beacons.period))
-            if proto.reception is not None:
-                hyper = math.lcm(hyper, int(proto.reception.period))
+        hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
         step = max(1, hyper // fallback_samples)
         offsets = list(range(0, hyper, step))
-    report = sweep_offsets(
+    from ..parallel import ParallelSweep
+
+    # One dispatch for every jobs value: ParallelSweep runs jobs <= 1
+    # in-process (bit-identical to the plain serial sweep).
+    report = ParallelSweep(jobs=jobs).sweep_offsets(
         protocol_e, protocol_f, offsets, horizon, reception_model, turnaround
     )
 
@@ -387,4 +431,57 @@ def verified_worst_case(
             break
     return PairWorstCase(
         analytic=report, des_agrees=agrees, offsets_checked=len(offsets)
+    )
+
+
+def _run_scenario(
+    scenario,
+    seed: int,
+    reception_model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+    advertising_jitter: int = 0,
+) -> NetworkResult:
+    """Run one :class:`repro.workloads.Scenario` (duck-typed: anything
+    with ``protocols``/``phases``/``horizon`` and optional
+    ``drift_ppm``/``start_times``) through :func:`simulate_network`."""
+    drift = getattr(scenario, "drift_ppm", None) or None
+    starts = getattr(scenario, "start_times", None) or None
+    return simulate_network(
+        scenario.protocols,
+        scenario.phases,
+        horizon=scenario.horizon,
+        reception_model=reception_model,
+        turnaround=turnaround,
+        advertising_jitter=advertising_jitter,
+        drift_ppm=drift,
+        start_times=starts,
+        seed=seed,
+    )
+
+
+def sweep_network_grid(
+    scenarios,
+    jobs: int = 1,
+    base_seed: int = 0,
+    reception_model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+    advertising_jitter: int = 0,
+) -> list[NetworkResult]:
+    """Run every scenario of a grid through the event-driven simulator.
+
+    The batch driver behind grid experiments (e.g. device-count x
+    duty-cycle sweeps from :func:`repro.workloads.scenario_grid`).
+    Results come back in input order; each scenario's RNG seed derives
+    from ``(base_seed, its grid index)`` via
+    :func:`repro.parallel.derive_seed`, so the output is bit-identical
+    for any ``jobs`` value -- chunking is invisible to the RNG.
+    """
+    from ..parallel import ParallelSweep
+
+    return ParallelSweep(jobs=jobs).map_scenarios(
+        list(scenarios),
+        base_seed=base_seed,
+        reception_model=reception_model,
+        turnaround=turnaround,
+        advertising_jitter=advertising_jitter,
     )

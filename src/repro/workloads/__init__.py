@@ -6,6 +6,7 @@ from .scenarios import (
     drifting_pair,
     gateway_and_peripherals,
     Scenario,
+    scenario_grid,
     symmetric_pair,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "drifting_pair",
     "gateway_and_peripherals",
     "gradual_join",
+    "scenario_grid",
     "symmetric_pair",
 ]

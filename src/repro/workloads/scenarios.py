@@ -15,14 +15,17 @@ ready-to-run description consumed by the examples and benchmarks:
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from ..core.optimal import synthesize_asymmetric, synthesize_symmetric
 from ..core.sequences import NDProtocol
 
 __all__ = [
     "Scenario",
+    "scenario_grid",
     "symmetric_pair",
     "gateway_and_peripherals",
     "dense_network",
@@ -65,6 +68,38 @@ def _random_phases(
             period = max(period, int(proto.reception.period))
         phases.append(rng.randrange(period))
     return phases
+
+
+def scenario_grid(
+    factory: Callable[..., Scenario], **axes: Sequence
+) -> list[Scenario]:
+    """Expand a parameter grid into concrete scenarios.
+
+    Each keyword names a ``factory`` parameter and supplies the values
+    of one grid axis; the cross product is expanded in row-major order
+    (last axis fastest, axes in keyword order), so the flattened list --
+    and therefore the per-index seeds the grid drivers derive -- is
+    deterministic.  Example::
+
+        grid = scenario_grid(dense_network, n_devices=[5, 10], eta=[0.01, 0.02])
+        results = sweep_network_grid(grid, jobs=4)
+
+    expands to ``(5, 0.01), (5, 0.02), (10, 0.01), (10, 0.02)``.
+    """
+    if not axes:
+        raise ValueError("scenario_grid needs at least one axis")
+    names = list(axes)
+    for name, values in axes.items():
+        if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+            raise TypeError(
+                f"axis {name!r} must be a sequence of values, got {values!r}"
+            )
+        if not values:
+            raise ValueError(f"axis {name!r} is empty")
+    return [
+        factory(**dict(zip(names, point)))
+        for point in itertools.product(*(axes[name] for name in names))
+    ]
 
 
 def symmetric_pair(

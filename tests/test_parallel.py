@@ -1,0 +1,381 @@
+"""Tests of the parallel sweep engine and the PR-1 fidelity bugfixes.
+
+The load-bearing property: everything the parallel subsystem computes --
+cached listening-set decisions, chunked sweeps, grid runs -- must be
+*bit-identical* to the serial reference path, for arbitrary protocol
+pairs, reception models and turnaround guards.
+"""
+
+import random
+
+import pytest
+
+from repro.core.optimal import synthesize_symmetric
+from repro.core.sequences import (
+    BeaconSchedule,
+    NDProtocol,
+    ReceptionSchedule,
+)
+from repro.parallel import (
+    CachedPairEvaluator,
+    derive_seed,
+    ListeningCache,
+    ParallelSweep,
+)
+from repro.parallel.executor import _chunk
+from repro.simulation import (
+    evaluate_offsets,
+    mutual_discovery_times,
+    NetworkResult,
+    ReceptionModel,
+    simulate_pair,
+    simulate_pair_mutual_assistance,
+    summarize_outcomes,
+    sweep_network_grid,
+    sweep_offsets,
+    verified_worst_case,
+)
+from repro.simulation.analytic import _packet_heard
+from repro.simulation.channel import Channel
+from repro.simulation.engine import Simulator
+from repro.simulation.node import Node
+from repro.workloads import dense_network, scenario_grid
+
+
+def random_protocol(rng: random.Random, role: str = "both") -> NDProtocol:
+    """A random small-period protocol; ``role`` picks the sequences."""
+    beacons = None
+    reception = None
+    if role in ("both", "tx"):
+        n = rng.randint(1, 3)
+        gap = rng.randint(40, 400)
+        duration = rng.randint(2, min(12, gap - 1))
+        beacons = BeaconSchedule.uniform(n, gap, duration)
+    if role in ("both", "rx"):
+        period = rng.randint(100, 600)
+        duration = rng.randint(15, 80)
+        start = rng.randint(0, period - duration)
+        reception = ReceptionSchedule.single_window(duration, period, start)
+    return NDProtocol(beacons=beacons, reception=reception)
+
+
+def random_pair(rng: random.Random) -> tuple[NDProtocol, NDProtocol]:
+    shape = rng.choice(["both/both", "both/both", "both/both", "tx/rx"])
+    if shape == "tx/rx":
+        return random_protocol(rng, "tx"), random_protocol(rng, "rx")
+    return random_protocol(rng, "both"), random_protocol(rng, "both")
+
+
+class TestListeningCache:
+    def test_decisions_bit_identical_random_protocols(self):
+        """Property test: cached decode decisions equal the direct
+        computation for random receivers, times, models and guards --
+        including below-threshold times where the boot cutoff breaks
+        periodicity."""
+        rng = random.Random(42)
+        for _ in range(40):
+            receiver = random_protocol(rng, "both")
+            turnaround = rng.choice([0, 0, 1, 7])
+            cache = ListeningCache(receiver, turnaround)
+            for _ in range(60):
+                start = rng.randint(0, 5_000)
+                length = rng.randint(1, 20)
+                phase = rng.randint(0, 2_000)
+                model = rng.choice(list(ReceptionModel))
+                expected = _packet_heard(
+                    receiver, phase, start, start + length, model, turnaround
+                )
+                got = cache.packet_heard(phase, start, start + length, model)
+                assert got == expected, (
+                    receiver, phase, start, length, model, turnaround
+                )
+
+    def test_non_integer_schedule_falls_back(self):
+        receiver = NDProtocol(
+            beacons=None,
+            reception=ReceptionSchedule.single_window(25.5, 100.0),
+        )
+        cache = ListeningCache(receiver)
+        assert not cache.enabled
+        for start in (0, 10, 30, 99, 130):
+            assert cache.packet_heard(
+                0, start, start + 1, ReceptionModel.POINT
+            ) == _packet_heard(
+                receiver, 0, start, start + 1, ReceptionModel.POINT, 0
+            )
+
+    def test_evaluator_matches_mutual_discovery_times(self):
+        rng = random.Random(7)
+        for _ in range(12):
+            protocol_e, protocol_f = random_pair(rng)
+            turnaround = rng.choice([0, 0, 5])
+            model = rng.choice(list(ReceptionModel))
+            horizon = 30_000
+            evaluator = CachedPairEvaluator(
+                protocol_e, protocol_f, horizon, model, turnaround
+            )
+            for _ in range(25):
+                offset = rng.randint(0, 10_000)
+                assert evaluator.evaluate(offset) == mutual_discovery_times(
+                    protocol_e, protocol_f, offset, horizon, model, turnaround
+                )
+
+
+class TestBatchEntryPoints:
+    def test_sweep_is_summarize_of_evaluate(self):
+        rng = random.Random(3)
+        protocol_e, protocol_f = random_pair(rng)
+        offsets = [rng.randint(0, 10_000) for _ in range(50)]
+        horizon = 25_000
+        outcomes = evaluate_offsets(protocol_e, protocol_f, offsets, horizon)
+        assert [o.offset for o in outcomes] == offsets
+        assert summarize_outcomes(outcomes) == sweep_offsets(
+            protocol_e, protocol_f, offsets, horizon
+        )
+
+    def test_summarize_ties_break_to_earliest(self):
+        protocol, _ = synthesize_symmetric(32, 0.05)
+        # Duplicate offsets give identical outcomes: the first occurrence
+        # must win the worst-offset slots.
+        report = sweep_offsets(protocol, protocol, [500, 500], 200_000)
+        assert report.worst_offset_one_way == 500
+        assert report.offsets_evaluated == 2
+
+
+class TestParallelSweep:
+    def test_chunking_partitions_in_order(self):
+        items = list(range(17))
+        chunks = _chunk(items, 5)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) == 5
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+        assert _chunk(items, 100) == [[x] for x in items]
+
+    def test_bit_identical_to_serial_random_pairs(self):
+        """Property test: the chunked multiprocessing sweep reproduces
+        the serial report exactly -- counts, worsts, float means and
+        tie-broken worst offsets."""
+        rng = random.Random(11)
+        executor = ParallelSweep(jobs=2, chunks_per_job=3)
+        for _ in range(3):
+            protocol_e, protocol_f = random_pair(rng)
+            offsets = [rng.randint(0, 20_000) for _ in range(120)]
+            horizon = 25_000
+            model = rng.choice(list(ReceptionModel))
+            serial = sweep_offsets(
+                protocol_e, protocol_f, offsets, horizon, model
+            )
+            parallel = executor.sweep_offsets(
+                protocol_e, protocol_f, offsets, horizon, model
+            )
+            assert parallel == serial
+
+    def test_float_period_protocols_bit_identical(self):
+        """Regression: non-integer schedule periods must not drift.
+
+        The worker-side beacon enumeration has to use the
+        ``reduced + instance * period`` multiplication of
+        ``iter_beacons_infinite`` -- a running ``+= period`` float sum
+        accumulates error and lands beacons on the wrong side of window
+        boundaries -- and float discovery times must flow through the
+        one shared ``summarize_outcomes`` so the means do not
+        re-associate."""
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 100.1, 2),
+            reception=ReceptionSchedule.single_window(25, 600),
+        )
+        scan = NDProtocol(
+            beacons=BeaconSchedule.uniform(2, 150, 3),
+            reception=ReceptionSchedule.single_window(40.5, 350.25),
+        )
+        offsets = list(range(0, 700))
+        horizon = 5_000
+        serial = sweep_offsets(adv, scan, offsets, horizon)
+        parallel = ParallelSweep(jobs=2, chunks_per_job=3).sweep_offsets(
+            adv, scan, offsets, horizon
+        )
+        assert parallel == serial
+        evaluator = CachedPairEvaluator(adv, scan, horizon)
+        for offset in offsets[::37]:
+            assert evaluator.evaluate(offset) == mutual_discovery_times(
+                adv, scan, offset, horizon
+            )
+
+    def test_jobs_one_is_serial_path(self):
+        protocol, design = synthesize_symmetric(32, 0.05)
+        offsets = list(range(0, 50_000, 1_111))
+        horizon = design.worst_case_latency * 3
+        assert ParallelSweep(jobs=1).sweep_offsets(
+            protocol, protocol, offsets, horizon
+        ) == sweep_offsets(protocol, protocol, offsets, horizon)
+
+    def test_verified_worst_case_parallel_identical(self):
+        protocol, design = synthesize_symmetric(32, 0.05)
+        horizon = design.worst_case_latency * 3
+        serial = verified_worst_case(protocol, protocol, horizon, omega=32)
+        parallel = verified_worst_case(
+            protocol, protocol, horizon, omega=32, jobs=2
+        )
+        assert parallel.analytic == serial.analytic
+        assert parallel.offsets_checked == serial.offsets_checked
+        assert parallel.des_agrees and serial.des_agrees
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSweep(jobs=-1)
+        with pytest.raises(ValueError):
+            ParallelSweep(jobs=2, chunks_per_job=0)
+
+
+class TestNetworkGrid:
+    def test_scenario_grid_row_major_expansion(self):
+        grid = scenario_grid(
+            dense_network, n_devices=[3, 4], eta=[0.02, 0.05]
+        )
+        assert [
+            (len(s.protocols), round(s.protocols[0].eta, 2)) for s in grid
+        ] == [(3, 0.02), (3, 0.05), (4, 0.02), (4, 0.05)]
+
+    def test_scenario_grid_validates_axes(self):
+        with pytest.raises(ValueError):
+            scenario_grid(dense_network)
+        with pytest.raises(ValueError):
+            scenario_grid(dense_network, n_devices=[])
+        with pytest.raises(TypeError):
+            scenario_grid(dense_network, n_devices=3)
+
+    def test_grid_results_identical_serial_vs_parallel(self):
+        grid = scenario_grid(
+            dense_network, n_devices=[3, 4], eta=[0.05], seed=[0, 1]
+        )
+        serial = sweep_network_grid(grid, jobs=1, base_seed=9)
+        parallel = sweep_network_grid(grid, jobs=2, base_seed=9)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert a == b
+
+    def test_seeds_derive_from_global_index(self):
+        assert derive_seed(1, 0) != derive_seed(1, 1)
+        assert derive_seed(1, 5) == derive_seed(1, 5)
+        assert derive_seed(2, 5) != derive_seed(1, 5)
+
+
+class TestMutualAssistanceFidelity:
+    """Regression: the assistance runner silently dropped the fidelity
+    knobs its sibling ``simulate_pair`` supports."""
+
+    def test_accepts_and_forwards_seeded_jitter(self):
+        protocol, design = synthesize_symmetric(32, 0.02)
+        horizon = design.worst_case_latency * 4
+        a = simulate_pair_mutual_assistance(
+            protocol, protocol, 7_777, horizon,
+            advertising_jitter=500, seed=9,
+        )
+        b = simulate_pair_mutual_assistance(
+            protocol, protocol, 7_777, horizon,
+            advertising_jitter=500, seed=9,
+        )
+        c = simulate_pair_mutual_assistance(
+            protocol, protocol, 7_777, horizon,
+            advertising_jitter=500, seed=10,
+        )
+        assert a == b
+        assert a != c  # different seed must move the jittered schedule
+
+    def test_drift_changes_timing_but_still_discovers(self):
+        protocol, design = synthesize_symmetric(32, 0.02)
+        horizon = design.worst_case_latency * 4
+        ideal = simulate_pair_mutual_assistance(
+            protocol, protocol, 12_345, horizon
+        )
+        drifting = simulate_pair_mutual_assistance(
+            protocol, protocol, 12_345, horizon, drift_ppm_f=5_000
+        )
+        # A severe crystal error must actually reach the simulation: the
+        # rendezvous moves (before the fix the knob did not exist).  One
+        # direction can miss entirely under 5000 ppm -- the plain pair
+        # runner agrees -- but discovery must not vanish altogether.
+        assert drifting != ideal
+        assert drifting.one_way is not None
+        plain = simulate_pair(
+            protocol, protocol, 12_345, horizon, drift_ppm_f=5_000
+        )
+        assert drifting.f_discovered_by_e == plain.f_discovered_by_e
+
+    def test_defaults_unchanged(self):
+        """With all knobs at defaults the fixed runner is the old one."""
+        protocol, design = synthesize_symmetric(32, 0.02)
+        horizon = design.worst_case_latency * 4
+        outcome = simulate_pair_mutual_assistance(
+            protocol, protocol, 123_457, horizon
+        )
+        plain = simulate_pair(protocol, protocol, 123_457, horizon)
+        assert outcome.one_way == plain.one_way
+        assert outcome.two_way is not None
+        assert outcome.two_way <= outcome.one_way + int(
+            design.reception.period
+        )
+
+
+class TestScheduleResponseTx:
+    """Regression: the assist hook used the private ``Node._begin_tx``."""
+
+    def make_node(self):
+        protocol, _ = synthesize_symmetric(32, 0.05)
+        sim = Simulator()
+        channel = Channel()
+        node = Node("n", protocol, sim, channel)
+        return sim, channel, node
+
+    def test_schedules_a_real_transmission(self):
+        sim, channel, node = self.make_node()
+        node.schedule_response_tx(32, at=100)
+        sim.run_until(200)
+        assert channel.total_transmissions == 1
+
+    def test_defaults_to_now(self):
+        sim, channel, node = self.make_node()
+        node.schedule_response_tx(32)
+        sim.run_until(50)
+        assert channel.total_transmissions == 1
+
+    def test_past_time_rejected(self):
+        sim, channel, node = self.make_node()
+        sim.run_until(500)
+        with pytest.raises(ValueError):
+            node.schedule_response_tx(32, at=100)
+
+
+class TestQuantileNearestRank:
+    """Regression: ``int(q*n)`` truncation overshot at exact-rank
+    boundaries (the median of an even-sized sample took the upper
+    element)."""
+
+    def make_result(self, latencies):
+        result = NetworkResult(n_nodes=2, horizon=1_000)
+        for i, latency in enumerate(latencies):
+            result.discovery_times[(f"a{i}", f"b{i}")] = latency
+        return result
+
+    def test_even_sample_median_is_lower_of_the_two(self):
+        result = self.make_result([1, 2, 3, 4])
+        assert result.quantile(0.5) == 2
+
+    def test_boundaries_and_interior(self):
+        result = self.make_result([10, 20, 30, 40])
+        assert result.quantile(0.0) == 10
+        assert result.quantile(0.25) == 10
+        assert result.quantile(0.26) == 20
+        assert result.quantile(1.0) == 40
+
+    def test_empty_returns_none(self):
+        assert NetworkResult(n_nodes=2, horizon=1).quantile(0.5) is None
+
+    def test_matches_stats_module_semantics(self):
+        from repro.analysis.stats import _quantile
+
+        rng = random.Random(5)
+        latencies = sorted(rng.randint(1, 1000) for _ in range(17))
+        result = self.make_result(latencies)
+        for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+            assert result.quantile(q) == _quantile(latencies, q)
