@@ -7,10 +7,14 @@ Installed as ``repro-nd``.  Subcommands::
     repro-nd simulate --eta 0.01 --devices 5        # a dense-network run
     repro-nd sweep --eta 0.01 --jobs 4              # exact offset sweep
     repro-nd validate --eta 0.01 --jobs 4           # analytic + DES cross-check
+    repro-nd grid --devices 3,5,10 --jobs 4         # scenario-grid batch run
     repro-nd protocols --duty-cycle 0.05            # protocol-zoo comparison
 
-``sweep`` and ``validate`` accept ``--jobs N`` to shard the offset sweep
-across worker processes; results are bit-identical to ``--jobs 1``.
+``sweep``, ``validate`` and ``grid`` accept ``--jobs N`` to shard work
+across worker processes; results are bit-identical to ``--jobs 1``
+(``validate`` also shards its DES spot-check replays, and ``grid``
+schedules scenarios with cost-sorted work stealing by default --
+``--schedule chunk`` restores uniform chunking).
 """
 
 from __future__ import annotations
@@ -152,6 +156,63 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     if not result.des_agrees:
         print("FAIL: event-driven simulation disagrees with analytic sweep")
         return 1
+    return 0
+
+
+def _int_list(value: str) -> list[int]:
+    try:
+        items = [int(item) for item in value.split(",") if item]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a comma-list of ints: {value!r}") from exc
+    if not items:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return items
+
+
+def _float_list(value: str) -> list[float]:
+    try:
+        items = [float(item) for item in value.split(",") if item]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a comma-list of floats: {value!r}") from exc
+    if not items:
+        raise argparse.ArgumentTypeError("expected at least one number")
+    return items
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from .simulation import sweep_network_grid
+    from .workloads import scenario_grid
+
+    grid = scenario_grid(
+        dense_network,
+        n_devices=args.devices,
+        eta=args.etas,
+        omega=[args.omega],
+        seed=[args.seed],
+    )
+    results = sweep_network_grid(
+        grid, jobs=args.jobs, base_seed=args.seed, schedule=args.schedule
+    )
+    rows = []
+    for scenario, result in zip(grid, results):
+        median = result.quantile(0.5)
+        rows.append([
+            scenario.name,
+            f"{result.pairs_discovered}/{result.pairs_expected}",
+            f"{result.discovery_rate:.1%}",
+            format_seconds(median) if median is not None else "-",
+            result.total_collisions,
+        ])
+    print(
+        format_table(
+            ["scenario", "pairs", "rate", "median latency", "collisions"],
+            rows,
+            title=(
+                f"{len(grid)} scenarios (jobs={args.jobs}, "
+                f"schedule={args.schedule})"
+            ),
+        )
+    )
     return 0
 
 
@@ -321,6 +382,29 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the offset sweep (1 = serial)",
     )
     p_val.set_defaults(func=_cmd_validate)
+
+    p_grid = sub.add_parser(
+        "grid", help="batch-run a dense-network scenario grid"
+    )
+    p_grid.add_argument(
+        "--devices", type=_int_list, default=[3, 5],
+        help="comma-separated device counts, one grid axis (e.g. 3,5,10)",
+    )
+    p_grid.add_argument(
+        "--etas", type=_float_list, default=[0.02],
+        help="comma-separated duty-cycles, the other grid axis",
+    )
+    p_grid.add_argument("--omega", type=int, default=32)
+    p_grid.add_argument("--seed", type=int, default=0)
+    p_grid.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the grid (1 = serial)",
+    )
+    p_grid.add_argument(
+        "--schedule", choices=["steal", "chunk"], default="steal",
+        help="work-stealing (cost-sorted) or uniform chunked scheduling",
+    )
+    p_grid.set_defaults(func=_cmd_grid)
 
     p_zoo = sub.add_parser("protocols", help="compare the protocol zoo")
     p_zoo.add_argument("--slot-length", type=int, default=10_000)

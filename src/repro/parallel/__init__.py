@@ -2,26 +2,79 @@
 
 The sweep workloads behind the paper's validation experiments are
 embarrassingly parallel -- one exact computation per phase offset, one
-event-driven run per scenario grid point.  This package shards them
-across worker processes while guaranteeing results *bit-identical* to
-the serial path (same iteration order, same tie-breaking, same derived
-seeds), so everything downstream -- tier-1 tests, paper-figure
-reproductions -- is unchanged, only faster.
+DES replay per spot-check, one event-driven run per scenario grid
+point.  This package shards them across worker processes while
+guaranteeing results *bit-identical* to the serial path (same iteration
+order, same tie-breaking, same derived seeds), so everything downstream
+-- tier-1 tests, paper-figure reproductions -- is unchanged, only
+faster.
 
-* :class:`ParallelSweep` -- chunked multiprocessing executor with
-  order-stable merging.
+* :class:`ParallelSweep` -- the executor: chunked offset sweeps with
+  order-stable merging, one-submission-per-offset DES spot-checks, and
+  cost-model-sorted work-stealing scenario grids
+  (:mod:`repro.parallel.schedule`).
 * :class:`ListeningCache` / :class:`CachedPairEvaluator` -- memoized
-  listening-set evaluation keyed on phase residue, shared within and
-  across chunks inside each worker.
-* :func:`derive_seed` -- chunking-invariant per-item seeding.
+  listening-set evaluation, bit-identical to the exact computation by
+  construction.
+* :func:`get_listening_cache` -- the process-wide keyed registry
+  (protocol fingerprint -> pattern) behind every evaluator.
+* :mod:`repro.parallel.shm` -- shared-memory pattern transport, so
+  workers map the parent's int64 pattern arrays instead of copying.
+* :func:`derive_seed` -- chunking- and scheduling-invariant per-item
+  seeding.
+
+Cache invalidation contract
+---------------------------
+
+Registry keys are :func:`protocol_fingerprint` content hashes of
+immutable schedule objects, so **entries can never go stale**: a
+protocol cannot be mutated, only replaced by a new object with a new
+fingerprint.  :func:`invalidate_listening_caches` exists to reclaim
+memory (or force cold rebuilds in benchmarks), never for correctness;
+the registry additionally self-bounds via LRU eviction.  Forked workers
+inherit the parent registry (safe: entries are immutable); spawned
+workers start empty and are seeded through shared memory.
+
+Shared-memory lifecycle contract
+--------------------------------
+
+For each pooled sweep the parent packs every enabled pattern into one
+``multiprocessing.shared_memory`` int64 segment via
+:class:`repro.parallel.shm.SharedPatternStore`, a context manager that
+**always unlinks the segment when the sweep exits** (success or error).
+Workers receive the segment *name* through the pool initializer (fork-
+and spawn-safe), map it once, and register zero-copy pattern views in
+their own registries; their mappings are released by an ``atexit`` hook,
+and POSIX keeps mapped memory valid past the unlink, so no ordering
+hazard exists between parent teardown and in-flight chunks.  Pass
+``ParallelSweep(shared_memory=False)`` for the PR-1 copy-per-worker
+behaviour; results are bit-identical either way.
 """
 
-from .cache import CachedPairEvaluator, derive_seed, ListeningCache
+from .cache import (
+    CachedPairEvaluator,
+    derive_seed,
+    get_listening_cache,
+    invalidate_listening_caches,
+    ListeningCache,
+    listening_cache_stats,
+    protocol_fingerprint,
+)
 from .executor import ParallelSweep
+from .schedule import estimate_scenario_cost, plan_longest_first
+from .shm import PatternHandle, SharedPatternStore
 
 __all__ = [
     "CachedPairEvaluator",
     "derive_seed",
+    "estimate_scenario_cost",
+    "get_listening_cache",
+    "invalidate_listening_caches",
     "ListeningCache",
+    "listening_cache_stats",
     "ParallelSweep",
+    "PatternHandle",
+    "plan_longest_first",
+    "protocol_fingerprint",
+    "SharedPatternStore",
 ]

@@ -33,6 +33,37 @@ abutting ones.
 One cache per receiver is shared across all chunks a worker process
 evaluates; :class:`CachedPairEvaluator` mirrors
 :func:`repro.simulation.analytic.mutual_discovery_times` on top of it.
+
+Process-wide keyed registry (PR 2)
+----------------------------------
+
+Building a pattern costs two hyperperiods of exact segment arithmetic,
+and sweep drivers used to rebuild it for every
+``verified_worst_case``/``sweep_offsets`` call even when the protocol
+zoo never changed.  :func:`get_listening_cache` therefore memoizes
+caches process-wide, keyed by :func:`protocol_fingerprint` -- a SHA-256
+digest of the *schedule contents* (beacon times/durations/period,
+window starts/durations/period, the turnaround guard and the pattern
+size limit).  The invalidation contract:
+
+* **Keys cannot go stale.**  :class:`repro.core.sequences.NDProtocol`
+  and both schedule classes are immutable (frozen dataclasses over
+  tuples), so a fingerprint permanently identifies the exact listening
+  behaviour it was computed from.  Two protocol objects with equal
+  schedules share one cache; mutating a protocol is impossible without
+  constructing a new object, which gets a new fingerprint.
+* **Explicit invalidation exists for memory, not correctness.**
+  :func:`invalidate_listening_caches` drops one fingerprint or the
+  whole registry -- use it to reclaim memory after sweeping
+  large-hyperperiod protocols, or to force a cold rebuild in
+  benchmarks.  The registry also self-bounds (LRU eviction past
+  ``_REGISTRY_CAP`` entries), so pathological zoos degrade to PR-1
+  per-sweep rebuilds instead of growing without bound.
+* **Fork-safety.**  Worker processes forked mid-session inherit the
+  parent's registry; entries are immutable after construction, so the
+  copies stay correct.  Spawned workers start empty and are seeded via
+  :mod:`repro.parallel.shm` shared-memory segments instead (see
+  :func:`register_listening_cache`, the hook the attach path uses).
 """
 
 from __future__ import annotations
@@ -42,13 +73,22 @@ from bisect import bisect_right
 
 from ..core.sequences import NDProtocol
 from ..simulation.analytic import (
-    _packet_heard,
     DiscoveryOutcome,
     listening_segments,
+    packet_heard as _packet_heard,
     ReceptionModel,
 )
 
-__all__ = ["ListeningCache", "CachedPairEvaluator", "derive_seed"]
+__all__ = [
+    "ListeningCache",
+    "CachedPairEvaluator",
+    "derive_seed",
+    "protocol_fingerprint",
+    "get_listening_cache",
+    "register_listening_cache",
+    "invalidate_listening_caches",
+    "listening_cache_stats",
+]
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -67,6 +107,118 @@ def _all_int(*values) -> bool:
     return all(isinstance(v, int) for v in values)
 
 
+# ----------------------------------------------------------------------
+# Process-wide keyed registry: protocol fingerprint -> ListeningCache
+# ----------------------------------------------------------------------
+
+_DEFAULT_MAX_SEGMENTS = 1 << 22
+_MEMO_CAP = 1 << 18
+# Patterns below this size answer queries by direct bisect: on short
+# segment lists the binary search is as cheap as a dict probe, so the
+# residue memo would only pay insertion overhead.
+_MEMO_MIN_SEGMENTS = 256
+_REGISTRY: dict[str, "ListeningCache"] = {}
+_REGISTRY_CAP = 64
+_STATS = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+
+
+def protocol_fingerprint(
+    receiver: NDProtocol,
+    turnaround: int = 0,
+    max_segments: int = _DEFAULT_MAX_SEGMENTS,
+) -> str:
+    """Stable content key of a receiver's listening behaviour.
+
+    Hashes exactly the inputs :class:`ListeningCache` reads -- schedule
+    times, durations and periods (``repr`` keeps ``100`` and ``100.0``
+    distinct, matching the cache's integer-grid preconditions), the
+    turnaround guard and the pattern size limit.  Identity, ``alpha``
+    and the protocol's display name are deliberately excluded: equal
+    schedules share one pattern.
+    """
+    parts = [repr(turnaround), repr(max_segments)]
+    beacons = receiver.beacons
+    if beacons is None:
+        parts.append("B=None")
+    else:
+        parts.append(
+            f"B={beacons.period!r}:"
+            + ";".join(f"{b.time!r},{b.duration!r}" for b in beacons.beacons)
+        )
+    reception = receiver.reception
+    if reception is None:
+        parts.append("C=None")
+    else:
+        parts.append(
+            f"C={reception.period!r}:"
+            + ";".join(
+                f"{w.start!r},{w.duration!r}" for w in reception.windows
+            )
+        )
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def get_listening_cache(
+    receiver: NDProtocol,
+    turnaround: int = 0,
+    max_segments: int = _DEFAULT_MAX_SEGMENTS,
+) -> "ListeningCache":
+    """The process-wide cache for ``receiver``, building it on first use.
+
+    Repeated sweeps over the same protocol zoo hit the registry instead
+    of re-deriving two hyperperiods of segments per call; see the module
+    docstring for the invalidation contract.
+    """
+    fingerprint = protocol_fingerprint(receiver, turnaround, max_segments)
+    cache = _REGISTRY.pop(fingerprint, None)
+    if cache is not None:
+        _STATS["hits"] += 1
+        _REGISTRY[fingerprint] = cache  # re-insert: LRU recency order
+        return cache
+    _STATS["misses"] += 1
+    cache = ListeningCache(receiver, turnaround, max_segments)
+    register_listening_cache(fingerprint, cache)
+    return cache
+
+
+def register_listening_cache(
+    fingerprint: str, cache: "ListeningCache"
+) -> None:
+    """Install a pre-built cache under ``fingerprint`` (evicting LRU
+    entries past the registry cap).
+
+    The shared-memory attach path uses this to seed worker registries
+    with segment-backed patterns; it also replaces any fork-inherited
+    private copy so explicitly-requested shared memory actually wins.
+    """
+    _REGISTRY.pop(fingerprint, None)
+    _REGISTRY[fingerprint] = cache
+    while len(_REGISTRY) > _REGISTRY_CAP:
+        _REGISTRY.pop(next(iter(_REGISTRY)))
+        _STATS["evictions"] += 1
+
+
+def invalidate_listening_caches(fingerprint: str | None = None) -> int:
+    """Drop one fingerprint (or all of them) from the registry.
+
+    Returns the number of entries removed.  Needed only to reclaim
+    memory or force cold rebuilds -- protocols are immutable, so stale
+    entries cannot exist (module docstring has the full contract).
+    """
+    if fingerprint is None:
+        removed = len(_REGISTRY)
+        _REGISTRY.clear()
+    else:
+        removed = 1 if _REGISTRY.pop(fingerprint, None) is not None else 0
+    _STATS["invalidations"] += removed
+    return removed
+
+
+def listening_cache_stats() -> dict:
+    """Registry counters (hits/misses/evictions/invalidations) + size."""
+    return dict(_STATS, size=len(_REGISTRY))
+
+
 class ListeningCache:
     """Precomputed periodic listening pattern for one receiver protocol.
 
@@ -82,7 +234,7 @@ class ListeningCache:
         self,
         receiver: NDProtocol,
         turnaround: int = 0,
-        max_segments: int = 1 << 22,
+        max_segments: int = _DEFAULT_MAX_SEGMENTS,
     ) -> None:
         self.receiver = receiver
         self.turnaround = turnaround
@@ -90,6 +242,8 @@ class ListeningCache:
         self.threshold = 0
         self._starts: list[int] = []
         self._ends: list[int] = []
+        self._memo_point: dict[int, bool] = {}
+        self._memo_span: dict[tuple, bool] = {}
         self.enabled = self._analyze(max_segments)
         if self.enabled:
             base = -(-self.threshold // self.hyper) * self.hyper
@@ -98,6 +252,40 @@ class ListeningCache:
             )
             self._starts = [a - base for a, _ in segments]
             self._ends = [b - base for _, b in segments]
+        self._use_memo = len(self._starts) >= _MEMO_MIN_SEGMENTS
+
+    @classmethod
+    def from_pattern(
+        cls,
+        receiver: NDProtocol,
+        turnaround: int,
+        hyper: int,
+        threshold: int,
+        starts,
+        ends,
+    ) -> "ListeningCache":
+        """An enabled cache over an externally owned pattern.
+
+        ``starts``/``ends`` may be any int sequence supporting indexing,
+        ``len`` and :func:`bisect.bisect_right` -- in particular the
+        ``int64`` memoryviews :mod:`repro.parallel.shm` carves out of a
+        shared-memory segment, so workers map the pattern instead of
+        copying it.  The caller guarantees the values equal what
+        ``__init__`` would have computed; decisions are then
+        bit-identical by construction.
+        """
+        cache = cls.__new__(cls)
+        cache.receiver = receiver
+        cache.turnaround = turnaround
+        cache.hyper = hyper
+        cache.threshold = threshold
+        cache._starts = starts
+        cache._ends = ends
+        cache._memo_point = {}
+        cache._memo_span = {}
+        cache.enabled = True
+        cache._use_memo = len(starts) >= _MEMO_MIN_SEGMENTS
+        return cache
 
     def _analyze(self, max_segments: int) -> bool:
         """Integer-grid + size preconditions for the precomputed path."""
@@ -137,7 +325,17 @@ class ListeningCache:
     def packet_heard(
         self, rx_phase: int, start: int, end: int, model: ReceptionModel
     ) -> bool:
-        """Decode decision, bit-identical to the uncached computation."""
+        """Decode decision, bit-identical to the uncached computation.
+
+        Past the boot threshold the decision is a pure function of the
+        phase residue ``(start - rx_phase) mod H`` (plus duration and
+        model), so each distinct residue is resolved against the pattern
+        once and memoized -- sweeps revisit the same residues constantly
+        (beacon grids and offset grids are both periodic), and a dict
+        hit is several times cheaper than even the binary search.  The
+        memo is capped so adversarial hyperperiods degrade to plain
+        bisect instead of unbounded memory.
+        """
         duration = end - start
         if (
             not self.enabled
@@ -151,20 +349,42 @@ class ListeningCache:
                 self.receiver, rx_phase, start, end, model, self.turnaround
             )
         lo = (start - rx_phase) % self.hyper
+        use_memo = self._use_memo
+        if model is ReceptionModel.POINT:
+            # POINT ignores the packet length: key on the residue alone.
+            if use_memo:
+                memo = self._memo_point
+                cached = memo.get(lo)
+                if cached is None:
+                    i = bisect_right(self._starts, lo) - 1
+                    cached = i >= 0 and self._ends[i] > lo
+                    if len(memo) < _MEMO_CAP:
+                        memo[lo] = cached
+                return cached
+            i = bisect_right(self._starts, lo) - 1
+            return i >= 0 and self._ends[i] > lo
+        if use_memo:
+            key = (lo, duration, model is ReceptionModel.ANY_OVERLAP)
+            memo = self._memo_span
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
         hi = lo + duration
         starts, ends = self._starts, self._ends
         i = bisect_right(starts, lo) - 1
         covers_lo = i >= 0 and ends[i] > lo
-        if model is ReceptionModel.POINT:
-            return covers_lo
         if model is ReceptionModel.ANY_OVERLAP:
-            if covers_lo:
-                return True
-            return i + 1 < len(starts) and starts[i + 1] < hi
-        # CONTAINMENT: one pattern segment spans the whole packet (two
-        # abutting segments do not count, matching the exact equality
-        # test in ``_packet_heard``).
-        return i >= 0 and ends[i] >= hi
+            result = covers_lo or (
+                i + 1 < len(starts) and starts[i + 1] < hi
+            )
+        else:
+            # CONTAINMENT: one pattern segment spans the whole packet
+            # (two abutting segments do not count, matching the exact
+            # equality test in ``packet_heard``).
+            result = i >= 0 and ends[i] >= hi
+        if use_memo and len(memo) < _MEMO_CAP:
+            memo[key] = result
+        return result
 
     @property
     def pattern_segments(self) -> int:
@@ -179,7 +399,8 @@ class CachedPairEvaluator:
     :func:`repro.simulation.analytic.mutual_discovery_times` returns for
     the same arguments; the two directions share one
     :class:`ListeningCache` per receiver across all offsets evaluated by
-    this instance.
+    this instance, resolved through the process-wide keyed registry so
+    successive evaluators over the same zoo reuse the patterns too.
     """
 
     def __init__(
@@ -194,8 +415,8 @@ class CachedPairEvaluator:
         self.protocol_f = protocol_f
         self.horizon = horizon
         self.model = model
-        self.cache_e = ListeningCache(protocol_e, turnaround)
-        self.cache_f = ListeningCache(protocol_f, turnaround)
+        self.cache_e = get_listening_cache(protocol_e, turnaround)
+        self.cache_f = get_listening_cache(protocol_f, turnaround)
 
     def _first_discovery(
         self,
@@ -216,6 +437,22 @@ class CachedPairEvaluator:
         horizon = self.horizon
         model = self.model
         heard = cache.packet_heard
+        # The dominant query shape -- POINT model, precomputed small
+        # pattern, integer grid -- additionally skips the packet_heard
+        # call: the same preconditions packet_heard checks are tested
+        # inline and the same bisect runs here, so the decision is the
+        # identical computation minus one function call per candidate.
+        inline = (
+            cache.enabled
+            and not cache._use_memo
+            and model is ReceptionModel.POINT
+            and type(rx_phase) is int
+        )
+        if inline:
+            hyper = cache.hyper
+            threshold = cache.threshold
+            starts = cache._starts
+            ends = cache._ends
         reduced = tx_phase % period
         instance = -1
         while True:
@@ -224,10 +461,17 @@ class CachedPairEvaluator:
                 return None
             for tau, duration in pattern:
                 time = base + tau
-                if 0 <= time < horizon and heard(
-                    rx_phase, time, time + duration, model
-                ):
-                    return time
+                if 0 <= time < horizon:
+                    if inline and type(time) is int and time >= threshold:
+                        end = time + duration
+                        if type(end) is int and end - time <= hyper:
+                            lo = (time - rx_phase) % hyper
+                            i = bisect_right(starts, lo) - 1
+                            if i >= 0 and ends[i] > lo:
+                                return time
+                            continue
+                    if heard(rx_phase, time, time + duration, model):
+                        return time
             instance += 1
 
     def evaluate(self, offset: int) -> DiscoveryOutcome:

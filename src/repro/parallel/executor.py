@@ -1,12 +1,11 @@
-"""Chunked multiprocessing executor for offset sweeps and scenario grids.
+"""Multiprocessing executor for offset sweeps, spot-checks and grids.
 
 The experiments behind every bound-validation figure reduce to many
 *independent* evaluations -- one exact pair computation per phase
-offset, or one event-driven network run per grid point.
-:class:`ParallelSweep` shards those lists into contiguous chunks,
-evaluates the chunks in a pool of worker processes, and merges the
-partial results back in chunk order, preserving the serial path's
-results exactly:
+offset, one DES replay per spot-check offset, or one event-driven
+network run per grid point.  :class:`ParallelSweep` shards them across a
+pool of worker processes while preserving the serial path's results
+exactly:
 
 * workers return *per-offset outcomes*, and the final report is built
   by the very same :func:`repro.simulation.analytic.summarize_outcomes`
@@ -14,12 +13,17 @@ results exactly:
   rules (strict-``>`` tie-breaking, left-to-right mean summation) exist
   in one place, so the parallel path cannot drift from them;
 * seeded runs derive each item's seed from its *global* index via
-  :func:`repro.parallel.cache.derive_seed`, never from its chunk, so
-  chunking is invisible to the RNG.
+  :func:`repro.parallel.cache.derive_seed`, never from its chunk or
+  submission slot, so scheduling is invisible to the RNG.
 
-Workers evaluate offsets through :class:`CachedPairEvaluator`, sharing
-the memoized listening-set cache across all chunks a worker receives --
-on a single core this cache, not the process count, is the speedup.
+Offset sweeps stay contiguously chunked (per-offset cost is near
+uniform); the parent builds the listening patterns once through the
+keyed registry and ships them to workers as a shared-memory segment
+(:mod:`repro.parallel.shm`), so workers map instead of rebuild.  Grid
+scenarios instead go through the cost-model-sorted work-stealing
+schedule of :mod:`repro.parallel.schedule`: one submission per scenario,
+longest first, merged back by grid index.  DES spot-checks follow the
+same one-submission-per-offset pattern.
 
 Worker payloads are plain protocols/offsets sent through module-level
 functions; nothing closes over simulator state, so everything pickles
@@ -36,13 +40,28 @@ import multiprocessing
 from ..core.sequences import NDProtocol
 from ..simulation.analytic import (
     DiscoveryOutcome,
+    mutual_discovery_times,
     ReceptionModel,
     summarize_outcomes,
     SweepReport,
 )
-from .cache import CachedPairEvaluator, derive_seed
+from .cache import (
+    CachedPairEvaluator,
+    derive_seed,
+    get_listening_cache,
+    protocol_fingerprint,
+)
+from .schedule import default_simulation_cost, plan_longest_first
+from .shm import attach_pattern_caches, SharedPatternStore
 
 __all__ = ["ParallelSweep"]
+
+# Estimated simulated-event floor below which DES spot-checks stay
+# in-process even with jobs > 1: pool startup costs tens of
+# milliseconds, so a handful of short replays finishes serially before
+# a pool would boot -- on any core count.  Roughly one second of
+# serial replay work at typical event throughput.
+_SPOT_POOL_MIN_EVENTS = 100_000
 
 
 # ----------------------------------------------------------------------
@@ -51,6 +70,7 @@ __all__ = ["ParallelSweep"]
 
 _PAIR_EVALUATOR: CachedPairEvaluator | None = None
 _NETWORK_CONFIG: dict | None = None
+_SPOT_CONFIG: dict | None = None
 
 
 def _init_pair_worker(
@@ -59,18 +79,86 @@ def _init_pair_worker(
     horizon: int,
     model: ReceptionModel,
     turnaround: int,
+    handle,
 ) -> None:
     global _PAIR_EVALUATOR
+    if handle is not None:
+        # Map the parent's pattern segment before the evaluator resolves
+        # its caches, so the keyed registry hands out segment-backed
+        # patterns instead of rebuilding (spawn) or CoW-copying (fork).
+        attach_pattern_caches(
+            handle, [(protocol_e, turnaround), (protocol_f, turnaround)]
+        )
     _PAIR_EVALUATOR = CachedPairEvaluator(
         protocol_e, protocol_f, horizon, model, turnaround
     )
 
 
-def _sweep_chunk(offsets: list[int]) -> list[DiscoveryOutcome]:
-    """Evaluate one offset chunk in order."""
+def _sweep_chunk(offsets: list[int]) -> list[tuple]:
+    """Evaluate one offset chunk in order.
+
+    Outcomes travel back as plain ``(offset, e_by_f, f_by_e)`` tuples --
+    pickling a dataclass costs several times a tuple, and at thousands
+    of outcomes per sweep the difference is measurable.  The parent
+    rebuilds :class:`DiscoveryOutcome` field-for-field, so callers see
+    exactly the serial path's objects.
+    """
     evaluator = _PAIR_EVALUATOR
     assert evaluator is not None, "worker not initialized"
-    return [evaluator.evaluate(offset) for offset in offsets]
+    results = []
+    for offset in offsets:
+        outcome = evaluator.evaluate(offset)
+        results.append(
+            (outcome.offset, outcome.e_discovered_by_f, outcome.f_discovered_by_e)
+        )
+    return results
+
+
+def _init_spot_worker(config: dict) -> None:
+    global _SPOT_CONFIG
+    _SPOT_CONFIG = config
+
+
+def _spot_check_replay(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    offset: int,
+    horizon: int,
+    model: ReceptionModel,
+    turnaround: int,
+) -> tuple[DiscoveryOutcome, DiscoveryOutcome]:
+    """One spot check: exact analytic outcome plus a full DES replay.
+
+    The analytic side deliberately uses the *uncached*
+    :func:`repro.simulation.analytic.mutual_discovery_times`, keeping
+    the spot check an independent cross-validation of both the DES and
+    the pattern-cache layers the sweep itself ran through.  The single
+    shared body is what makes the pooled and in-process spot-check
+    paths identical by construction.
+    """
+    from ..simulation.runner import simulate_pair
+
+    analytic = mutual_discovery_times(
+        protocol_e, protocol_f, offset, horizon, model, turnaround
+    )
+    des = simulate_pair(
+        protocol_e, protocol_f, offset, horizon, model, turnaround
+    )
+    return analytic, des
+
+
+def _spot_check_one(offset: int) -> tuple[DiscoveryOutcome, DiscoveryOutcome]:
+    """Worker entry point: replay one offset from the initializer config."""
+    config = _SPOT_CONFIG
+    assert config is not None, "worker not initialized"
+    return _spot_check_replay(
+        config["protocol_e"],
+        config["protocol_f"],
+        offset,
+        config["horizon"],
+        config["model"],
+        config["turnaround"],
+    )
 
 
 def _init_network_worker(config: dict) -> None:
@@ -78,26 +166,30 @@ def _init_network_worker(config: dict) -> None:
     _NETWORK_CONFIG = config
 
 
-def _network_chunk(items: list[tuple[int, object]]) -> list:
-    """Run one chunk of (global_index, scenario) network simulations.
+def _network_one(item: tuple[int, object]):
+    """Run one (global_index, scenario) network simulation.
 
     The global index rides along only to derive the scenario's
-    chunking-invariant seed; ordering comes from ``pool.map``.
+    schedule-invariant seed; result placement uses the index map kept by
+    the submitting side.
     """
     from ..simulation.runner import _run_scenario
 
     config = _NETWORK_CONFIG
     assert config is not None, "worker not initialized"
-    return [
-        _run_scenario(
-            scenario,
-            seed=derive_seed(config["base_seed"], global_index),
-            reception_model=config["reception_model"],
-            turnaround=config["turnaround"],
-            advertising_jitter=config["advertising_jitter"],
-        )
-        for global_index, scenario in items
-    ]
+    global_index, scenario = item
+    return _run_scenario(
+        scenario,
+        seed=derive_seed(config["base_seed"], global_index),
+        reception_model=config["reception_model"],
+        turnaround=config["turnaround"],
+        advertising_jitter=config["advertising_jitter"],
+    )
+
+
+def _network_chunk(items: list[tuple[int, object]]) -> list:
+    """Run one chunk of (global_index, scenario) network simulations."""
+    return [_network_one(item) for item in items]
 
 
 def _chunk(items: list, n_chunks: int) -> list[list]:
@@ -123,13 +215,26 @@ class ParallelSweep:
         Worker processes; ``None`` uses the CPU count, ``<= 1`` runs the
         plain serial path in-process.
     chunks_per_job:
-        Chunks submitted per worker (smaller chunks balance load,
-        larger ones amortize IPC); the default of 4 keeps every worker
-        busy without measurable pickling overhead.
+        Chunks submitted per worker for offset sweeps (smaller chunks
+        balance load, larger ones amortize IPC); the default of 4 keeps
+        every worker busy without measurable pickling overhead.
     mp_context:
         ``multiprocessing`` start-method name; defaults to ``fork``
         where available (Linux) and ``spawn`` elsewhere.  Results are
         identical either way -- workers hold no inherited mutable state.
+    shared_memory:
+        Ship precomputed listening patterns to sweep workers as one
+        int64 ``multiprocessing.shared_memory`` segment (workers map
+        instead of copy).  ``False`` keeps PR-1 behaviour where each
+        worker resolves patterns through its own registry.  Results are
+        bit-identical either way.
+    schedule:
+        Grid scheduling discipline for :meth:`map_scenarios`:
+        ``"steal"`` (default) submits scenarios individually in
+        longest-estimated-first order over the pool's shared queue;
+        ``"chunk"`` keeps PR-1 uniform contiguous chunks.  Results are
+        bit-identical either way -- seeds derive from grid indices and
+        merging is index-stable.
     """
 
     def __init__(
@@ -137,6 +242,8 @@ class ParallelSweep:
         jobs: int | None = None,
         chunks_per_job: int = 4,
         mp_context: str | None = None,
+        shared_memory: bool = True,
+        schedule: str = "steal",
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -150,6 +257,12 @@ class ParallelSweep:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
         self.mp_context = mp_context
+        self.shared_memory = shared_memory
+        if schedule not in ("steal", "chunk"):
+            raise ValueError(
+                f"schedule must be 'steal' or 'chunk', got {schedule!r}"
+            )
+        self.schedule = schedule
 
     # ------------------------------------------------------------------
     def sweep_offsets(
@@ -193,19 +306,92 @@ class ParallelSweep:
             return [evaluator.evaluate(offset) for offset in offsets]
         chunks = _chunk(offsets, self.jobs * self.chunks_per_job)
         ctx = multiprocessing.get_context(self.mp_context)
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(chunks)),
-            mp_context=ctx,
-            initializer=_init_pair_worker,
-            initargs=(protocol_e, protocol_f, horizon, model, turnaround),
-        ) as pool:
-            # pool.map yields chunk results in submission order, so
-            # flattening preserves the input offset order exactly.
+        with SharedPatternStore() as store:
+            handle = None
+            if self.shared_memory:
+                # Build (or registry-hit) the patterns once in the
+                # parent and publish them; workers map the segment.
+                caches = {
+                    protocol_fingerprint(receiver, turnaround):
+                        get_listening_cache(receiver, turnaround)
+                    for receiver in (protocol_e, protocol_f)
+                }
+                handle = store.publish(caches)
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(chunks)),
+                mp_context=ctx,
+                initializer=_init_pair_worker,
+                initargs=(
+                    protocol_e, protocol_f, horizon, model, turnaround, handle,
+                ),
+            ) as pool:
+                # pool.map yields chunk results in submission order, so
+                # flattening preserves the input offset order exactly.
+                return [
+                    DiscoveryOutcome(
+                        offset=offset,
+                        e_discovered_by_f=e_by_f,
+                        f_discovered_by_e=f_by_e,
+                    )
+                    for chunk in pool.map(_sweep_chunk, chunks)
+                    for offset, e_by_f, f_by_e in chunk
+                ]
+
+    # ------------------------------------------------------------------
+    def spot_check_pairs(
+        self,
+        protocol_e: NDProtocol,
+        protocol_f: NDProtocol,
+        offsets: list[int],
+        horizon: int,
+        model: ReceptionModel = ReceptionModel.POINT,
+        turnaround: int = 0,
+    ) -> list[tuple[DiscoveryOutcome, DiscoveryOutcome]]:
+        """Per-offset ``(analytic, DES)`` outcome pairs, in input order.
+
+        The DES replays dominate ``verified_worst_case`` once sweeps are
+        fast; each offset is an independent simulation, so they shard
+        one-per-submission like the work-stealing grid path.  Both the
+        serial and the pooled path run identical computations per
+        offset, so the result list is independent of ``jobs``.
+
+        Batches whose estimated simulated-event count falls below
+        ``_SPOT_POOL_MIN_EVENTS`` run in-process regardless of ``jobs``:
+        short replays (small horizons, sparse schedules, few offsets)
+        finish serially faster than a pool can boot.  Long-horizon
+        validations -- where the replays actually dominate -- clear the
+        floor and shard.
+        """
+        offsets = list(offsets)
+        estimated_events = len(offsets) * default_simulation_cost(
+            [protocol_e, protocol_f], horizon
+        )
+        if (
+            self.jobs <= 1
+            or len(offsets) < 2
+            or estimated_events < _SPOT_POOL_MIN_EVENTS
+        ):
             return [
-                outcome
-                for chunk in pool.map(_sweep_chunk, chunks)
-                for outcome in chunk
+                _spot_check_replay(
+                    protocol_e, protocol_f, offset, horizon, model, turnaround
+                )
+                for offset in offsets
             ]
+        config = {
+            "protocol_e": protocol_e,
+            "protocol_f": protocol_f,
+            "horizon": horizon,
+            "model": model,
+            "turnaround": turnaround,
+        }
+        ctx = multiprocessing.get_context(self.mp_context)
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(offsets)),
+            mp_context=ctx,
+            initializer=_init_spot_worker,
+            initargs=(config,),
+        ) as pool:
+            return list(pool.map(_spot_check_one, offsets))
 
     # ------------------------------------------------------------------
     def map_scenarios(
@@ -219,8 +405,8 @@ class ParallelSweep:
         """Run one network simulation per scenario, in input order.
 
         Each scenario's RNG seed derives from its global index, so the
-        returned list is identical whatever ``jobs`` is (including the
-        in-process serial path used for ``jobs <= 1``).
+        returned list is identical whatever ``jobs`` or ``schedule`` is
+        (including the in-process serial path used for ``jobs <= 1``).
         """
         from ..simulation.runner import _run_scenario
 
@@ -242,18 +428,37 @@ class ParallelSweep:
             "turnaround": turnaround,
             "advertising_jitter": advertising_jitter,
         }
-        chunks = _chunk(
-            list(enumerate(scenarios)), self.jobs * self.chunks_per_job
-        )
         ctx = multiprocessing.get_context(self.mp_context)
+        if self.schedule == "chunk":
+            chunks = _chunk(
+                list(enumerate(scenarios)), self.jobs * self.chunks_per_job
+            )
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(chunks)),
+                mp_context=ctx,
+                initializer=_init_network_worker,
+                initargs=(config,),
+            ) as pool:
+                return [
+                    result
+                    for chunk in pool.map(_network_chunk, chunks)
+                    for result in chunk
+                ]
+        # Work stealing: submit longest-estimated-first, one scenario
+        # per task, and let idle workers pull from the shared queue;
+        # results land back at their grid index.
+        order = plan_longest_first(scenarios)
+        results: list = [None] * len(scenarios)
         with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(chunks)),
+            max_workers=min(self.jobs, len(scenarios)),
             mp_context=ctx,
             initializer=_init_network_worker,
             initargs=(config,),
         ) as pool:
-            return [
-                result
-                for chunk in pool.map(_network_chunk, chunks)
-                for result in chunk
-            ]
+            futures = {
+                index: pool.submit(_network_one, (index, scenarios[index]))
+                for index in order
+            }
+            for index, future in futures.items():
+                results[index] = future.result()
+        return results

@@ -1,0 +1,238 @@
+"""Shared-memory transport for precomputed listening patterns.
+
+A :class:`repro.parallel.cache.ListeningCache` pattern is two flat int
+arrays (segment starts/ends over two receiver hyperperiods).  PR 1's
+workers each rebuilt -- or, under ``fork``, copy-on-wrote -- their own
+copy; for large hyperperiods that multiplies both init time and resident
+memory by the worker count.  This module packs every enabled pattern of
+a sweep into **one** ``multiprocessing.shared_memory`` segment of int64
+words, so workers map the parent's arrays instead of copying them.
+
+Lifecycle contract
+------------------
+
+* The **parent** owns the segment.  :class:`SharedPatternStore` is a
+  context manager: ``publish()`` creates the segment and copies the
+  pattern words in; leaving the ``with`` block (or calling ``close()``)
+  closes the mapping and **unlinks** the segment, so a sweep can never
+  leak kernel objects past its own lifetime -- also not on error paths.
+* **Workers** receive a picklable :class:`PatternHandle` (segment name
+  plus per-fingerprint offsets) through the pool initializer -- names
+  travel through ``initargs``, so the scheme works under both ``fork``
+  and ``spawn`` start methods.  :func:`attach_pattern_caches` maps the
+  segment once per worker and registers zero-copy
+  ``ListeningCache.from_pattern`` views (int64 memoryview slices) in the
+  worker's keyed registry, replacing any fork-inherited private copies.
+* Workers never unlink; their mappings are released by an ``atexit``
+  hook (memoryviews first, then the segment) so pool shutdown stays
+  warning-free.  POSIX keeps a mapped segment's memory valid even after
+  the parent unlinks the name, so in-flight chunks are always safe.
+"""
+
+from __future__ import annotations
+
+import atexit
+from array import array
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+from .cache import ListeningCache, protocol_fingerprint, register_listening_cache
+
+__all__ = [
+    "PatternEntry",
+    "PatternHandle",
+    "SharedPatternStore",
+    "attach_pattern_caches",
+]
+
+# Patterns below this many segments are copied out of the segment into
+# plain lists on attach: list indexing beats memoryview indexing on the
+# query hot path, and the copy costs microseconds and kilobytes.  At or
+# above it, workers keep zero-copy int64 views -- per-worker memory and
+# attach time are what shared memory is for, and exactly the
+# large-hyperperiod patterns that dominate memory cross this line.
+ZERO_COPY_MIN_SEGMENTS = 4096
+
+
+@dataclass(frozen=True)
+class PatternEntry:
+    """Where one receiver's pattern lives inside the shared segment."""
+
+    fingerprint: str
+    hyper: int
+    threshold: int
+    offset: int
+    """Index of the first ``starts`` word in the int64 segment."""
+    length: int
+    """Segments in the pattern; ``ends`` follows at ``offset + length``."""
+
+
+@dataclass(frozen=True)
+class PatternHandle:
+    """Picklable description of a published segment (sent via initargs)."""
+
+    shm_name: str
+    total_words: int
+    entries: tuple[PatternEntry, ...]
+
+
+class SharedPatternStore:
+    """Parent-side owner of one shared pattern segment per sweep."""
+
+    def __init__(self) -> None:
+        self._shm: shared_memory.SharedMemory | None = None
+        self.handle: PatternHandle | None = None
+
+    def publish(
+        self, caches: dict[str, ListeningCache]
+    ) -> PatternHandle | None:
+        """Pack all *enabled* patterns into one int64 segment.
+
+        Returns ``None`` (and allocates nothing) when no cache has a
+        precomputable pattern -- non-integer schedules and oversized
+        hyperperiods then simply keep their per-query fallback path.
+        """
+        if self._shm is not None:
+            raise RuntimeError("store already holds a published segment")
+        enabled = {
+            fp: cache
+            for fp, cache in caches.items()
+            if cache.enabled and cache.pattern_segments
+        }
+        if not enabled:
+            return None
+        total_words = sum(2 * c.pattern_segments for c in enabled.values())
+        shm = shared_memory.SharedMemory(create=True, size=8 * total_words)
+        entries = []
+        try:
+            view = shm.buf.cast("q")
+            try:
+                offset = 0
+                for fp in sorted(enabled):
+                    cache = enabled[fp]
+                    n = cache.pattern_segments
+                    view[offset : offset + n] = array("q", cache._starts)
+                    view[offset + n : offset + 2 * n] = array("q", cache._ends)
+                    entries.append(
+                        PatternEntry(
+                            fingerprint=fp,
+                            hyper=cache.hyper,
+                            threshold=cache.threshold,
+                            offset=offset,
+                            length=n,
+                        )
+                    )
+                    offset += 2 * n
+            finally:
+                # The parent only writes; releasing the view immediately
+                # keeps close()/unlink() free of exported-pointer errors.
+                view.release()
+        except BaseException:
+            # Packing failed (e.g. a pattern value outside int64): the
+            # no-leak contract still holds -- tear the segment down
+            # before propagating.
+            shm.close()
+            shm.unlink()
+            raise
+        self._shm = shm
+        self.handle = PatternHandle(shm.name, total_words, tuple(entries))
+        return self.handle
+
+    def close(self) -> None:
+        """Release the mapping and unlink the segment name (idempotent)."""
+        shm, self._shm = self._shm, None
+        self.handle = None
+        if shm is None:
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double-unlink race
+            pass
+
+    def __enter__(self) -> "SharedPatternStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+# Mapped segments and every exported memoryview, kept alive for the
+# worker's lifetime and torn down (views before segments) at exit.
+_ATTACHED_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+_ATTACHED_VIEWS: list[memoryview] = []
+_ATEXIT_REGISTERED = False
+
+
+def _release_attached() -> None:
+    global _ATEXIT_REGISTERED
+    for view in reversed(_ATTACHED_VIEWS):
+        view.release()
+    _ATTACHED_VIEWS.clear()
+    for shm in _ATTACHED_SEGMENTS.values():
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            pass
+    _ATTACHED_SEGMENTS.clear()
+    _ATEXIT_REGISTERED = False
+
+
+def _map_segment(handle: PatternHandle) -> memoryview:
+    global _ATEXIT_REGISTERED
+    shm = _ATTACHED_SEGMENTS.get(handle.shm_name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        _ATTACHED_SEGMENTS[handle.shm_name] = shm
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_release_attached)
+            _ATEXIT_REGISTERED = True
+    view = shm.buf.cast("q")
+    _ATTACHED_VIEWS.append(view)
+    return view
+
+
+def attach_pattern_caches(handle: PatternHandle, receivers) -> int:
+    """Register segment-backed caches for ``receivers`` in this process.
+
+    ``receivers`` is an iterable of ``(protocol, turnaround)`` pairs;
+    each one whose fingerprint appears in ``handle`` gets a
+    :meth:`ListeningCache.from_pattern` over the mapped segment --
+    zero-copy int64 memoryview slices for patterns of at least
+    ``ZERO_COPY_MIN_SEGMENTS`` segments, a plain-list copy below that
+    (the segment is still the single transport; only the per-query
+    representation differs) -- installed via
+    :func:`repro.parallel.cache.register_listening_cache`, deliberately
+    replacing fork-inherited private copies.  Returns the number of
+    caches registered.
+    """
+    by_fp = {entry.fingerprint: entry for entry in handle.entries}
+    matched = {}
+    for protocol, turnaround in receivers:
+        fingerprint = protocol_fingerprint(protocol, turnaround)
+        entry = by_fp.get(fingerprint)
+        if entry is not None:
+            matched[fingerprint] = (protocol, turnaround, entry)
+    if not matched:
+        return 0
+    view = _map_segment(handle)
+    for fingerprint, (protocol, turnaround, entry) in matched.items():
+        lo, n = entry.offset, entry.length
+        starts = view[lo : lo + n]
+        ends = view[lo + n : lo + 2 * n]
+        if n >= ZERO_COPY_MIN_SEGMENTS:
+            _ATTACHED_VIEWS.extend((starts, ends))
+        else:
+            starts = list(starts)
+            ends = list(ends)
+        register_listening_cache(
+            fingerprint,
+            ListeningCache.from_pattern(
+                protocol, turnaround, entry.hyper, entry.threshold, starts, ends
+            ),
+        )
+    return len(matched)

@@ -37,6 +37,7 @@ __all__ = [
     "DiscoveryOutcome",
     "critical_offsets",
     "evaluate_offsets",
+    "packet_heard",
     "summarize_outcomes",
     "sweep_offsets",
     "SweepReport",
@@ -148,7 +149,7 @@ def listening_segments(
     )
 
 
-def _packet_heard(
+def packet_heard(
     receiver: NDProtocol,
     rx_phase: int,
     start: int,
@@ -161,6 +162,11 @@ def _packet_heard(
     * POINT: the effective listening set contains the start instant.
     * ANY_OVERLAP: the listening set meets any part of the packet.
     * CONTAINMENT: one contiguous listening segment spans the packet.
+
+    This is the exact per-query reference computation; the
+    :class:`repro.parallel.ListeningCache` layer answers the same
+    question from a precomputed periodic pattern and falls back to this
+    function wherever translation invariance does not hold.
     """
     if model is ReceptionModel.POINT:
         segments = listening_segments(
@@ -171,6 +177,11 @@ def _packet_heard(
     if model is ReceptionModel.ANY_OVERLAP:
         return bool(segments)
     return segments == [(start, end)]
+
+
+#: Backward-compatible alias -- the cache layer and tests historically
+#: imported the decode decision under its private name.
+_packet_heard = packet_heard
 
 
 def first_discovery(

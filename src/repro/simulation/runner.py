@@ -24,7 +24,6 @@ from ..core.sequences import NDProtocol
 from .analytic import (
     critical_offsets,
     DiscoveryOutcome,
-    mutual_discovery_times,
     ReceptionModel,
     SweepReport,
 )
@@ -362,6 +361,39 @@ class PairWorstCase:
     offsets_checked: int
 
 
+def _select_spot_check_offsets(
+    offsets,
+    required,
+    count: int,
+    rng_seed: int = 1234,
+) -> list[int]:
+    """Deterministic, duplicate-free DES spot-check offset selection.
+
+    Always includes every offset in ``required`` (the sweep's worst
+    offsets), then fills up to ``min(count, unique offsets)`` with a
+    seeded :meth:`random.Random.sample` over the remaining *unique*
+    offsets in first-occurrence order.
+
+    Replaces a rejection loop that drew until the set was full: with
+    duplicate-heavy offset lists its target ``min(count, len(offsets))``
+    over-counted duplicates, so fewer unique values than ``count`` spun
+    it forever, and collision retries made the number of RNG draws an
+    accident of the input.  Sampling without replacement from the
+    deduplicated pool is exact, draw-count-stable and cannot stall.
+    """
+    unique = list(dict.fromkeys(offsets))
+    chosen = dict.fromkeys(offset for offset in required if offset is not None)
+    target = min(count, len(unique))
+    remaining = [offset for offset in unique if offset not in chosen]
+    need = target - len(chosen)
+    if need > 0:
+        rng = random.Random(rng_seed)
+        chosen.update(
+            dict.fromkeys(rng.sample(remaining, min(need, len(remaining))))
+        )
+    return sorted(chosen)
+
+
 def verified_worst_case(
     protocol_e: NDProtocol,
     protocol_f: NDProtocol,
@@ -381,9 +413,11 @@ def verified_worst_case(
     of offsets -- including the worst ones -- through the event-driven
     simulator and checks for exact agreement.
 
-    ``jobs > 1`` shards the offset sweep across worker processes via
-    :class:`repro.parallel.ParallelSweep`; the report is bit-identical
-    to the serial sweep (the DES spot checks always run in-process).
+    ``jobs > 1`` shards both the offset sweep *and* the DES spot-check
+    replays across worker processes via
+    :class:`repro.parallel.ParallelSweep`; the report and the verdict
+    are bit-identical to the serial run (spot-check offsets are chosen
+    deterministically, and each replay is an independent computation).
     """
     try:
         offsets = critical_offsets(
@@ -397,38 +431,27 @@ def verified_worst_case(
 
     # One dispatch for every jobs value: ParallelSweep runs jobs <= 1
     # in-process (bit-identical to the plain serial sweep).
-    report = ParallelSweep(jobs=jobs).sweep_offsets(
+    sweeper = ParallelSweep(jobs=jobs)
+    report = sweeper.sweep_offsets(
         protocol_e, protocol_f, offsets, horizon, reception_model, turnaround
     )
 
-    # DES cross-check on the most informative offsets.
-    check_offsets = set()
-    if report.worst_offset_one_way is not None:
-        check_offsets.add(report.worst_offset_one_way)
-    if report.worst_offset_two_way is not None:
-        check_offsets.add(report.worst_offset_two_way)
-    rng = random.Random(1234)
-    while len(check_offsets) < min(des_spot_checks, len(offsets)):
-        check_offsets.add(offsets[rng.randrange(len(offsets))])
-    agrees = True
-    for offset in sorted(check_offsets):
-        analytic_outcome = mutual_discovery_times(
-            protocol_e, protocol_f, offset, horizon, reception_model, turnaround
-        )
-        des_outcome = simulate_pair(
-            protocol_e,
-            protocol_f,
-            offset,
-            horizon,
-            reception_model,
-            turnaround,
-        )
-        if (
-            analytic_outcome.e_discovered_by_f != des_outcome.e_discovered_by_f
-            or analytic_outcome.f_discovered_by_e != des_outcome.f_discovered_by_e
-        ):
-            agrees = False
-            break
+    # DES cross-check on the most informative offsets: the worst ones
+    # plus a deterministic duplicate-free sample of the rest.
+    check_offsets = _select_spot_check_offsets(
+        offsets,
+        (report.worst_offset_one_way, report.worst_offset_two_way),
+        des_spot_checks,
+    )
+    checks = sweeper.spot_check_pairs(
+        protocol_e, protocol_f, check_offsets, horizon,
+        reception_model, turnaround,
+    )
+    agrees = all(
+        analytic_outcome.e_discovered_by_f == des_outcome.e_discovered_by_f
+        and analytic_outcome.f_discovered_by_e == des_outcome.f_discovered_by_e
+        for analytic_outcome, des_outcome in checks
+    )
     return PairWorstCase(
         analytic=report, des_agrees=agrees, offsets_checked=len(offsets)
     )
@@ -466,6 +489,7 @@ def sweep_network_grid(
     reception_model: ReceptionModel = ReceptionModel.POINT,
     turnaround: int = 0,
     advertising_jitter: int = 0,
+    schedule: str = "steal",
 ) -> list[NetworkResult]:
     """Run every scenario of a grid through the event-driven simulator.
 
@@ -474,11 +498,13 @@ def sweep_network_grid(
     Results come back in input order; each scenario's RNG seed derives
     from ``(base_seed, its grid index)`` via
     :func:`repro.parallel.derive_seed`, so the output is bit-identical
-    for any ``jobs`` value -- chunking is invisible to the RNG.
+    for any ``jobs`` value and either ``schedule`` discipline
+    (``"steal"``: cost-sorted work stealing, the default; ``"chunk"``:
+    uniform contiguous chunks) -- scheduling is invisible to the RNG.
     """
     from ..parallel import ParallelSweep
 
-    return ParallelSweep(jobs=jobs).map_scenarios(
+    return ParallelSweep(jobs=jobs, schedule=schedule).map_scenarios(
         list(scenarios),
         base_seed=base_seed,
         reception_model=reception_model,

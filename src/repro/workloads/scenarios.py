@@ -54,6 +54,21 @@ class Scenario:
         if self.start_times and len(self.start_times) != len(self.protocols):
             raise ValueError("start_times must align with protocols")
 
+    def cost_hint(self) -> float:
+        """Deterministic relative simulation cost for grid scheduling.
+
+        Consumed by :func:`repro.parallel.estimate_scenario_cost` to
+        order work-stealing submissions longest-first; subclasses with
+        extra knobs can override it.  Delegates to the one event-rate
+        cost model in :mod:`repro.parallel.schedule`.  Staggered boots
+        shorten each device's active span, which the estimate ignores
+        -- an upper bound is exactly what longest-first scheduling
+        wants.
+        """
+        from ..parallel.schedule import default_simulation_cost
+
+        return default_simulation_cost(self.protocols, self.horizon)
+
 
 def _random_phases(
     protocols: list[NDProtocol], seed: int

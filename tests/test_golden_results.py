@@ -1,0 +1,127 @@
+"""Golden-file regression: committed result CSVs match a fresh run.
+
+The validation and ablation tables under ``results/`` are the paper
+numbers this reproduction stands on, and every one of them is a
+deterministic function of the schedules (exact sweeps, no RNG).  These
+tests re-run the committed benchmarks' own row computations -- loaded
+from ``benchmarks/`` so the logic cannot drift apart -- through the
+cached sweep engine (bit-identical to the serial path by the
+equivalence suite) and compare against the checked-in CSVs, so a
+runtime refactor that silently moved any paper number fails loudly.
+
+Floats are compared at rel=1e-12: the values round-trip through
+``repr`` in the CSVs, so this is effectively exact while tolerating a
+last-ulp change in an unrelated platform libm.
+"""
+
+import csv
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.parallel import ParallelSweep
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS = REPO / "results"
+
+#: The cached serial engine: same results as the plain sweep, faster.
+CACHED_SWEEP = ParallelSweep(jobs=1).sweep_offsets
+
+
+def load_benchmark(name):
+    """Import a benchmark module by file path (benchmarks/ is not a
+    package; keeping one copy of the row computations is the point)."""
+    spec = importlib.util.spec_from_file_location(
+        name, REPO / "benchmarks" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def read_golden(filename):
+    with (RESULTS / filename).open(newline="") as handle:
+        rows = list(csv.reader(handle))
+    return rows[0], rows[1:]
+
+
+def assert_rows_match(golden_rows, fresh_rows, filename):
+    assert len(golden_rows) == len(fresh_rows), filename
+    for golden, fresh in zip(golden_rows, fresh_rows):
+        assert len(golden) == len(fresh), (filename, golden, fresh)
+        for cell, value in zip(golden, fresh):
+            if isinstance(value, str):
+                assert cell == value, (filename, golden, fresh)
+            else:
+                assert float(cell) == pytest.approx(
+                    value, rel=1e-12, abs=0
+                ), (filename, golden, fresh)
+
+
+def test_val_uni_csv_pinned():
+    bench = load_benchmark("bench_validation_unidirectional")
+    from repro.core.bounds import unidirectional_bound
+
+    _, golden = read_golden("val-uni.csv")
+    fresh = []
+    for window, k, stride in bench.CONFIGS:
+        design, report = bench.validate(window, k, stride, sweep=CACHED_SWEEP)
+        bound = unidirectional_bound(bench.OMEGA, design.beta, design.gamma)
+        measured_full = report.worst_one_way + design.beacons.period
+        fresh.append([
+            f"d={window},k={k},n={stride}",
+            design.beta,
+            design.gamma,
+            bound / 1e6,
+            measured_full / 1e6,
+            report.failures,
+            report.offsets_evaluated,
+        ])
+    assert_rows_match(golden, fresh, "val-uni.csv")
+
+
+def test_val_prot_csv_pinned():
+    bench = load_benchmark("bench_validation_protocols")
+    from repro.analysis import gap_for_protocol
+    from repro.protocols import Role
+
+    _, golden = read_golden("val-prot.csv")
+    fresh = []
+    for name, proto in bench.ZOO:
+        report = bench.measure(proto, sweep=CACHED_SWEEP)
+        full_latency = (
+            report.worst_one_way + proto.device(Role.E).beacons.max_gap
+        )
+        gap = gap_for_protocol(
+            proto, omega=bench.OMEGA, measured_latency=full_latency
+        )
+        fresh.append([
+            name,
+            proto.duty_cycle(),
+            proto.predicted_worst_case_latency() / 1e3,
+            report.worst_one_way / 1e3,
+            report.failures,
+            gap.ratio_constrained,
+        ])
+    assert_rows_match(golden, fresh, "val-prot.csv")
+
+
+def test_abl_slot_analytic_csv_pinned():
+    bench = load_benchmark("bench_ablation_slot_length")
+    _, golden = read_golden("abl-slot-analytic.csv")
+    assert_rows_match(golden, bench.analytic_rows(), "abl-slot-analytic.csv")
+
+
+def test_abl_slot_empirical_csv_pinned():
+    bench = load_benchmark("bench_ablation_slot_length")
+    _, golden = read_golden("abl-slot-empirical.csv")
+    fresh = [
+        [
+            slot,
+            slot / bench.OMEGA,
+            bench.empirical_failure_fraction(slot, sweep=CACHED_SWEEP),
+        ]
+        for slot in bench.SIM_SLOTS
+    ]
+    assert_rows_match(golden, fresh, "abl-slot-empirical.csv")

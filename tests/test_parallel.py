@@ -260,6 +260,76 @@ class TestNetworkGrid:
         assert derive_seed(2, 5) != derive_seed(1, 5)
 
 
+class TestSpotCheckSelection:
+    """Regression: the DES spot-check selection loop drew random
+    indices until the set was full, so duplicate-heavy offset lists
+    (fewer unique values than the target size) spun it forever, and
+    collision retries made the draw count an accident of the input."""
+
+    def select(self, offsets, required=(), count=16):
+        from repro.simulation.runner import _select_spot_check_offsets
+
+        return _select_spot_check_offsets(offsets, required, count)
+
+    def test_duplicate_heavy_offsets_terminate(self):
+        # 30 copies of one value plus one other: the old loop's target
+        # of min(16, 31) = 16 unique offsets was unreachable.
+        offsets = [7] * 30 + [9]
+        assert self.select(offsets) == [7, 9]
+
+    def test_selection_is_deterministic_and_duplicate_free(self):
+        offsets = [offset % 40 for offset in range(0, 400, 7)]
+        first = self.select(offsets, required=(11, 25), count=10)
+        second = self.select(offsets, required=(11, 25), count=10)
+        assert first == second
+        assert len(first) == len(set(first)) == 10
+        assert {11, 25}.issubset(first)
+        assert all(offset in offsets for offset in first)
+
+    def test_required_offsets_always_kept(self):
+        offsets = list(range(100))
+        chosen = self.select(offsets, required=(99, 0), count=4)
+        assert {0, 99}.issubset(chosen)
+        assert len(chosen) == 4
+
+    def test_none_required_entries_skipped(self):
+        chosen = self.select([1, 2, 3], required=(None, 2), count=2)
+        assert 2 in chosen
+        assert len(chosen) == 2
+
+    def test_verified_worst_case_spot_checks_in_parallel(self):
+        """End to end: the parallel spot-check path returns the same
+        verdict and report as the serial one."""
+        protocol, design = synthesize_symmetric(32, 0.05)
+        horizon = design.worst_case_latency * 3
+        serial = verified_worst_case(
+            protocol, protocol, horizon, omega=32, des_spot_checks=6
+        )
+        parallel = verified_worst_case(
+            protocol, protocol, horizon, omega=32, des_spot_checks=6, jobs=2
+        )
+        assert serial == parallel
+        assert serial.des_agrees
+
+    def test_spot_check_pool_bit_identical(self, monkeypatch):
+        """The pooled replay path (normally gated behind the estimated
+        work floor) matches the in-process path exactly."""
+        from repro.parallel import executor as executor_module
+
+        protocol, design = synthesize_symmetric(32, 0.05)
+        horizon = design.worst_case_latency
+        offsets = [0, 1_234, 56_789, 111_111]
+        serial = ParallelSweep(jobs=1).spot_check_pairs(
+            protocol, protocol, offsets, horizon
+        )
+        monkeypatch.setattr(executor_module, "_SPOT_POOL_MIN_EVENTS", 0)
+        pooled = ParallelSweep(jobs=2).spot_check_pairs(
+            protocol, protocol, offsets, horizon
+        )
+        assert pooled == serial
+        assert [analytic.offset for analytic, _ in pooled] == offsets
+
+
 class TestMutualAssistanceFidelity:
     """Regression: the assistance runner silently dropped the fidelity
     knobs its sibling ``simulate_pair`` supports."""

@@ -1,0 +1,349 @@
+"""Zoo-wide equivalence harness: every execution path is bit-identical.
+
+The load-bearing invariant of the parallel runtime is that *all four*
+execution paths -- serial, chunked multiprocessing, shared-memory
+chunked, and work-stealing -- produce bit-identical results for every
+protocol family in the reproduction, including non-integer-period
+schedules (which disable the pattern cache) and the drift/jitter
+fidelity knobs of grid scenarios.  This file pins that invariant:
+
+* one parametrized equivalence case per protocol family (13 families:
+  the four classic slotted protocols, quorum, Nihao, Birthday, the two
+  PI/BLE shapes, the three paper-optimal constructions, and a
+  float-period PI pair exercising the uncached fallback);
+* dedicated cases for the residue-memo and zero-copy shared-memory
+  regimes, which small zoo schedules never reach;
+* grid equivalence across chunked vs work-stealing scheduling with
+  drift and advertising jitter enabled;
+* unit tests of the keyed cache registry (hit/miss/LRU/invalidation)
+  and the shared-memory segment lifecycle.
+"""
+
+import pytest
+
+from repro.core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
+from repro.parallel import (
+    get_listening_cache,
+    invalidate_listening_caches,
+    ListeningCache,
+    listening_cache_stats,
+    ParallelSweep,
+    protocol_fingerprint,
+    SharedPatternStore,
+)
+from repro.parallel.cache import _MEMO_MIN_SEGMENTS, _REGISTRY
+from repro.parallel.shm import attach_pattern_caches, ZERO_COPY_MIN_SEGMENTS
+from repro.protocols import (
+    Birthday,
+    CorrelatedOneWay,
+    Diffcodes,
+    Disco,
+    GridQuorum,
+    Nihao,
+    OptimalAsymmetric,
+    OptimalSlotless,
+    PeriodicInterval,
+    Role,
+    Searchlight,
+    UConnect,
+)
+from repro.simulation import (
+    evaluate_offsets,
+    ReceptionModel,
+    sweep_network_grid,
+    sweep_offsets,
+)
+from repro.simulation.analytic import packet_heard
+from repro.workloads import (
+    dense_network,
+    drifting_pair,
+    gradual_join,
+    scenario_grid,
+)
+
+SLOT = 200
+OMEGA = 16
+
+
+def _pair(proto):
+    return proto.device(Role.E), proto.device(Role.F)
+
+
+def _float_pi_pair():
+    """Non-integer periods: the pattern cache must disable and fall back."""
+    adv = NDProtocol(
+        beacons=BeaconSchedule.uniform(1, 100.1, 2),
+        reception=ReceptionSchedule.single_window(25, 600),
+    )
+    scan = NDProtocol(
+        beacons=BeaconSchedule.uniform(2, 150, 3),
+        reception=ReceptionSchedule.single_window(40.5, 350.25),
+    )
+    return adv, scan
+
+
+# One entry per protocol family: builder -> (protocol_e, protocol_f).
+ZOO = {
+    "disco": lambda: _pair(Disco(3, 5, slot_length=SLOT, omega=OMEGA)),
+    "uconnect": lambda: _pair(UConnect(5, slot_length=SLOT, omega=OMEGA)),
+    "searchlight": lambda: _pair(
+        Searchlight(4, slot_length=SLOT, omega=OMEGA)
+    ),
+    "diffcodes": lambda: _pair(Diffcodes(2, slot_length=SLOT, omega=OMEGA)),
+    "grid-quorum": lambda: _pair(
+        GridQuorum(3, slot_length=SLOT, omega=OMEGA)
+    ),
+    "nihao": lambda: _pair(Nihao(3, slot_length=100, omega=OMEGA)),
+    "birthday": lambda: _pair(
+        Birthday(
+            p_tx=0.2, p_rx=0.2, slot_length=100, omega=OMEGA,
+            horizon_slots=64, seed=5,
+        )
+    ),
+    "pi-bidirectional": lambda: _pair(
+        PeriodicInterval(300, 700, 150, omega=OMEGA, bidirectional=True)
+    ),
+    "pi-adv-scan": lambda: _pair(
+        PeriodicInterval(300, 700, 150, omega=OMEGA, bidirectional=False)
+    ),
+    "optimal-slotless": lambda: _pair(OptimalSlotless(eta=0.05, omega=32)),
+    "optimal-asymmetric": lambda: _pair(
+        OptimalAsymmetric(eta_e=0.1, eta_f=0.05, omega=32)
+    ),
+    "correlated-one-way": lambda: _pair(
+        CorrelatedOneWay(k=4, window=64, omega=32)
+    ),
+    "float-period-pi": _float_pi_pair,
+}
+
+MODELS = list(ReceptionModel)
+
+
+def _workload(protocol_e, protocol_f):
+    """A deterministic offset list and horizon sized to the pair."""
+    period = 1
+    for proto in (protocol_e, protocol_f):
+        if proto.beacons is not None:
+            period = max(period, int(proto.beacons.period))
+        if proto.reception is not None:
+            period = max(period, int(proto.reception.period))
+    step = max(1, (2 * period) // 40)
+    offsets = list(range(0, 2 * period, step))
+    # A prime-ish perturbation exercises off-grid residues too.
+    offsets += [offset + 7 for offset in offsets[::5]]
+    return offsets, period * 12
+
+
+@pytest.mark.parametrize("family", list(ZOO), ids=list(ZOO))
+def test_family_all_paths_bit_identical(family):
+    """serial == chunked == shared-memory for every protocol family,
+    as full per-offset outcome lists and as aggregated reports."""
+    protocol_e, protocol_f = ZOO[family]()
+    offsets, horizon = _workload(protocol_e, protocol_f)
+    # Rotate the reception model per family so all three decode
+    # semantics appear across the zoo without tripling the runtime;
+    # POINT (the paper's model) runs for every family below.
+    model = MODELS[sorted(ZOO).index(family) % len(MODELS)]
+
+    serial_outcomes = evaluate_offsets(
+        protocol_e, protocol_f, offsets, horizon, model
+    )
+    serial_report = sweep_offsets(
+        protocol_e, protocol_f, offsets, horizon, model
+    )
+
+    paths = {
+        "in-process-cached": ParallelSweep(jobs=1),
+        "chunked": ParallelSweep(jobs=2, chunks_per_job=3, shared_memory=False),
+        "shared-memory": ParallelSweep(jobs=2, chunks_per_job=3, shared_memory=True),
+    }
+    for name, executor in paths.items():
+        outcomes = executor.evaluate_offsets(
+            protocol_e, protocol_f, offsets, horizon, model
+        )
+        assert outcomes == serial_outcomes, (family, name, model)
+        report = executor.sweep_offsets(
+            protocol_e, protocol_f, offsets, horizon, model
+        )
+        assert report == serial_report, (family, name, model)
+    if model is not ReceptionModel.POINT:
+        point_serial = sweep_offsets(protocol_e, protocol_f, offsets, horizon)
+        for name, executor in paths.items():
+            assert (
+                executor.sweep_offsets(protocol_e, protocol_f, offsets, horizon)
+                == point_serial
+            ), (family, name)
+
+
+def _dense_pattern_pair(gap, window_period, window=64):
+    """A pair whose receiver pattern has many segments per hyperperiod."""
+    proto = NDProtocol(
+        beacons=BeaconSchedule.uniform(1, gap, 2),
+        reception=ReceptionSchedule.single_window(window, window_period),
+    )
+    return proto, proto
+
+
+@pytest.mark.parametrize(
+    "gap,window_period,regime",
+    [
+        (255, 256, "residue-memo"),  # >= _MEMO_MIN_SEGMENTS segments
+        (2049, 2048, "zero-copy"),  # >= ZERO_COPY_MIN_SEGMENTS segments
+    ],
+)
+def test_large_pattern_regimes_bit_identical(gap, window_period, regime):
+    """The memo and zero-copy branches (unreachable with small zoo
+    schedules) also reproduce the serial path exactly."""
+    protocol_e, protocol_f = _dense_pattern_pair(gap, window_period)
+    cache = ListeningCache(protocol_e)
+    assert cache.enabled
+    if regime == "residue-memo":
+        assert cache.pattern_segments >= _MEMO_MIN_SEGMENTS
+        assert cache._use_memo
+    else:
+        assert cache.pattern_segments >= ZERO_COPY_MIN_SEGMENTS
+    hyper = protocol_e.hyperperiod()
+    offsets = list(range(0, hyper, max(1, hyper // 48)))
+    horizon = 6 * window_period
+
+    serial = evaluate_offsets(protocol_e, protocol_f, offsets, horizon)
+    for shared_memory in (False, True):
+        executor = ParallelSweep(jobs=2, shared_memory=shared_memory)
+        got = executor.evaluate_offsets(protocol_e, protocol_f, offsets, horizon)
+        assert got == serial, (regime, shared_memory)
+
+
+def test_grid_chunk_vs_steal_with_fidelity_knobs():
+    """Work-stealing == chunked == serial for grids mixing device
+    counts, drift and staggered joins, with advertising jitter on."""
+    grid = (
+        scenario_grid(dense_network, n_devices=[3, 4], eta=[0.05], seed=[0, 1])
+        + [drifting_pair(eta=0.05, drift_ppm=40, seed=2)]
+        + [gradual_join(n_devices=3, eta=0.05, seed=3)]
+    )
+    kwargs = dict(base_seed=11, advertising_jitter=300)
+    serial = sweep_network_grid(grid, jobs=1, **kwargs)
+    chunked = sweep_network_grid(grid, jobs=2, schedule="chunk", **kwargs)
+    stolen = sweep_network_grid(grid, jobs=2, schedule="steal", **kwargs)
+    assert chunked == serial
+    assert stolen == serial
+    # The jitter knob actually reached the simulation: a different
+    # jitter bound must move at least one scenario's outcome.
+    unjittered = sweep_network_grid(grid, jobs=2, base_seed=11)
+    assert unjittered != serial
+
+
+class TestKeyedCacheRegistry:
+    def setup_method(self):
+        invalidate_listening_caches()
+
+    def test_fingerprint_is_content_keyed(self):
+        protocol_e, _ = ZOO["disco"]()
+        clone_e, _ = ZOO["disco"]()
+        other, _ = ZOO["nihao"]()
+        assert protocol_e is not clone_e
+        assert protocol_fingerprint(protocol_e) == protocol_fingerprint(clone_e)
+        assert protocol_fingerprint(protocol_e) != protocol_fingerprint(other)
+        assert protocol_fingerprint(protocol_e, turnaround=5) != (
+            protocol_fingerprint(protocol_e)
+        )
+
+    def test_integer_and_float_schedules_fingerprint_differently(self):
+        int_proto = NDProtocol(
+            beacons=None, reception=ReceptionSchedule.single_window(25, 100)
+        )
+        float_proto = NDProtocol(
+            beacons=None, reception=ReceptionSchedule.single_window(25.0, 100.0)
+        )
+        assert protocol_fingerprint(int_proto) != protocol_fingerprint(float_proto)
+
+    def test_hits_share_one_cache_object(self):
+        protocol, _ = ZOO["disco"]()
+        before = listening_cache_stats()
+        first = get_listening_cache(protocol)
+        second = get_listening_cache(protocol)
+        clone, _ = ZOO["disco"]()
+        third = get_listening_cache(clone)
+        assert first is second is third
+        after = listening_cache_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 2
+
+    def test_invalidation_forces_rebuild(self):
+        protocol, _ = ZOO["disco"]()
+        first = get_listening_cache(protocol)
+        assert invalidate_listening_caches(protocol_fingerprint(protocol)) == 1
+        second = get_listening_cache(protocol)
+        assert second is not first
+        assert invalidate_listening_caches() >= 1
+        assert invalidate_listening_caches() == 0
+        assert listening_cache_stats()["size"] == 0
+
+    def test_registry_is_lru_bounded(self):
+        from repro.parallel.cache import _REGISTRY_CAP
+
+        protocols = [
+            NDProtocol(
+                beacons=None,
+                reception=ReceptionSchedule.single_window(10, 100 + i),
+            )
+            for i in range(_REGISTRY_CAP + 5)
+        ]
+        for proto in protocols:
+            get_listening_cache(proto)
+        stats = listening_cache_stats()
+        assert stats["size"] == _REGISTRY_CAP
+        # The oldest fingerprints were evicted, the newest retained.
+        assert protocol_fingerprint(protocols[0], 0) not in _REGISTRY
+        assert protocol_fingerprint(protocols[-1], 0) in _REGISTRY
+
+
+class TestSharedMemoryLifecycle:
+    def test_publish_attach_roundtrip_decisions(self):
+        protocol, _ = ZOO["searchlight"]()
+        fingerprint = protocol_fingerprint(protocol)
+        cache = ListeningCache(protocol)
+        assert cache.enabled
+        with SharedPatternStore() as store:
+            handle = store.publish({fingerprint: cache})
+            assert handle is not None
+            assert handle.total_words == 2 * cache.pattern_segments
+            invalidate_listening_caches()
+            assert attach_pattern_caches(handle, [(protocol, 0)]) == 1
+            attached = _REGISTRY[fingerprint]
+            assert attached is not cache and attached.enabled
+            for start in (0, 99, 1234, 55555):
+                for model in ReceptionModel:
+                    assert attached.packet_heard(
+                        7, start, start + OMEGA, model
+                    ) == packet_heard(protocol, 7, start, start + OMEGA, model, 0)
+
+    def test_store_unlinks_on_exit(self):
+        from multiprocessing import shared_memory
+
+        protocol, _ = ZOO["disco"]()
+        cache = ListeningCache(protocol)
+        with SharedPatternStore() as store:
+            handle = store.publish({protocol_fingerprint(protocol): cache})
+            name = handle.shm_name
+            probe = shared_memory.SharedMemory(name=name)
+            probe.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        store.close()  # idempotent after exit
+
+    def test_disabled_patterns_publish_nothing(self):
+        adv, scan = _float_pi_pair()
+        cache = ListeningCache(scan)
+        assert not cache.enabled
+        with SharedPatternStore() as store:
+            assert store.publish({protocol_fingerprint(scan): cache}) is None
+            assert store.handle is None
+
+    def test_attach_ignores_unknown_fingerprints(self):
+        protocol, _ = ZOO["disco"]()
+        other, _ = ZOO["nihao"]()
+        cache = ListeningCache(protocol)
+        with SharedPatternStore() as store:
+            handle = store.publish({protocol_fingerprint(protocol): cache})
+            assert attach_pattern_caches(handle, [(other, 0)]) == 0
