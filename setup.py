@@ -1,10 +1,15 @@
 """Legacy setup shim.
 
-The offline environment ships setuptools without the ``wheel`` package, so
-PEP-517 editable installs (which build a wheel) fail.  Keeping a setup.py
-and omitting ``[build-system]`` from pyproject.toml lets
-``pip install -e .`` use the legacy ``setup.py develop`` path, which works
-without wheel support.  All metadata lives in pyproject.toml.
+All metadata lives in pyproject.toml -- including the ``[fast]`` extra
+that enables the NumPy-vectorized sweep backend -- with
+``[build-system]`` omitted so setuptools reads it directly.  Install
+paths:
+
+* online (CI, users): ``pip install -e .[fast]`` works normally;
+* offline container (setuptools without ``wheel``, where pip's PEP-517
+  paths fail): ``python setup.py develop`` -- the legacy command needs
+  no wheel support -- or just ``PYTHONPATH=src`` as the tier-1 test
+  harness does.
 """
 
 from setuptools import setup

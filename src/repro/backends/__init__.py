@@ -1,0 +1,100 @@
+"""Pluggable sweep-kernel backends behind one ``SweepBackend`` interface.
+
+Every bound-validation experiment reduces to the same hot loop --
+evaluate first-discovery latency at many phase offsets against a
+precomputed listening pattern.  This package inverts the dependency
+structure of PR 1-2: instead of callers reaching into cache/evaluator
+internals, kernels implement
+:meth:`SweepBackend.evaluate_offsets_batch(params, offsets)` and
+register by name, and every layer above (``analytic.evaluate_offsets``,
+:class:`repro.parallel.ParallelSweep`, ``verified_worst_case``,
+``sweep_network_grid``, :class:`repro.workloads.Scenario`, the CLI's
+``--backend`` flag) selects one without knowing how it computes.
+
+Backend-selection contract
+--------------------------
+
+* ``"python"`` -- the exact pure-python reference loop
+  (:mod:`repro.backends.python_loop`), extracted verbatim from the PR-2
+  hot path.  Always available; the correctness anchor every other
+  backend is pinned bit-identical against by the equivalence zoo.
+* ``"numpy"`` -- the vectorized kernel
+  (:mod:`repro.backends.numpy_kernel`): int64 pattern arrays (the
+  shared-memory wire format), one batched ``np.searchsorted`` per
+  beacon candidate over all unresolved offsets.  Available only when
+  NumPy is importable; requesting it without NumPy raises
+  :class:`BackendUnavailable`.  NumPy is an *optional extra*
+  (``pip install repro-nd[fast]``), never a hard dependency --
+  :mod:`repro.backends._np` is the one import-guard shim every
+  vectorizing module goes through.
+* ``"pooled"`` -- a lazily created, explicitly shut-down persistent
+  ``ProcessPoolExecutor`` wrapping any inner kernel
+  (:mod:`repro.backends.pooled`), so many-small-sweep workloads stop
+  paying per-sweep pool startup.
+* ``"auto"`` (or ``None``) -- :func:`default_backend_name`:
+  ``numpy`` when importable, ``python`` fallback.  All defaults route
+  through auto-detection, so installing the extra is the only step a
+  deployment needs to get the vectorized kernel everywhere.
+
+Whatever the selection, results are **bit-identical** by contract: the
+same ``DiscoveryOutcome`` sequence in the same order for every protocol
+pair, reception model and turnaround guard.  Backends that cannot
+vectorize a batch (non-integer schedules, disabled pattern caches,
+oversized values) silently delegate to the ``python`` reference rather
+than approximate.
+
+Persistent-pool lifecycle
+-------------------------
+
+:class:`~repro.backends.pooled.PooledBackend` creates **no processes
+until first sharded use**; the pool then survives across batches (and
+across ``ParallelSweep`` instances, via
+:func:`~repro.backends.pooled.get_pooled_backend`'s keyed sharing) so
+worker-side pattern registries stay warm.  Shutdown is explicit --
+``backend.close()``, the context-manager protocol, or
+:func:`~repro.backends.pooled.shutdown_pooled_backends` -- with an
+``atexit`` hook as the no-leak backstop.  A closed backend remains
+usable: the next sharded batch lazily boots a fresh pool.
+"""
+
+from .base import (
+    available_backends,
+    BackendUnavailable,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    SweepBackend,
+    SweepParams,
+)
+from ._np import have_numpy, numpy_version
+from .numpy_kernel import NumpyBackend
+from .pooled import (
+    get_pooled_backend,
+    PooledBackend,
+    shutdown_pooled_backends,
+)
+from .python_loop import CachedPairEvaluator, PythonBackend
+
+register_backend("python", PythonBackend)
+register_backend("numpy", NumpyBackend)
+register_backend("pooled", get_pooled_backend)
+
+__all__ = [
+    "available_backends",
+    "BackendUnavailable",
+    "CachedPairEvaluator",
+    "default_backend_name",
+    "get_backend",
+    "get_pooled_backend",
+    "have_numpy",
+    "numpy_version",
+    "NumpyBackend",
+    "PooledBackend",
+    "PythonBackend",
+    "register_backend",
+    "resolve_backend",
+    "shutdown_pooled_backends",
+    "SweepBackend",
+    "SweepParams",
+]

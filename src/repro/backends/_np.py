@@ -1,0 +1,27 @@
+"""Import-guard shim for the *optional* NumPy dependency.
+
+NumPy is an extra (``pip install repro-nd[fast]``), never a hard
+requirement: every module that can vectorize imports ``np`` from here
+and degrades gracefully when it is ``None``.  Consumers must read
+``_np.np`` **at call time** (not bind it at import time) so tests can
+simulate NumPy-less environments by monkeypatching this module -- the
+same discipline keeps the pure-python fallback path honest on machines
+that do have NumPy installed.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as np
+except ImportError:  # pragma: no cover - the no-numpy CI leg
+    np = None  # type: ignore[assignment]
+
+
+def have_numpy() -> bool:
+    """Is NumPy importable right now (honours monkeypatched ``np``)?"""
+    return np is not None
+
+
+def numpy_version() -> str | None:
+    """The installed NumPy version, or ``None`` without NumPy."""
+    return None if np is None else str(np.__version__)

@@ -1,0 +1,246 @@
+"""The ``SweepBackend`` interface and the backend registry.
+
+One sweep kernel contract, many implementations.  A backend evaluates a
+*batch* of phase offsets against a protocol pair -- the single hot loop
+behind every bound-validation experiment -- and returns per-offset
+:class:`repro.simulation.analytic.DiscoveryOutcome` objects in input
+order, bit-identical to the exact serial computation.  Everything above
+this layer (the analytic batch entry points, :class:`ParallelSweep`,
+``verified_worst_case``, the CLI) selects a backend by name and never
+touches kernel internals again.
+
+This module is dependency-light by design: it imports neither
+``repro.simulation`` nor ``repro.parallel`` at module level, so the
+registered implementations (which do) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from . import _np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.sequences import NDProtocol
+    from ..simulation.analytic import DiscoveryOutcome, ReceptionModel
+
+__all__ = [
+    "BackendUnavailable",
+    "SweepParams",
+    "SweepBackend",
+    "available_backends",
+    "chunk_evenly",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+
+class BackendUnavailable(RuntimeError):
+    """A requested backend cannot run in this environment (e.g. the
+    ``numpy`` backend without NumPy installed)."""
+
+
+@dataclass(frozen=True)
+class SweepParams:
+    """Everything that identifies one pair-sweep workload except the
+    offsets themselves.
+
+    Frozen and picklable: the pooled backend ships one ``SweepParams``
+    per submitted chunk, and worker processes resolve the listening
+    patterns from it through their own keyed cache registries.
+    """
+
+    protocol_e: "NDProtocol"
+    protocol_f: "NDProtocol"
+    horizon: int
+    model: "ReceptionModel"
+    turnaround: int = 0
+
+
+class SweepBackend(ABC):
+    """One offset-evaluation kernel.
+
+    The contract mirrors :func:`repro.simulation.analytic.evaluate_offsets`:
+    ``evaluate_offsets_batch(params, offsets)`` returns one
+    :class:`DiscoveryOutcome` per offset, in input order, **bit-identical**
+    to the exact serial computation for every protocol pair, reception
+    model and turnaround guard.  Implementations may precompute patterns,
+    vectorize, or shard across processes -- but never change results.
+    """
+
+    #: Registry name; also what `ParallelSweep` ships to worker processes.
+    name: str = "abstract"
+
+    @classmethod
+    def available(cls) -> bool:
+        """Can this backend run in the current environment?"""
+        return True
+
+    @abstractmethod
+    def evaluate_offsets_batch(
+        self, params: SweepParams, offsets: Sequence[int]
+    ) -> "list[DiscoveryOutcome]":
+        """Evaluate both-direction discovery at every offset, in order."""
+
+    def close(self) -> None:
+        """Release backend-held resources (worker pools, buffers).
+
+        Stateless kernels need nothing; the pooled backend shuts its
+        persistent executor down here.  Idempotent.
+        """
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_FACTORIES: dict[str, Callable[[], SweepBackend]] = {}
+_INSTANCES: dict[str, SweepBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], SweepBackend]) -> None:
+    """Register ``factory`` under ``name`` (replacing any previous one).
+
+    ``factory`` is a zero-argument callable returning a
+    :class:`SweepBackend`; it may also expose ``available()`` (classes
+    do, via the classmethod) to gate environment-dependent backends,
+    and ``self_managed = True`` to opt out of the singleton cache.
+    """
+    _FACTORIES[name] = factory
+    # Re-registration must win: drop any singleton the old factory made.
+    _INSTANCES.pop(name, None)
+
+
+def is_registered(name: str) -> bool:
+    """Is ``name`` a registered backend (available or not)?"""
+    return name in _FACTORIES
+
+
+def available_backends() -> list[str]:
+    """Names of registered backends that can run right now."""
+    return [
+        name
+        for name, factory in _FACTORIES.items()
+        if getattr(factory, "available", lambda: True)()
+    ]
+
+
+def default_backend_name() -> str:
+    """Auto-detection: ``numpy`` when importable, ``python`` fallback."""
+    return "numpy" if _np.np is not None else "python"
+
+
+def get_backend(name: str) -> SweepBackend:
+    """The shared instance registered under ``name``.
+
+    Stateless kernels are process-wide singletons; ``pooled`` resolves to
+    the shared default persistent-pool backend (see
+    :func:`repro.backends.pooled.get_pooled_backend` for custom pools).
+    Raises :class:`KeyError` for unknown names and
+    :class:`BackendUnavailable` for registered-but-unavailable ones.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep backend {name!r}; registered: "
+            f"{sorted(_FACTORIES)}"
+        ) from None
+    if not getattr(factory, "available", lambda: True)():
+        raise BackendUnavailable(
+            f"backend {name!r} is not available in this environment"
+            + (
+                " (NumPy not importable; `pip install repro-nd[fast]`"
+                " or select backend='python')"
+                if name == "numpy"
+                else ""
+            )
+        )
+    if getattr(factory, "self_managed", False):
+        # Factories that keep their own instance map (the pooled
+        # backend's shape-keyed sharing) resolve fresh every call, so
+        # environment-dependent defaults (e.g. the auto-detected inner
+        # kernel) can never go stale in a second cache here.
+        return factory()
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = factory()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def resolve_backend(
+    spec: "str | SweepBackend | None",
+    jobs: int | None = None,
+    mp_context: str | None = None,
+) -> SweepBackend:
+    """Turn a user-facing backend spec into a backend instance.
+
+    * ``None`` or ``"auto"`` -- auto-detection via
+      :func:`default_backend_name`;
+    * a registered name -- the shared instance (``"pooled"`` additionally
+      honours ``jobs``/``mp_context``, resolving to the shared persistent
+      pool for that shape);
+    * a :class:`SweepBackend` instance -- passed through unchanged.
+    """
+    if isinstance(spec, SweepBackend):
+        return spec
+    if spec is None or spec == "auto":
+        spec = default_backend_name()
+    if spec == "pooled" and (jobs is not None or mp_context is not None):
+        from .pooled import get_pooled_backend
+
+        return get_pooled_backend(jobs=jobs, mp_context=mp_context)
+    return get_backend(spec)
+
+
+def chunk_evenly(items: list, n_chunks: int) -> list[list]:
+    """Contiguous, order-preserving partition into at most ``n_chunks``.
+
+    The one chunking rule shared by the per-sweep executor and the
+    persistent pool, so merged results always preserve input order.
+    """
+    n = len(items)
+    n_chunks = max(1, min(n_chunks, n))
+    size, extra = divmod(n, n_chunks)
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks
+
+
+def encode_outcomes(outcomes: "Iterable[DiscoveryOutcome]") -> list[tuple]:
+    """Outcome wire format for worker -> parent transport.
+
+    Plain ``(offset, e_by_f, f_by_e)`` tuples: pickling a dataclass
+    costs several times a tuple, and at thousands of outcomes per sweep
+    the difference is measurable.  The one encode/decode pair shared by
+    the per-sweep executor and the persistent pool, so the format (and
+    its field order) is defined exactly once.
+    """
+    return [
+        (o.offset, o.e_discovered_by_f, o.f_discovered_by_e)
+        for o in outcomes
+    ]
+
+
+def decode_outcomes(rows: Iterable[tuple]) -> "list[DiscoveryOutcome]":
+    """Inverse of :func:`encode_outcomes`: rebuild field-for-field, so
+    callers see exactly the serial path's objects."""
+    from ..simulation.analytic import DiscoveryOutcome
+
+    return [
+        DiscoveryOutcome(
+            offset=offset,
+            e_discovered_by_f=e_by_f,
+            f_discovered_by_e=f_by_e,
+        )
+        for offset, e_by_f, f_by_e in rows
+    ]

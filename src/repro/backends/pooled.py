@@ -1,0 +1,227 @@
+"""Persistent worker-pool backend: pay pool startup once, not per sweep.
+
+Many workloads -- protocol-zoo tables, grid cells, repeated
+``verified_worst_case`` calls -- run *many small sweeps*, and PR 1-2's
+per-sweep ``ProcessPoolExecutor`` charged each one tens of milliseconds
+of fork/spawn startup.  :class:`PooledBackend` wraps any inner kernel
+(``python`` or ``numpy``, by registry name) in a **lazily created,
+explicitly shut-down** persistent pool:
+
+* **Lazy creation** -- no processes exist until the first batch large
+  enough to shard arrives; degenerate batches (fewer than two offsets,
+  ``jobs <= 1``) run through the inner backend in-process.
+* **Reuse** -- the executor survives across ``evaluate_offsets_batch``
+  calls (and across :class:`repro.parallel.ParallelSweep` instances via
+  :func:`get_pooled_backend`'s keyed sharing), so workers keep their
+  warm keyed pattern registries: a zoo's patterns are built once per
+  worker for the whole session, not once per sweep.
+* **Explicit shutdown** -- :meth:`PooledBackend.close` (or the context
+  manager protocol, or module-wide :func:`shutdown_pooled_backends`)
+  terminates the workers deterministically; an ``atexit`` hook is the
+  backstop so no interpreter exit ever leaks processes.
+
+Work ships as ``(inner_name, params, offsets)`` chunks through a
+module-level function -- everything pickles under fork and spawn, and
+workers resolve listening patterns through their own process-wide
+registries (no per-sweep initializer exists on a persistent pool, and
+none is needed: the registry memoizes across tasks).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from ..simulation.analytic import DiscoveryOutcome
+from .base import (
+    chunk_evenly,
+    decode_outcomes,
+    encode_outcomes,
+    get_backend,
+    SweepBackend,
+    SweepParams,
+)
+
+__all__ = [
+    "PooledBackend",
+    "get_pooled_backend",
+    "shutdown_pooled_backends",
+]
+
+
+def _default_mp_context() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _pooled_chunk(
+    inner_name: str, params: SweepParams, offsets: list[int]
+) -> list[tuple]:
+    """Worker entry point: evaluate one chunk through the inner kernel.
+
+    Outcomes travel back in the shared tuple wire format
+    (:func:`repro.backends.base.encode_outcomes`, cheaper to pickle
+    than dataclasses); the parent rebuilds :class:`DiscoveryOutcome`
+    field-for-field.
+    """
+    return encode_outcomes(
+        get_backend(inner_name).evaluate_offsets_batch(params, offsets)
+    )
+
+
+class PooledBackend(SweepBackend):
+    """A persistent process pool wrapping any inner sweep kernel."""
+
+    name = "pooled"
+
+    def __init__(
+        self,
+        inner: str | None = None,
+        jobs: int | None = None,
+        mp_context: str | None = None,
+        chunks_per_job: int = 4,
+    ) -> None:
+        from .base import default_backend_name
+
+        self.inner = inner or default_backend_name()
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.mp_context = mp_context or _default_mp_context()
+        self.chunks_per_job = chunks_per_job
+        self._executor: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Does a live worker pool exist right now?"""
+        return self._executor is not None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The persistent pool, created on first use."""
+        if self._executor is None:
+            ctx = multiprocessing.get_context(self.mp_context)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=ctx
+            )
+            _LIVE_POOLS.add(self)
+            _register_atexit()
+        return self._executor
+
+    def submit(self, fn, /, *args, **kwargs):
+        """Submit arbitrary picklable work to the persistent pool.
+
+        The hook grid and spot-check drivers use to reuse these workers
+        for non-sweep tasks (DES replays) without a second pool.
+        """
+        return self.executor().submit(fn, *args, **kwargs)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down (idempotent); the next batch that
+        needs one lazily creates a fresh pool."""
+        executor, self._executor = self._executor, None
+        _LIVE_POOLS.discard(self)
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    #: ``shutdown`` is the conventional executor spelling.
+    shutdown = close
+
+    def __enter__(self) -> "PooledBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def evaluate_offsets_batch(
+        self,
+        params: SweepParams,
+        offsets: Sequence[int],
+        chunks_per_job: int | None = None,
+    ) -> list[DiscoveryOutcome]:
+        """Shard one batch over the persistent pool.
+
+        ``chunks_per_job`` overrides the instance default for this call
+        -- the hook :class:`repro.parallel.ParallelSweep` uses to keep
+        its load-balancing knob meaningful on shared pooled instances.
+        """
+        offsets = list(offsets)
+        if self.jobs <= 1 or len(offsets) < 2:
+            return get_backend(self.inner).evaluate_offsets_batch(
+                params, offsets
+            )
+        per_job = chunks_per_job if chunks_per_job else self.chunks_per_job
+        chunks = chunk_evenly(offsets, self.jobs * per_job)
+        pool = self.executor()
+        futures = [
+            pool.submit(_pooled_chunk, self.inner, params, chunk)
+            for chunk in chunks
+        ]
+        # Futures are consumed in submission order, so flattening
+        # preserves the input offset order exactly.
+        return decode_outcomes(
+            row for future in futures for row in future.result()
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared instances: one persistent pool per (inner, jobs, mp_context)
+# ----------------------------------------------------------------------
+
+_SHARED: dict[tuple, PooledBackend] = {}
+_LIVE_POOLS: set[PooledBackend] = set()
+_ATEXIT_REGISTERED = False
+
+
+def _register_atexit() -> None:
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        atexit.register(shutdown_pooled_backends)
+        _ATEXIT_REGISTERED = True
+
+
+def get_pooled_backend(
+    inner: str | None = None,
+    jobs: int | None = None,
+    mp_context: str | None = None,
+) -> PooledBackend:
+    """The shared persistent-pool backend for this shape.
+
+    Two callers asking for the same ``(inner, jobs, mp_context)`` get
+    the *same* instance -- and therefore the same warm worker pool --
+    which is what makes ``ParallelSweep(backend="pooled")`` amortize
+    startup across independent sweeps.  Construct :class:`PooledBackend`
+    directly for a private pool.
+    """
+    from .base import default_backend_name
+
+    key = (
+        inner or default_backend_name(),
+        jobs if jobs is not None else (os.cpu_count() or 1),
+        mp_context or _default_mp_context(),
+    )
+    backend = _SHARED.get(key)
+    if backend is None:
+        backend = PooledBackend(*key)
+        _SHARED[key] = backend
+    return backend
+
+
+#: Tells the registry this factory manages its own (shape-keyed)
+#: instances -- see :func:`repro.backends.base.get_backend`.
+get_pooled_backend.self_managed = True
+
+
+def shutdown_pooled_backends(wait: bool = True) -> int:
+    """Explicitly shut down every live persistent pool.
+
+    Returns the number of pools that were actually running.  Shared
+    instances stay resolvable afterwards -- their next use lazily boots
+    a fresh pool.  Registered via ``atexit`` as the no-leak backstop.
+    """
+    live = list(_LIVE_POOLS)
+    for backend in live:
+        backend.close(wait=wait)
+    return len(live)

@@ -14,7 +14,12 @@ Installed as ``repro-nd``.  Subcommands::
 across worker processes; results are bit-identical to ``--jobs 1``
 (``validate`` also shards its DES spot-check replays, and ``grid``
 schedules scenarios with cost-sorted work stealing by default --
-``--schedule chunk`` restores uniform chunking).
+``--schedule chunk`` restores uniform chunking).  They also accept
+``--backend {auto,python,numpy,pooled}`` to pick the sweep kernel
+(:mod:`repro.backends`): ``auto`` (default) uses the vectorized NumPy
+kernel when NumPy is importable and the pure-python reference
+otherwise; ``pooled`` reuses one persistent worker pool across sweeps
+(shut down before the command exits).  Every selection is bit-identical.
 """
 
 from __future__ import annotations
@@ -113,13 +118,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     offsets = list(range(0, hyper, step))
     horizon = design.worst_case_latency * args.horizon_multiple
     model = ReceptionModel(args.model)
-    report = ParallelSweep(jobs=jobs).sweep_offsets(
+    report = ParallelSweep(jobs=jobs, backend=args.backend).sweep_offsets(
         protocol, protocol, offsets, horizon, model, args.turnaround
     )
+    _shutdown_pools()
     print(
         f"protocol         : {protocol.name} (eta={protocol.eta:.6f})"
     )
-    print(f"offsets evaluated: {report.offsets_evaluated} (jobs={jobs})")
+    print(
+        f"offsets evaluated: {report.offsets_evaluated} "
+        f"(jobs={jobs}, backend={_backend_display(args.backend)})"
+    )
     print(f"failures         : {report.failures}")
     print(
         f"worst one-way    : {format_seconds(report.worst_one_way)} "
@@ -136,6 +145,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shutdown_pools() -> None:
+    """Explicitly shut down any persistent pool a command started."""
+    from .backends.pooled import shutdown_pooled_backends
+
+    shutdown_pooled_backends()
+
+
+def _backend_display(spec: str) -> str:
+    """The kernel that actually runs for ``spec`` -- resolves ``auto``
+    so command output is self-documenting about provenance."""
+    from .backends import resolve_backend
+
+    return resolve_backend(spec).name
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     jobs = args.jobs
     protocol, design = core.synthesize_symmetric(args.omega, args.eta, args.alpha)
@@ -146,10 +170,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         omega=args.omega,
         turnaround=args.turnaround,
         jobs=jobs,
+        backend=args.backend,
     )
+    _shutdown_pools()
     bound = core.symmetric_bound(args.omega, protocol.eta, args.alpha)
     print(f"protocol         : {protocol.name} (eta={protocol.eta:.6f})")
-    print(f"offsets checked  : {result.offsets_checked} (jobs={jobs})")
+    print(
+        f"offsets checked  : {result.offsets_checked} "
+        f"(jobs={jobs}, backend={_backend_display(args.backend)})"
+    )
     print(f"worst one-way    : {format_seconds(result.analytic.worst_one_way)}")
     print(f"bound (Thm 5.5)  : {format_seconds(bound)}")
     print(f"DES agrees       : {result.des_agrees}")
@@ -191,8 +220,13 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         seed=[args.seed],
     )
     results = sweep_network_grid(
-        grid, jobs=args.jobs, base_seed=args.seed, schedule=args.schedule
+        grid,
+        jobs=args.jobs,
+        base_seed=args.seed,
+        schedule=args.schedule,
+        backend=args.backend,
     )
+    _shutdown_pools()
     rows = []
     for scenario, result in zip(grid, results):
         median = result.quantile(0.5)
@@ -321,6 +355,19 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy", "pooled"],
+        default="auto",
+        help=(
+            "sweep kernel: auto = NumPy-vectorized when NumPy is "
+            "importable (python fallback); pooled = persistent worker "
+            "pool reused across sweeps; results are bit-identical"
+        ),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-nd`` console script."""
     parser = argparse.ArgumentParser(
@@ -367,6 +414,7 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=_positive_int, default=1,
         help="worker processes for the sweep (1 = serial)",
     )
+    _add_backend_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_val = sub.add_parser(
@@ -381,6 +429,7 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=_positive_int, default=1,
         help="worker processes for the offset sweep (1 = serial)",
     )
+    _add_backend_flag(p_val)
     p_val.set_defaults(func=_cmd_validate)
 
     p_grid = sub.add_parser(
@@ -404,6 +453,7 @@ def main(argv: list[str] | None = None) -> int:
         "--schedule", choices=["steal", "chunk"], default="steal",
         help="work-stealing (cost-sorted) or uniform chunked scheduling",
     )
+    _add_backend_flag(p_grid)
     p_grid.set_defaults(func=_cmd_grid)
 
     p_zoo = sub.add_parser("protocols", help="compare the protocol zoo")
@@ -418,7 +468,16 @@ def main(argv: list[str] | None = None) -> int:
     p_fig.set_defaults(func=_cmd_figures)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        from .backends import BackendUnavailable
+
+        if isinstance(exc, BackendUnavailable):
+            # e.g. --backend numpy on a base install: a clean one-line
+            # error like any other bad flag, not a traceback.
+            parser.exit(2, f"{parser.prog}: error: {exc}\n")
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

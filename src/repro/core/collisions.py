@@ -220,6 +220,42 @@ def optimize_redundancy(
     return best
 
 
+def _golden_section_minimize(fn, lo: float, hi: float, tol: float = 1e-12) -> float:
+    """Bounded scalar minimization without scipy.
+
+    A coarse deterministic grid scan first brackets the best sample --
+    ``inf`` plateaus (infeasible ``q`` slivers at the band edges) can
+    cover most of the band, and a blind golden-section tie-break could
+    collapse into the plateau and miss the finite minimum entirely --
+    then golden-section search refines inside that bracket, where the
+    fractional-redundancy objective is unimodal and finite.  Matches
+    ``minimize_scalar(method="bounded")`` closely enough for the
+    callers' tolerance; deterministic, derivative-free and
+    dependency-free -- the fallback the no-scipy environment uses.
+    """
+    n_seed = 33
+    span = hi - lo
+    xs = [lo + span * i / (n_seed - 1) for i in range(n_seed)]
+    fs = [fn(x) for x in xs]
+    k = min(range(n_seed), key=lambda i: fs[i])
+    a = xs[max(0, k - 1)]
+    b = xs[min(n_seed - 1, k + 1)]
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = fn(c), fn(d)
+    while (b - a) > tol * max(1.0, abs(a) + abs(b)):
+        if fc <= fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = fn(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = fn(d)
+    return (a + b) / 2.0
+
+
 def solve_fractional_redundancy(
     eta: float,
     target_pf: float,
@@ -240,12 +276,18 @@ def solve_fractional_redundancy(
     the inner problem -- find ``(beta, q)`` with
     ``(1-q) Pc^Q + q Pc^(Q+1) = Pf`` minimizing ``L'`` -- is solved by a
     bounded scalar minimization over ``beta`` (``q`` then follows in
-    closed form), using scipy.
+    closed form), using scipy when the environment happens to provide
+    it and a pure-python golden-section search otherwise (no declared
+    extra pulls scipy in -- the base install has zero dependencies, so
+    the fallback is the path most installs run).
 
     Returns ``(plan, q)`` with the best plan found; ``q == 0`` recovers
     :func:`optimize_redundancy`'s answer.
     """
-    from scipy.optimize import minimize_scalar  # deferred: keep import cheap
+    try:  # deferred: keep import cheap
+        from scipy.optimize import minimize_scalar
+    except ImportError:  # no scipy/numpy: dependency-free fallback
+        minimize_scalar = None
 
     bounds._check_fraction("eta", eta)
     bounds._check_positive("omega", omega)
@@ -278,10 +320,13 @@ def solve_fractional_redundancy(
                 return math.inf
             return (q_deg + q_frac) * omega / (beta * gamma)
 
-        result = minimize_scalar(
-            latency_at, bounds=(beta_lo, beta_hi), method="bounded"
-        )
-        beta = float(result.x)
+        if minimize_scalar is not None:
+            result = minimize_scalar(
+                latency_at, bounds=(beta_lo, beta_hi), method="bounded"
+            )
+            beta = float(result.x)
+        else:
+            beta = _golden_section_minimize(latency_at, beta_lo, beta_hi)
         latency = latency_at(beta)
         if not math.isfinite(latency):
             continue

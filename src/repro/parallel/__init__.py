@@ -12,16 +12,24 @@ faster.
 * :class:`ParallelSweep` -- the executor: chunked offset sweeps with
   order-stable merging, one-submission-per-offset DES spot-checks, and
   cost-model-sorted work-stealing scenario grids
-  (:mod:`repro.parallel.schedule`).
-* :class:`ListeningCache` / :class:`CachedPairEvaluator` -- memoized
-  listening-set evaluation, bit-identical to the exact computation by
-  construction.
+  (:mod:`repro.parallel.schedule`).  Since PR 3 the *kernel* each
+  worker runs is a pluggable :mod:`repro.backends` selection
+  (``backend="auto"|"python"|"numpy"|"pooled"``): this package owns
+  process orchestration, the backends package owns the math.
+* :class:`ListeningCache` -- the memoized listening-set pattern,
+  bit-identical to the exact computation by construction (the
+  ``CachedPairEvaluator`` hot loop on top of it now lives in
+  :mod:`repro.backends.python_loop`; the name re-exports from here for
+  compatibility).
 * :func:`get_listening_cache` -- the process-wide keyed registry
-  (protocol fingerprint -> pattern) behind every evaluator.
+  (protocol fingerprint -> pattern) behind every kernel.
 * :mod:`repro.parallel.shm` -- shared-memory pattern transport, so
   workers map the parent's int64 pattern arrays instead of copying.
 * :func:`derive_seed` -- chunking- and scheduling-invariant per-item
   seeding.
+* :func:`fit_cost_weights` / :func:`use_cost_weights` -- calibrate the
+  grid scheduler's event-rate cost model from measured per-scenario
+  wall-clock (``results/BENCH_parallel.json``).
 
 Cache invalidation contract
 ---------------------------
@@ -49,10 +57,25 @@ and POSIX keeps mapped memory valid past the unlink, so no ordering
 hazard exists between parent teardown and in-flight chunks.  Pass
 ``ParallelSweep(shared_memory=False)`` for the PR-1 copy-per-worker
 behaviour; results are bit-identical either way.
+
+Persistent-pool lifecycle contract
+----------------------------------
+
+``ParallelSweep(backend="pooled")`` (and the CLI's
+``--backend pooled``) swaps the per-sweep pool for the **persistent**
+one of :mod:`repro.backends.pooled`, shared per
+``(inner kernel, jobs, mp_context)`` shape: created lazily on the
+first sharded batch, reused across offset sweeps, DES spot-check
+batches *and* scenario grids, shut down explicitly via
+``PooledBackend.close()`` / ``shutdown_pooled_backends()`` with an
+``atexit`` backstop so no interpreter exit leaks worker processes.
+Persistent workers hold no per-sweep initializer state: work arrives
+fully parameterized and patterns resolve through each worker's own
+keyed registry, which stays warm across sweeps -- the shared-memory
+segment transport is a per-sweep-pool concern and does not apply.
 """
 
 from .cache import (
-    CachedPairEvaluator,
     derive_seed,
     get_listening_cache,
     invalidate_listening_caches,
@@ -61,13 +84,21 @@ from .cache import (
     protocol_fingerprint,
 )
 from .executor import ParallelSweep
-from .schedule import estimate_scenario_cost, plan_longest_first
+from .schedule import (
+    cost_weights,
+    estimate_scenario_cost,
+    fit_cost_weights,
+    plan_longest_first,
+    use_cost_weights,
+)
 from .shm import PatternHandle, SharedPatternStore
 
 __all__ = [
     "CachedPairEvaluator",
+    "cost_weights",
     "derive_seed",
     "estimate_scenario_cost",
+    "fit_cost_weights",
     "get_listening_cache",
     "invalidate_listening_caches",
     "ListeningCache",
@@ -77,4 +108,14 @@ __all__ = [
     "plan_longest_first",
     "protocol_fingerprint",
     "SharedPatternStore",
+    "use_cost_weights",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy back-compat re-export; see repro.parallel.cache.__getattr__.
+    if name == "CachedPairEvaluator":
+        from ..backends.python_loop import CachedPairEvaluator
+
+        return CachedPairEvaluator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

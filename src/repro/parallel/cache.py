@@ -31,7 +31,8 @@ model's equality test distinguishes one spanning segment from two
 abutting ones.
 
 One cache per receiver is shared across all chunks a worker process
-evaluates; :class:`CachedPairEvaluator` mirrors
+evaluates; the sweep kernels of :mod:`repro.backends` (where the
+``CachedPairEvaluator`` hot loop moved in PR 3) mirror
 :func:`repro.simulation.analytic.mutual_discovery_times` on top of it.
 
 Process-wide keyed registry (PR 2)
@@ -73,7 +74,6 @@ from bisect import bisect_right
 
 from ..core.sequences import NDProtocol
 from ..simulation.analytic import (
-    DiscoveryOutcome,
     listening_segments,
     packet_heard as _packet_heard,
     ReceptionModel,
@@ -392,107 +392,13 @@ class ListeningCache:
         return len(self._starts)
 
 
-class CachedPairEvaluator:
-    """Drop-in replacement for per-offset pair evaluation.
+def __getattr__(name: str):
+    # Backward-compatible lazy re-export: the evaluator hot loop moved
+    # to ``repro.backends.python_loop`` (the reference sweep kernel) in
+    # PR 3.  Lazy so importing this module never pulls in the backends
+    # package -- the dependency now points the other way.
+    if name == "CachedPairEvaluator":
+        from ..backends.python_loop import CachedPairEvaluator
 
-    ``evaluate(offset)`` returns exactly what
-    :func:`repro.simulation.analytic.mutual_discovery_times` returns for
-    the same arguments; the two directions share one
-    :class:`ListeningCache` per receiver across all offsets evaluated by
-    this instance, resolved through the process-wide keyed registry so
-    successive evaluators over the same zoo reuse the patterns too.
-    """
-
-    def __init__(
-        self,
-        protocol_e: NDProtocol,
-        protocol_f: NDProtocol,
-        horizon: int,
-        model: ReceptionModel = ReceptionModel.POINT,
-        turnaround: int = 0,
-    ) -> None:
-        self.protocol_e = protocol_e
-        self.protocol_f = protocol_f
-        self.horizon = horizon
-        self.model = model
-        self.cache_e = get_listening_cache(protocol_e, turnaround)
-        self.cache_f = get_listening_cache(protocol_f, turnaround)
-
-    def _first_discovery(
-        self,
-        transmitter: NDProtocol,
-        cache: ListeningCache,
-        tx_phase: int,
-        rx_phase: int,
-    ) -> int | None:
-        # Inlined ``BeaconSchedule.iter_beacons_infinite``: same
-        # doubly-infinite enumeration and identical arithmetic --
-        # ``reduced + instance * period`` multiplication, never a
-        # running ``+= period`` sum, which would drift off the exact
-        # enumeration for non-integer periods -- minus one
-        # Beacon-object construction per candidate on this hot path.
-        schedule = transmitter.beacons
-        period = schedule.period
-        pattern = [(b.time, b.duration) for b in schedule.beacons]
-        horizon = self.horizon
-        model = self.model
-        heard = cache.packet_heard
-        # The dominant query shape -- POINT model, precomputed small
-        # pattern, integer grid -- additionally skips the packet_heard
-        # call: the same preconditions packet_heard checks are tested
-        # inline and the same bisect runs here, so the decision is the
-        # identical computation minus one function call per candidate.
-        inline = (
-            cache.enabled
-            and not cache._use_memo
-            and model is ReceptionModel.POINT
-            and type(rx_phase) is int
-        )
-        if inline:
-            hyper = cache.hyper
-            threshold = cache.threshold
-            starts = cache._starts
-            ends = cache._ends
-        reduced = tx_phase % period
-        instance = -1
-        while True:
-            base = reduced + instance * period
-            if base >= horizon:
-                return None
-            for tau, duration in pattern:
-                time = base + tau
-                if 0 <= time < horizon:
-                    if inline and type(time) is int and time >= threshold:
-                        end = time + duration
-                        if type(end) is int and end - time <= hyper:
-                            lo = (time - rx_phase) % hyper
-                            i = bisect_right(starts, lo) - 1
-                            if i >= 0 and ends[i] > lo:
-                                return time
-                            continue
-                    if heard(rx_phase, time, time + duration, model):
-                        return time
-            instance += 1
-
-    def evaluate(self, offset: int) -> DiscoveryOutcome:
-        """Both-direction discovery at one phase offset (E at 0, F at
-        ``offset``), exactly as the uncached analytic computation."""
-        e_by_f = None
-        f_by_e = None
-        if (
-            self.protocol_e.beacons is not None
-            and self.protocol_f.reception is not None
-        ):
-            e_by_f = self._first_discovery(
-                self.protocol_e, self.cache_f, tx_phase=0, rx_phase=offset
-            )
-        if (
-            self.protocol_f.beacons is not None
-            and self.protocol_e.reception is not None
-        ):
-            f_by_e = self._first_discovery(
-                self.protocol_f, self.cache_e, tx_phase=offset, rx_phase=0
-            )
-        return DiscoveryOutcome(
-            offset=offset, e_discovered_by_f=e_by_f, f_discovered_by_e=f_by_e
-        )
+        return CachedPairEvaluator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -19,11 +19,17 @@ exactly:
 Offset sweeps stay contiguously chunked (per-offset cost is near
 uniform); the parent builds the listening patterns once through the
 keyed registry and ships them to workers as a shared-memory segment
-(:mod:`repro.parallel.shm`), so workers map instead of rebuild.  Grid
-scenarios instead go through the cost-model-sorted work-stealing
-schedule of :mod:`repro.parallel.schedule`: one submission per scenario,
-longest first, merged back by grid index.  DES spot-checks follow the
-same one-submission-per-offset pattern.
+(:mod:`repro.parallel.shm`), so workers map instead of rebuild.  The
+*kernel* each worker (or the in-process path) runs is a pluggable
+:class:`repro.backends.SweepBackend` selected by name -- ``"auto"``
+resolves to the vectorized NumPy kernel when NumPy is importable and
+the pure-python reference otherwise, and ``"pooled"`` swaps the
+per-sweep pool for the lazily created persistent one so many-small-
+sweep workloads stop paying pool startup.  Grid scenarios go through
+the cost-model-sorted work-stealing schedule of
+:mod:`repro.parallel.schedule`: one submission per scenario, longest
+first, merged back by grid index.  DES spot-checks follow the same
+one-submission-per-offset pattern.
 
 Worker payloads are plain protocols/offsets sent through module-level
 functions; nothing closes over simulator state, so everything pickles
@@ -46,7 +52,6 @@ from ..simulation.analytic import (
     SweepReport,
 )
 from .cache import (
-    CachedPairEvaluator,
     derive_seed,
     get_listening_cache,
     protocol_fingerprint,
@@ -68,7 +73,8 @@ _SPOT_POOL_MIN_EVENTS = 100_000
 # Worker-side state and entry points (module-level: picklable by name)
 # ----------------------------------------------------------------------
 
-_PAIR_EVALUATOR: CachedPairEvaluator | None = None
+_PAIR_BACKEND = None
+_PAIR_PARAMS = None
 _NETWORK_CONFIG: dict | None = None
 _SPOT_CONFIG: dict | None = None
 
@@ -80,38 +86,39 @@ def _init_pair_worker(
     model: ReceptionModel,
     turnaround: int,
     handle,
+    backend_name: str = "python",
 ) -> None:
-    global _PAIR_EVALUATOR
+    global _PAIR_BACKEND, _PAIR_PARAMS
+    from ..backends import get_backend, SweepParams
+
     if handle is not None:
-        # Map the parent's pattern segment before the evaluator resolves
+        # Map the parent's pattern segment before the kernel resolves
         # its caches, so the keyed registry hands out segment-backed
         # patterns instead of rebuilding (spawn) or CoW-copying (fork).
         attach_pattern_caches(
             handle, [(protocol_e, turnaround), (protocol_f, turnaround)]
         )
-    _PAIR_EVALUATOR = CachedPairEvaluator(
+    _PAIR_BACKEND = get_backend(backend_name)
+    _PAIR_PARAMS = SweepParams(
         protocol_e, protocol_f, horizon, model, turnaround
     )
 
 
 def _sweep_chunk(offsets: list[int]) -> list[tuple]:
-    """Evaluate one offset chunk in order.
+    """Evaluate one offset chunk in order through the worker's kernel.
 
-    Outcomes travel back as plain ``(offset, e_by_f, f_by_e)`` tuples --
-    pickling a dataclass costs several times a tuple, and at thousands
-    of outcomes per sweep the difference is measurable.  The parent
-    rebuilds :class:`DiscoveryOutcome` field-for-field, so callers see
-    exactly the serial path's objects.
+    Outcomes travel back in the shared tuple wire format
+    (:func:`repro.backends.base.encode_outcomes`); the parent rebuilds
+    :class:`DiscoveryOutcome` field-for-field, so callers see exactly
+    the serial path's objects.
     """
-    evaluator = _PAIR_EVALUATOR
-    assert evaluator is not None, "worker not initialized"
-    results = []
-    for offset in offsets:
-        outcome = evaluator.evaluate(offset)
-        results.append(
-            (outcome.offset, outcome.e_discovered_by_f, outcome.f_discovered_by_e)
-        )
-    return results
+    from ..backends.base import encode_outcomes
+
+    backend = _PAIR_BACKEND
+    assert backend is not None, "worker not initialized"
+    return encode_outcomes(
+        backend.evaluate_offsets_batch(_PAIR_PARAMS, offsets)
+    )
 
 
 def _init_spot_worker(config: dict) -> None:
@@ -173,10 +180,21 @@ def _network_one(item: tuple[int, object]):
     schedule-invariant seed; result placement uses the index map kept by
     the submitting side.
     """
-    from ..simulation.runner import _run_scenario
-
     config = _NETWORK_CONFIG
     assert config is not None, "worker not initialized"
+    return _network_one_cfg(config, item)
+
+
+def _network_chunk(items: list[tuple[int, object]]) -> list:
+    """Run one chunk of (global_index, scenario) network simulations."""
+    return [_network_one(item) for item in items]
+
+
+def _network_one_cfg(config: dict, item: tuple[int, object]):
+    """Initializer-free variant of :func:`_network_one` for persistent
+    pools, whose workers outlive any single grid's configuration."""
+    from ..simulation.runner import _run_scenario
+
     global_index, scenario = item
     return _run_scenario(
         scenario,
@@ -187,23 +205,42 @@ def _network_one(item: tuple[int, object]):
     )
 
 
-def _network_chunk(items: list[tuple[int, object]]) -> list:
-    """Run one chunk of (global_index, scenario) network simulations."""
-    return [_network_one(item) for item in items]
+def _steal_merge(scenarios: list, submit) -> list:
+    """The work-stealing discipline, defined once for both pool kinds.
+
+    Submit every scenario index longest-estimated-first through
+    ``submit(index) -> Future`` (idle workers then steal from the
+    pool's shared queue) and merge results back at their grid index --
+    the index-stable merge that keeps scheduling invisible to callers.
+    """
+    order = plan_longest_first(scenarios)
+    results: list = [None] * len(scenarios)
+    futures = {index: submit(index) for index in order}
+    for index, future in futures.items():
+        results[index] = future.result()
+    return results
+
+
+def _estimated_spot_events(protocols, horizon, n_offsets: int) -> float:
+    """Estimated simulated events for a DES spot-check batch.
+
+    Unit weights on purpose: the ``_SPOT_POOL_MIN_EVENTS`` floor is an
+    absolute event-count threshold, and calibrated cost weights
+    (:func:`repro.parallel.use_cost_weights`) are seconds-per-event
+    scales that must only affect scheduling *order*, never whether a
+    batch shards.
+    """
+    return n_offsets * default_simulation_cost(
+        protocols, horizon, weights=(1.0, 1.0)
+    )
 
 
 def _chunk(items: list, n_chunks: int) -> list[list]:
-    """Contiguous, order-preserving partition into at most ``n_chunks``."""
-    n = len(items)
-    n_chunks = max(1, min(n_chunks, n))
-    size, extra = divmod(n, n_chunks)
-    chunks = []
-    start = 0
-    for i in range(n_chunks):
-        stop = start + size + (1 if i < extra else 0)
-        chunks.append(items[start:stop])
-        start = stop
-    return chunks
+    """Contiguous, order-preserving partition into at most ``n_chunks``
+    (the one chunking rule, shared with the persistent pool)."""
+    from ..backends.base import chunk_evenly
+
+    return chunk_evenly(items, n_chunks)
 
 
 class ParallelSweep:
@@ -235,6 +272,16 @@ class ParallelSweep:
         ``"chunk"`` keeps PR-1 uniform contiguous chunks.  Results are
         bit-identical either way -- seeds derive from grid indices and
         merging is index-stable.
+    backend:
+        Sweep-kernel selection (:mod:`repro.backends`): a registered
+        name (``"python"``, ``"numpy"``, ``"pooled"``), ``"auto"``
+        (default: NumPy kernel when importable, python reference
+        otherwise), or a :class:`repro.backends.SweepBackend` instance.
+        ``"pooled"`` replaces the per-sweep worker pool with the shared
+        persistent pool for this ``(jobs, mp_context)`` shape --
+        ``shared_memory`` then has no effect, because persistent
+        workers keep warm pattern registries across sweeps instead.
+        Results are bit-identical for every selection.
     """
 
     def __init__(
@@ -244,6 +291,7 @@ class ParallelSweep:
         mp_context: str | None = None,
         shared_memory: bool = True,
         schedule: str = "steal",
+        backend="auto",
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -263,6 +311,17 @@ class ParallelSweep:
                 f"schedule must be 'steal' or 'chunk', got {schedule!r}"
             )
         self.schedule = schedule
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    def _resolve_backend(self):
+        """The kernel instance this sweep runs (pooled pools are shared
+        per shape, so repeated sweeps reuse warm workers)."""
+        from ..backends import resolve_backend
+
+        return resolve_backend(
+            self.backend, jobs=self.jobs, mp_context=self.mp_context
+        )
 
     # ------------------------------------------------------------------
     def sweep_offsets(
@@ -295,15 +354,33 @@ class ParallelSweep:
         """Parallel :func:`repro.simulation.analytic.evaluate_offsets`:
         per-offset outcomes in input order, merged from chunk results in
         chunk-index order."""
+        from ..backends import SweepParams
+        from ..backends.pooled import PooledBackend
+
         offsets = list(offsets)
-        if self.jobs <= 1 or len(offsets) < 2:
-            # In-process fallback still goes through the cached
-            # evaluator: same results, and callers get the pattern
-            # speedup without any pool overhead.
-            evaluator = CachedPairEvaluator(
-                protocol_e, protocol_f, horizon, model, turnaround
+        params = SweepParams(protocol_e, protocol_f, horizon, model, turnaround)
+        resolved = self._resolve_backend()
+        if isinstance(resolved, PooledBackend):
+            # The persistent pool is its own sharding executor; it
+            # lazily boots workers on first sharded batch and keeps
+            # their pattern registries warm across sweeps.  The
+            # chunks_per_job knob rides along per call, since the
+            # pooled instance itself is shared across sweeps.
+            return resolved.evaluate_offsets_batch(
+                params, offsets, chunks_per_job=self.chunks_per_job
             )
-            return [evaluator.evaluate(offset) for offset in offsets]
+        if self.jobs <= 1 or len(offsets) < 2:
+            # In-process path still goes through the selected kernel:
+            # same results, and callers get the pattern (and, under
+            # auto-detection, the vectorization) speedup without any
+            # pool overhead.
+            return resolved.evaluate_offsets_batch(params, offsets)
+        from ..backends.base import is_registered
+
+        if not is_registered(resolved.name):
+            # A custom unregistered kernel instance cannot be resolved
+            # by name inside workers; let it run (and shard) itself.
+            return resolved.evaluate_offsets_batch(params, offsets)
         chunks = _chunk(offsets, self.jobs * self.chunks_per_job)
         ctx = multiprocessing.get_context(self.mp_context)
         with SharedPatternStore() as store:
@@ -322,20 +399,19 @@ class ParallelSweep:
                 mp_context=ctx,
                 initializer=_init_pair_worker,
                 initargs=(
-                    protocol_e, protocol_f, horizon, model, turnaround, handle,
+                    protocol_e, protocol_f, horizon, model, turnaround,
+                    handle, resolved.name,
                 ),
             ) as pool:
+                from ..backends.base import decode_outcomes
+
                 # pool.map yields chunk results in submission order, so
                 # flattening preserves the input offset order exactly.
-                return [
-                    DiscoveryOutcome(
-                        offset=offset,
-                        e_discovered_by_f=e_by_f,
-                        f_discovered_by_e=f_by_e,
-                    )
+                return decode_outcomes(
+                    row
                     for chunk in pool.map(_sweep_chunk, chunks)
-                    for offset, e_by_f, f_by_e in chunk
-                ]
+                    for row in chunk
+                )
 
     # ------------------------------------------------------------------
     def spot_check_pairs(
@@ -360,11 +436,30 @@ class ParallelSweep:
         short replays (small horizons, sparse schedules, few offsets)
         finish serially faster than a pool can boot.  Long-horizon
         validations -- where the replays actually dominate -- clear the
-        floor and shard.
+        floor and shard.  With ``backend="pooled"`` the floor does not
+        apply: the persistent pool's startup is already paid (or about
+        to be amortized over the session), so every multi-offset batch
+        shards over its warm workers.
         """
+        from ..backends.pooled import PooledBackend
+
         offsets = list(offsets)
-        estimated_events = len(offsets) * default_simulation_cost(
-            [protocol_e, protocol_f], horizon
+        resolved = self._resolve_backend()
+        if (
+            isinstance(resolved, PooledBackend)
+            and resolved.jobs > 1
+            and len(offsets) >= 2
+        ):
+            futures = [
+                resolved.submit(
+                    _spot_check_replay,
+                    protocol_e, protocol_f, offset, horizon, model, turnaround,
+                )
+                for offset in offsets
+            ]
+            return [future.result() for future in futures]
+        estimated_events = _estimated_spot_events(
+            [protocol_e, protocol_f], horizon, len(offsets)
         )
         if (
             self.jobs <= 1
@@ -405,9 +500,14 @@ class ParallelSweep:
         """Run one network simulation per scenario, in input order.
 
         Each scenario's RNG seed derives from its global index, so the
-        returned list is identical whatever ``jobs`` or ``schedule`` is
-        (including the in-process serial path used for ``jobs <= 1``).
+        returned list is identical whatever ``jobs``, ``schedule`` or
+        ``backend`` is (including the in-process serial path used for
+        ``jobs <= 1``).  With ``backend="pooled"`` the grid reuses the
+        persistent worker pool (always in work-stealing submission
+        order -- there is no per-grid initializer to chunk around), so
+        successive small grids stop paying pool startup.
         """
+        from ..backends.pooled import PooledBackend
         from ..simulation.runner import _run_scenario
 
         scenarios = list(scenarios)
@@ -428,6 +528,14 @@ class ParallelSweep:
             "turnaround": turnaround,
             "advertising_jitter": advertising_jitter,
         }
+        resolved = self._resolve_backend()
+        if isinstance(resolved, PooledBackend) and resolved.jobs > 1:
+            return _steal_merge(
+                scenarios,
+                lambda index: resolved.submit(
+                    _network_one_cfg, config, (index, scenarios[index])
+                ),
+            )
         ctx = multiprocessing.get_context(self.mp_context)
         if self.schedule == "chunk":
             chunks = _chunk(
@@ -447,18 +555,15 @@ class ParallelSweep:
         # Work stealing: submit longest-estimated-first, one scenario
         # per task, and let idle workers pull from the shared queue;
         # results land back at their grid index.
-        order = plan_longest_first(scenarios)
-        results: list = [None] * len(scenarios)
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(scenarios)),
             mp_context=ctx,
             initializer=_init_network_worker,
             initargs=(config,),
         ) as pool:
-            futures = {
-                index: pool.submit(_network_one, (index, scenarios[index]))
-                for index in order
-            }
-            for index, future in futures.items():
-                results[index] = future.result()
-        return results
+            return _steal_merge(
+                scenarios,
+                lambda index: pool.submit(
+                    _network_one, (index, scenarios[index])
+                ),
+            )

@@ -362,6 +362,7 @@ def evaluate_offsets(
     horizon: int,
     model: ReceptionModel = ReceptionModel.POINT,
     turnaround: int = 0,
+    backend=None,
 ) -> list[DiscoveryOutcome]:
     """Per-offset discovery outcomes, in the order offsets are given.
 
@@ -369,7 +370,20 @@ def evaluate_offsets(
     executor can evaluate disjoint offset slices independently and
     aggregate them later (see :func:`summarize_outcomes`), since each
     outcome depends only on its own offset.
+
+    ``backend`` selects a :mod:`repro.backends` sweep kernel by name
+    (``"python"``, ``"numpy"``, ``"pooled"``, ``"auto"``) or instance;
+    all kernels are pinned bit-identical to the default.  ``None``
+    keeps this function the direct uncached reference computation --
+    the anchor the equivalence zoo compares every kernel against.
     """
+    if backend is not None:
+        from ..backends import resolve_backend, SweepParams
+
+        return resolve_backend(backend).evaluate_offsets_batch(
+            SweepParams(protocol_e, protocol_f, horizon, model, turnaround),
+            list(offsets),
+        )
     return [
         mutual_discovery_times(
             protocol_e, protocol_f, offset, horizon, model, turnaround
@@ -431,11 +445,14 @@ def sweep_offsets(
     horizon: int,
     model: ReceptionModel = ReceptionModel.POINT,
     turnaround: int = 0,
+    backend=None,
 ) -> SweepReport:
     """Evaluate both-direction discovery over a set of phase offsets and
-    aggregate worst/mean statistics."""
+    aggregate worst/mean statistics (``backend`` as in
+    :func:`evaluate_offsets`)."""
     return summarize_outcomes(
         evaluate_offsets(
-            protocol_e, protocol_f, offsets, horizon, model, turnaround
+            protocol_e, protocol_f, offsets, horizon, model, turnaround,
+            backend=backend,
         )
     )

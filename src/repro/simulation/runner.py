@@ -405,6 +405,7 @@ def verified_worst_case(
     des_spot_checks: int = 16,
     fallback_samples: int = 4096,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> PairWorstCase:
     """Exact worst-case latency over all phase offsets, cross-validated.
 
@@ -415,9 +416,13 @@ def verified_worst_case(
 
     ``jobs > 1`` shards both the offset sweep *and* the DES spot-check
     replays across worker processes via
-    :class:`repro.parallel.ParallelSweep`; the report and the verdict
-    are bit-identical to the serial run (spot-check offsets are chosen
-    deterministically, and each replay is an independent computation).
+    :class:`repro.parallel.ParallelSweep`; ``backend`` picks the sweep
+    kernel (:mod:`repro.backends`: ``"auto"`` uses the vectorized NumPy
+    kernel when importable, ``"pooled"`` reuses the persistent worker
+    pool).  The report and the verdict are bit-identical for every
+    ``jobs``/``backend`` combination (spot-check offsets are chosen
+    deterministically, each replay is an independent computation, and
+    every kernel is pinned against the exact reference).
     """
     try:
         offsets = critical_offsets(
@@ -431,7 +436,7 @@ def verified_worst_case(
 
     # One dispatch for every jobs value: ParallelSweep runs jobs <= 1
     # in-process (bit-identical to the plain serial sweep).
-    sweeper = ParallelSweep(jobs=jobs)
+    sweeper = ParallelSweep(jobs=jobs, backend=backend)
     report = sweeper.sweep_offsets(
         protocol_e, protocol_f, offsets, horizon, reception_model, turnaround
     )
@@ -490,6 +495,7 @@ def sweep_network_grid(
     turnaround: int = 0,
     advertising_jitter: int = 0,
     schedule: str = "steal",
+    backend: str | None = None,
 ) -> list[NetworkResult]:
     """Run every scenario of a grid through the event-driven simulator.
 
@@ -498,14 +504,29 @@ def sweep_network_grid(
     Results come back in input order; each scenario's RNG seed derives
     from ``(base_seed, its grid index)`` via
     :func:`repro.parallel.derive_seed`, so the output is bit-identical
-    for any ``jobs`` value and either ``schedule`` discipline
+    for any ``jobs`` value, either ``schedule`` discipline
     (``"steal"``: cost-sorted work stealing, the default; ``"chunk"``:
-    uniform contiguous chunks) -- scheduling is invisible to the RNG.
+    uniform contiguous chunks) and any ``backend`` -- scheduling is
+    invisible to the RNG.
+
+    ``backend`` follows :class:`repro.parallel.ParallelSweep`;
+    ``"pooled"`` makes many-small-grid workloads reuse one persistent
+    worker pool.  When ``None``, scenarios that all agree on a
+    :attr:`repro.workloads.Scenario.backend` preference get it;
+    otherwise auto-detection applies.
     """
     from ..parallel import ParallelSweep
 
-    return ParallelSweep(jobs=jobs, schedule=schedule).map_scenarios(
-        list(scenarios),
+    scenarios = list(scenarios)
+    if backend is None:
+        hints = {
+            getattr(scenario, "backend", None) for scenario in scenarios
+        } - {None}
+        backend = hints.pop() if len(hints) == 1 else "auto"
+    return ParallelSweep(
+        jobs=jobs, schedule=schedule, backend=backend
+    ).map_scenarios(
+        scenarios,
         base_seed=base_seed,
         reception_model=reception_model,
         turnaround=turnaround,

@@ -45,6 +45,13 @@ class Scenario:
     start_times: list[int] = field(default_factory=list)
     """Per-device boot times for gradual-join scenarios (empty: all at 0)."""
     description: str = ""
+    backend: str | None = None
+    """Preferred sweep-kernel backend (:mod:`repro.backends` name) for
+    drivers evaluating this scenario -- e.g. ``"pooled"`` marks members
+    of many-small-sweep batches that should amortize one persistent
+    worker pool.  ``None`` defers to the driver (auto-detection);
+    :func:`repro.simulation.runner.sweep_network_grid` honours a
+    unanimous preference across a grid."""
 
     def __post_init__(self) -> None:
         if len(self.protocols) != len(self.phases):
@@ -53,6 +60,10 @@ class Scenario:
             raise ValueError("drift_ppm must align with protocols")
         if self.start_times and len(self.start_times) != len(self.protocols):
             raise ValueError("start_times must align with protocols")
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ValueError(
+                f"backend must be a backend name or None, got {self.backend!r}"
+            )
 
     def cost_hint(self) -> float:
         """Deterministic relative simulation cost for grid scheduling.
@@ -60,10 +71,13 @@ class Scenario:
         Consumed by :func:`repro.parallel.estimate_scenario_cost` to
         order work-stealing submissions longest-first; subclasses with
         extra knobs can override it.  Delegates to the one event-rate
-        cost model in :mod:`repro.parallel.schedule`.  Staggered boots
-        shorten each device's active span, which the estimate ignores
-        -- an upper bound is exactly what longest-first scheduling
-        wants.
+        cost model in :mod:`repro.parallel.schedule` -- including any
+        measured weights installed via
+        :func:`repro.parallel.use_cost_weights` after a
+        :func:`repro.parallel.fit_cost_weights` calibration.  Staggered
+        boots shorten each device's active span, which the estimate
+        ignores -- an upper bound is exactly what longest-first
+        scheduling wants.
         """
         from ..parallel.schedule import default_simulation_cost
 

@@ -1,0 +1,348 @@
+"""Unit tests of the pluggable sweep-backend layer.
+
+Registry semantics (names, auto-detection, unavailability errors), the
+NumPy import-guard shim (including a simulated NumPy-less environment,
+so the pure-python fallback path cannot rot on machines that do have
+NumPy), kernel fallback behaviour on non-vectorizable inputs, the
+cost-model calibration helpers, and CLI threading of ``--backend``.
+"""
+
+import math
+
+import pytest
+
+from repro.backends import (
+    available_backends,
+    BackendUnavailable,
+    default_backend_name,
+    get_backend,
+    have_numpy,
+    numpy_version,
+    NumpyBackend,
+    PooledBackend,
+    PythonBackend,
+    resolve_backend,
+    SweepBackend,
+    SweepParams,
+)
+from repro.backends import _np
+from repro.core.optimal import synthesize_symmetric
+from repro.core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
+from repro.parallel import ParallelSweep
+from repro.parallel.schedule import (
+    cost_components,
+    cost_weights,
+    default_simulation_cost,
+    fit_cost_weights,
+    use_cost_weights,
+)
+from repro.simulation import evaluate_offsets, ReceptionModel, sweep_offsets
+from repro.workloads import dense_network, Scenario, symmetric_pair
+
+
+def _small_pair():
+    protocol, design = synthesize_symmetric(32, 0.05)
+    offsets = list(range(0, 40_000, 1_111))
+    return protocol, offsets, design.worst_case_latency * 3
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        names = available_backends()
+        assert "python" in names
+        assert "pooled" in names
+        assert ("numpy" in names) == have_numpy()
+
+    def test_get_backend_returns_shared_instances(self):
+        assert get_backend("python") is get_backend("python")
+        assert isinstance(get_backend("python"), PythonBackend)
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="python"):
+            get_backend("cuda")
+
+    def test_resolve_auto_and_none_follow_detection(self):
+        expected = default_backend_name()
+        assert resolve_backend("auto").name == expected
+        assert resolve_backend(None).name == expected
+
+    def test_resolve_passes_instances_through(self):
+        backend = PythonBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_pooled_honours_shape(self):
+        backend = resolve_backend("pooled", jobs=2)
+        assert isinstance(backend, PooledBackend)
+        assert backend.jobs == 2
+        assert resolve_backend("pooled", jobs=2) is backend
+
+    def test_pooled_inner_kernel_tracks_numpy_availability(self, monkeypatch):
+        """Resolving 'pooled' must re-detect the inner kernel per call,
+        not pin the first call's auto-detection forever."""
+        before = get_backend("pooled").inner
+        assert before == default_backend_name()
+        monkeypatch.setattr(_np, "np", None)
+        assert get_backend("pooled").inner == "python"
+
+
+class TestNumpyGuard:
+    def test_auto_detection_prefers_numpy_when_present(self):
+        if have_numpy():
+            assert default_backend_name() == "numpy"
+            assert numpy_version()
+        else:
+            assert default_backend_name() == "python"
+            assert numpy_version() is None
+
+    def test_simulated_numpy_absence_falls_back(self, monkeypatch):
+        monkeypatch.setattr(_np, "np", None)
+        assert not have_numpy()
+        assert numpy_version() is None
+        assert default_backend_name() == "python"
+        assert "numpy" not in available_backends()
+        with pytest.raises(BackendUnavailable, match="fast"):
+            get_backend("numpy")
+        # The whole sweep stack still works on the fallback kernel.
+        protocol, offsets, horizon = _small_pair()
+        serial = evaluate_offsets(protocol, protocol, offsets, horizon)
+        auto = evaluate_offsets(
+            protocol, protocol, offsets, horizon, backend="auto"
+        )
+        assert auto == serial
+
+    def test_numpy_backend_is_bit_identical_when_present(self):
+        if not have_numpy():
+            pytest.skip("NumPy extra not installed")
+        protocol, offsets, horizon = _small_pair()
+        serial = sweep_offsets(protocol, protocol, offsets, horizon)
+        assert sweep_offsets(
+            protocol, protocol, offsets, horizon, backend="numpy"
+        ) == serial
+
+
+@pytest.mark.skipif(not have_numpy(), reason="NumPy extra not installed")
+class TestNumpyKernelFallbacks:
+    """Inputs the vectorized kernel must hand to the exact reference."""
+
+    def _check(self, protocol_e, protocol_f, offsets, horizon, **kwargs):
+        serial = evaluate_offsets(
+            protocol_e, protocol_f, offsets, horizon, **kwargs
+        )
+        got = evaluate_offsets(
+            protocol_e, protocol_f, offsets, horizon, backend="numpy", **kwargs
+        )
+        assert got == serial
+
+    def test_float_offsets(self):
+        protocol, _, horizon = _small_pair()
+        self._check(protocol, protocol, [0.5, 10.25, 999.0], horizon)
+
+    def test_huge_offsets_beyond_int64_headroom(self):
+        protocol, _, horizon = _small_pair()
+        self._check(protocol, protocol, [0, 1 << 61, (1 << 62) + 3], horizon)
+
+    def test_float_horizon(self):
+        protocol, offsets, horizon = _small_pair()
+        self._check(protocol, protocol, offsets[:8], float(horizon))
+
+    def test_non_integer_transmitter_schedule(self):
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 100.5, 2),
+            reception=ReceptionSchedule.single_window(25, 600),
+        )
+        scan = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 150, 3),
+            reception=ReceptionSchedule.single_window(40, 350),
+        )
+        self._check(adv, scan, list(range(0, 600, 7)), 4_000)
+
+    def test_empty_offsets(self):
+        protocol, _, horizon = _small_pair()
+        assert evaluate_offsets(
+            protocol, protocol, [], horizon, backend="numpy"
+        ) == []
+
+    def test_below_threshold_queries_with_turnaround(self):
+        protocol, offsets, horizon = _small_pair()
+        self._check(protocol, protocol, offsets, horizon, turnaround=9)
+
+    def test_all_models(self):
+        protocol, offsets, horizon = _small_pair()
+        for model in ReceptionModel:
+            self._check(protocol, protocol, offsets[:16], horizon, model=model)
+
+
+class TestCustomBackendInstances:
+    def test_unregistered_instance_runs_in_process(self):
+        calls = []
+
+        class Recording(SweepBackend):
+            name = "recording"
+
+            def evaluate_offsets_batch(self, params, offsets):
+                calls.append(len(list(offsets)))
+                return PythonBackend().evaluate_offsets_batch(params, offsets)
+
+        protocol, offsets, horizon = _small_pair()
+        serial = evaluate_offsets(protocol, protocol, offsets, horizon)
+        executor = ParallelSweep(jobs=2, backend=Recording())
+        assert executor.evaluate_offsets(
+            protocol, protocol, offsets, horizon
+        ) == serial
+        assert calls == [len(offsets)]
+
+
+class TestCostModelCalibration:
+    def teardown_method(self):
+        use_cost_weights(None)
+
+    def test_components_sum_to_default_cost(self):
+        scenario = dense_network(n_devices=4, eta=0.02)
+        beacon, window = cost_components(scenario.protocols, scenario.horizon)
+        assert beacon > 0 and window > 0
+        assert math.isclose(
+            default_simulation_cost(scenario.protocols, scenario.horizon),
+            beacon + window,
+        )
+
+    def test_fit_recovers_exact_synthetic_weights(self):
+        rows = [
+            {"beacon_component": b, "window_component": w,
+             "seconds": 3e-6 * b + 7e-6 * w}
+            for b, w in [(1e5, 2e4), (4e5, 1e5), (2e5, 9e5), (8e5, 3e5)]
+        ]
+        w_beacon, w_window = fit_cost_weights({"per_scenario": rows})
+        assert math.isclose(w_beacon, 3e-6, rel_tol=1e-6)
+        assert math.isclose(w_window, 7e-6, rel_tol=1e-6)
+
+    def test_fit_collinear_falls_back_to_shared_scale(self):
+        rows = [
+            {"beacon_component": b, "window_component": 2 * b,
+             "seconds": 5e-6 * 3 * b}
+            for b in (1e5, 2e5, 3e5)
+        ]
+        w_beacon, w_window = fit_cost_weights({"per_scenario": rows})
+        assert w_beacon == w_window > 0
+
+    def test_fit_clamps_negative_solutions(self):
+        rows = [
+            {"beacon_component": 1e5, "window_component": 1e3, "seconds": 1.0},
+            {"beacon_component": 1e3, "window_component": 1e5, "seconds": -1.0},
+        ]
+        w_beacon, w_window = fit_cost_weights({"per_scenario": rows})
+        assert w_beacon >= 0 and w_window >= 0
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_cost_weights({"per_scenario": []})
+
+    def test_bench_json_roundtrips_through_fit(self, tmp_path):
+        import json
+
+        payload = {
+            "per_scenario": [
+                {"beacon_component": 2e5, "window_component": 1e4,
+                 "seconds": 0.4},
+                {"beacon_component": 5e4, "window_component": 8e4,
+                 "seconds": 0.2},
+            ]
+        }
+        path = tmp_path / "BENCH_parallel.json"
+        path.write_text(json.dumps(payload))
+        assert fit_cost_weights(path) == fit_cost_weights(payload)
+
+    def test_installed_weights_reach_cost_hint(self):
+        scenario = symmetric_pair(eta=0.02)
+        baseline = scenario.cost_hint()
+        previous = use_cost_weights((2.0, 2.0))
+        try:
+            assert math.isclose(scenario.cost_hint(), 2.0 * baseline)
+        finally:
+            use_cost_weights(previous)
+        assert math.isclose(scenario.cost_hint(), baseline)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            use_cost_weights((-1.0, 1.0))
+        assert cost_weights() == (1.0, 1.0)
+
+    def test_fit_rejects_payload_without_per_scenario_rows(self):
+        # A pre-PR-3 bench payload must produce a clear error, not an
+        # opaque TypeError from iterating the dict's keys.
+        with pytest.raises(ValueError, match="per_scenario"):
+            fit_cost_weights({"serial_seconds": 1.0, "speedup": 4.2})
+
+    def test_spot_check_floor_is_weight_invariant(self):
+        """Calibrated seconds-per-event weights (~1e-6) must not change
+        whether a DES spot-check batch clears the absolute event floor."""
+        from repro.parallel.executor import _estimated_spot_events
+
+        scenario = dense_network(n_devices=2, eta=0.02)
+        baseline = _estimated_spot_events(scenario.protocols, scenario.horizon, 16)
+        previous = use_cost_weights((3e-6, 2e-6))
+        try:
+            assert _estimated_spot_events(
+                scenario.protocols, scenario.horizon, 16
+            ) == baseline
+        finally:
+            use_cost_weights(previous)
+
+
+class TestScenarioBackendField:
+    def test_default_none_and_validation(self):
+        scenario = dense_network(n_devices=3, eta=0.05)
+        assert scenario.backend is None
+        with pytest.raises(ValueError, match="backend"):
+            Scenario(
+                name="bad",
+                protocols=scenario.protocols,
+                phases=scenario.phases,
+                horizon=scenario.horizon,
+                backend=7,
+            )
+
+
+class TestCLIBackendFlag:
+    def test_sweep_accepts_backend(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "sweep", "--eta", "0.05", "--samples", "64", "--backend", "python",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=python" in out
+
+    def test_validate_accepts_backend(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "validate", "--eta", "0.05", "--backend", "auto",
+        ]) == 0
+        assert "DES agrees       : True" in capsys.readouterr().out
+
+    def test_grid_accepts_pooled_backend(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "grid", "--devices", "3", "--etas", "0.05", "--jobs", "2",
+            "--backend", "pooled",
+        ]) == 0
+        assert "scenario" in capsys.readouterr().out
+
+    def test_bad_backend_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "--eta", "0.05", "--backend", "gpu"])
+
+    def test_unavailable_backend_exits_cleanly(self, monkeypatch, capsys):
+        """--backend numpy on a base install: a one-line error and exit
+        code 2, not a BackendUnavailable traceback."""
+        from repro.cli import main
+
+        monkeypatch.setattr(_np, "np", None)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--eta", "0.05", "--samples", "64",
+                  "--backend", "numpy"])
+        assert excinfo.value.code == 2
+        assert "not available" in capsys.readouterr().err

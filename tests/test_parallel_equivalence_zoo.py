@@ -16,11 +16,25 @@ fidelity knobs of grid scenarios.  This file pins that invariant:
 * grid equivalence across chunked vs work-stealing scheduling with
   drift and advertising jitter enabled;
 * unit tests of the keyed cache registry (hit/miss/LRU/invalidation)
-  and the shared-memory segment lifecycle.
+  and the shared-memory segment lifecycle;
+* (PR 3) backend equivalence: ``python`` == ``numpy`` == ``pooled``
+  sweep kernels pinned bit-identical for every family under **all
+  three** reception models, plus persistent-pool lifecycle units (lazy
+  creation, reuse across sweeps, explicit shutdown, no leaked worker
+  processes).
 """
+
+import os
 
 import pytest
 
+from repro.backends import (
+    get_pooled_backend,
+    have_numpy,
+    PooledBackend,
+    shutdown_pooled_backends,
+    SweepParams,
+)
 from repro.core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
 from repro.parallel import (
     get_listening_cache,
@@ -175,6 +189,74 @@ def test_family_all_paths_bit_identical(family):
             ), (family, name)
 
 
+BACKENDS = [
+    "python",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(
+            not have_numpy(), reason="NumPy extra not installed"
+        ),
+    ),
+    "pooled",
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pools_after_module():
+    """Persistent pools are shared module-wide (that is the point of the
+    pooled backend); shut them down when this module's tests finish."""
+    yield
+    shutdown_pooled_backends()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("family", list(ZOO), ids=list(ZOO))
+def test_family_backends_bit_identical_all_models(family, backend):
+    """python == numpy == pooled kernels, pinned against the exact
+    uncached reference, for every family under all three reception
+    models -- full per-offset outcome lists, not just aggregates."""
+    protocol_e, protocol_f = ZOO[family]()
+    offsets, horizon = _workload(protocol_e, protocol_f)
+    for model in MODELS:
+        serial = evaluate_offsets(
+            protocol_e, protocol_f, offsets, horizon, model
+        )
+        got = evaluate_offsets(
+            protocol_e, protocol_f, offsets, horizon, model, backend=backend
+        )
+        assert got == serial, (family, backend, model)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_threads_through_parallel_sweep(backend):
+    """The ParallelSweep backend knob is bit-identical on the sharded
+    multi-worker path too (workers run the selected kernel)."""
+    protocol_e, protocol_f = ZOO["disco"]()
+    offsets, horizon = _workload(protocol_e, protocol_f)
+    serial = evaluate_offsets(protocol_e, protocol_f, offsets, horizon)
+    executor = ParallelSweep(jobs=2, chunks_per_job=3, backend=backend)
+    assert executor.evaluate_offsets(
+        protocol_e, protocol_f, offsets, horizon
+    ) == serial
+
+
+def test_turnaround_guard_reaches_every_backend():
+    """A non-zero turnaround changes decisions; all kernels must agree
+    with the reference under it (below-threshold boot queries included)."""
+    protocol_e, protocol_f = ZOO["searchlight"]()
+    offsets, horizon = _workload(protocol_e, protocol_f)
+    for model in MODELS:
+        serial = evaluate_offsets(
+            protocol_e, protocol_f, offsets, horizon, model, turnaround=7
+        )
+        for backend in ("python", "numpy") if have_numpy() else ("python",):
+            got = evaluate_offsets(
+                protocol_e, protocol_f, offsets, horizon, model,
+                turnaround=7, backend=backend,
+            )
+            assert got == serial, (backend, model)
+
+
 def _dense_pattern_pair(gap, window_period, window=64):
     """A pair whose receiver pattern has many segments per hyperperiod."""
     proto = NDProtocol(
@@ -211,6 +293,11 @@ def test_large_pattern_regimes_bit_identical(gap, window_period, regime):
         executor = ParallelSweep(jobs=2, shared_memory=shared_memory)
         got = executor.evaluate_offsets(protocol_e, protocol_f, offsets, horizon)
         assert got == serial, (regime, shared_memory)
+    if have_numpy():
+        got = evaluate_offsets(
+            protocol_e, protocol_f, offsets, horizon, backend="numpy"
+        )
+        assert got == serial, (regime, "numpy")
 
 
 def test_grid_chunk_vs_steal_with_fidelity_knobs():
@@ -347,3 +434,129 @@ class TestSharedMemoryLifecycle:
         with SharedPatternStore() as store:
             handle = store.publish({protocol_fingerprint(protocol): cache})
             assert attach_pattern_caches(handle, [(other, 0)]) == 0
+
+
+def _worker_pids(backend, count=8):
+    """The distinct worker PIDs currently serving the backend's pool."""
+    futures = [backend.submit(os.getpid) for _ in range(count)]
+    return {future.result() for future in futures}
+
+
+def _assert_processes_exit(pids, timeout_s=10.0):
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    remaining = set(pids)
+    while remaining and time.monotonic() < deadline:
+        for pid in list(remaining):
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                remaining.discard(pid)
+        if remaining:
+            time.sleep(0.05)
+    assert not remaining, f"worker processes leaked: {remaining}"
+
+
+class TestPersistentPoolLifecycle:
+    """The pooled backend's contract: lazy creation, reuse across
+    sweeps, explicit shutdown, no leaked worker processes."""
+
+    def _params(self):
+        protocol_e, protocol_f = ZOO["disco"]()
+        offsets, horizon = _workload(protocol_e, protocol_f)
+        return (
+            SweepParams(protocol_e, protocol_f, horizon, ReceptionModel.POINT),
+            offsets,
+        )
+
+    def test_creation_is_lazy_and_degenerate_batches_stay_in_process(self):
+        backend = PooledBackend(jobs=2)
+        assert not backend.started
+        params, offsets = self._params()
+        single = backend.evaluate_offsets_batch(params, offsets[:1])
+        assert not backend.started  # one offset never boots a pool
+        assert len(single) == 1
+        backend.evaluate_offsets_batch(params, offsets)
+        assert backend.started
+        backend.close()
+
+    def test_pool_reused_across_sweeps(self):
+        backend = PooledBackend(jobs=2)
+        try:
+            params, offsets = self._params()
+            backend.evaluate_offsets_batch(params, offsets)
+            first = backend.executor()
+            pids = _worker_pids(backend)
+            backend.evaluate_offsets_batch(params, offsets)
+            # Same executor, and the original workers are still alive --
+            # the second sweep paid no pool startup.  (The PID *set* may
+            # grow as the lazy pool scales toward max_workers, so only
+            # identity and liveness are contractual.)
+            assert backend.executor() is first
+            for pid in pids:
+                os.kill(pid, 0)  # raises if the worker died
+        finally:
+            backend.close()
+
+    def test_explicit_shutdown_terminates_workers_and_allows_reuse(self):
+        backend = PooledBackend(jobs=2)
+        params, offsets = self._params()
+        serial = evaluate_offsets(
+            params.protocol_e, params.protocol_f, offsets, params.horizon
+        )
+        assert backend.evaluate_offsets_batch(params, offsets) == serial
+        pids = _worker_pids(backend)
+        backend.close()
+        assert not backend.started
+        _assert_processes_exit(pids)
+        backend.close()  # idempotent
+        # A closed backend lazily boots a fresh pool on next use.
+        assert backend.evaluate_offsets_batch(params, offsets) == serial
+        assert backend.started
+        backend.close()
+
+    def test_shared_instances_keyed_by_shape(self):
+        a = get_pooled_backend(jobs=2)
+        b = get_pooled_backend(jobs=2)
+        c = get_pooled_backend(jobs=3)
+        assert a is b
+        assert a is not c
+        # ParallelSweep resolves "pooled" through the same shared map,
+        # so independent sweeps reuse one warm pool.
+        sweep = ParallelSweep(jobs=2, backend="pooled")
+        assert sweep._resolve_backend() is a
+
+    def test_shutdown_pooled_backends_counts_live_pools_only(self):
+        shutdown_pooled_backends()
+        backend = get_pooled_backend(jobs=2)
+        params, offsets = self._params()
+        backend.evaluate_offsets_batch(params, offsets)
+        pids = _worker_pids(backend)
+        assert shutdown_pooled_backends() == 1
+        assert shutdown_pooled_backends() == 0
+        _assert_processes_exit(pids)
+
+    def test_grid_and_spot_checks_reuse_persistent_pool(self):
+        """sweep_network_grid and DES spot-checks share the pooled
+        workers and stay bit-identical to the serial path."""
+        grid = scenario_grid(dense_network, n_devices=[3, 4], eta=[0.05], seed=[0, 1])
+        serial = sweep_network_grid(grid, jobs=1, base_seed=5)
+        pooled = sweep_network_grid(grid, jobs=2, base_seed=5, backend="pooled")
+        assert pooled == serial
+        protocol_e, protocol_f = ZOO["disco"]()
+        offsets, horizon = _workload(protocol_e, protocol_f)
+        executor = ParallelSweep(jobs=2, backend="pooled")
+        reference = ParallelSweep(jobs=1).spot_check_pairs(
+            protocol_e, protocol_f, offsets[:4], horizon
+        )
+        assert executor.spot_check_pairs(
+            protocol_e, protocol_f, offsets[:4], horizon
+        ) == reference
+
+    def test_scenario_backend_preference_reaches_grid_driver(self):
+        grid = scenario_grid(dense_network, n_devices=[3, 4], eta=[0.05], seed=[0])
+        for scenario in grid:
+            scenario.backend = "pooled"
+        serial = sweep_network_grid(grid, jobs=1, base_seed=3)
+        assert sweep_network_grid(grid, jobs=2, base_seed=3) == serial
