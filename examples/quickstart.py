@@ -1,20 +1,25 @@
-"""Quickstart: bounds, a bound-attaining schedule, and a simulated pair.
+"""Quickstart: bounds, a bound-attaining schedule, and the Session API.
 
 Run with::
 
     python examples/quickstart.py
 
-Walks through the package's three layers in ~60 lines: evaluate the
+Walks through the package's layers in ~70 lines: evaluate the
 fundamental limits for an energy budget (Theorems 5.4-5.7, C.1), build a
-schedule that attains them, verify it by coverage map and by exhaustive
-simulation, and watch two devices discover each other in the
-discrete-event simulator.
+schedule that attains them, then validate it through the **unified
+experiment API** -- one declarative :class:`repro.api.RunSpec` per
+experiment, one lifecycle-managed :class:`repro.api.Session` running
+them all.  The session resolves the sweep backend once (set
+``REPRO_BACKEND=python|numpy|pooled`` or pass a
+:class:`repro.api.RuntimeProfile` to choose), owns every worker pool it
+creates, and returns :class:`repro.api.RunResult` objects that carry
+their full reproduction recipe (spec + profile + backend + timings) and
+round-trip to JSON.
 """
 
 from repro import core
 from repro.analysis import format_seconds, format_table
-from repro.simulation import critical_offsets, simulate_pair, sweep_offsets
-from repro.core.sequences import NDProtocol
+from repro.api import RunSpec, Session
 
 OMEGA = 32  # beacon duration in microseconds (a BLE-sized packet)
 ETA = 0.01  # 1% duty-cycle budget per device
@@ -45,24 +50,39 @@ def main() -> None:
           f"{format_seconds(core.symmetric_bound(OMEGA, protocol.eta))})")
 
     # ------------------------------------------------------------------
-    # 3. Exhaustive validation: sweep every critical phase offset.
+    # 3. One session, declarative specs: exhaustive validation + DES run.
     # ------------------------------------------------------------------
-    adv = NDProtocol(beacons=design.beacons, reception=None, name="advertiser")
-    scan = NDProtocol(beacons=None, reception=design.reception, name="scanner")
-    offsets = critical_offsets(adv, scan, omega=OMEGA)
-    report = sweep_offsets(adv, scan, offsets, horizon=design.worst_case_latency * 2)
-    print(f"\nOffset sweep over {report.offsets_evaluated} critical offsets: "
-          f"{report.failures} failures, worst packet-to-packet latency "
-          f"{format_seconds(report.worst_one_way)}")
+    with Session() as session:  # default RuntimeProfile (env-aware)
+        # Exhaustive sweep over every *critical* phase offset of the
+        # advertiser/scanner split -- the exact worst case, no sampling.
+        sweep = session.sweep(RunSpec(
+            pair={"kind": "symmetric-split", "eta": ETA, "omega": OMEGA},
+            sampling="critical",
+            omega=OMEGA,
+            horizon_multiple=2,
+        ))
+        report = sweep.raw
+        print(f"\nOffset sweep over {report.offsets_evaluated} critical offsets "
+              f"(backend={sweep.backend}, {sweep.timings['run']:.2f}s): "
+              f"{report.failures} failures, worst packet-to-packet latency "
+              f"{format_seconds(report.worst_one_way)}")
 
-    # ------------------------------------------------------------------
-    # 4. Watch one pair in the event-driven simulator.
-    # ------------------------------------------------------------------
-    outcome = simulate_pair(protocol, protocol, offset=12_345,
-                            horizon=design.worst_case_latency * 4)
-    print(f"\nSimulated pair at offset 12345 us: "
-          f"F found E after {format_seconds(outcome.e_discovered_by_f)}, "
-          f"E found F after {format_seconds(outcome.f_discovered_by_e)}")
+        # The same pair in the event-driven simulator, as a scenario.
+        simulated = session.simulate(RunSpec(
+            scenario={"factory": "symmetric_pair",
+                      "params": {"eta": ETA, "omega": OMEGA, "seed": 1}},
+            seed=1,
+        ))
+        payload = simulated.payload
+        print(f"\nSimulated pair: {payload['pairs_discovered']}/"
+              f"{payload['pairs_expected']} directed discoveries within "
+              f"{format_seconds(payload['horizon'])} "
+              f"(median latency {format_seconds(payload['median_latency'])})")
+
+    # Every result carries its full recipe -- dump one to JSON and it
+    # reproduces: spec, profile, resolved backend, timings, numbers.
+    print(f"\nProvenance: verb={sweep.verb!r}, backend={sweep.backend!r}, "
+          f"profile jobs={sweep.profile['jobs']}")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,10 @@ The package has four layers:
 * :mod:`repro.analysis` / :mod:`repro.workloads` -- exact worst-case
   latency extraction, Pareto fronts, optimality-gap tables and scenario
   generators backing the benchmark harness.
+* :mod:`repro.api` -- the unified experiment surface: declarative
+  :class:`~repro.api.RunSpec` / :class:`~repro.api.RuntimeProfile`
+  configs and the lifecycle-managed :class:`~repro.api.Session` facade
+  every experiment (and the CLI) runs through.
 
 Quickstart::
 
@@ -29,14 +33,22 @@ Quickstart::
     # Build a schedule that attains it and verify by coverage map:
     protocol, design = core.synthesize_symmetric(omega=32, eta=0.01)
     assert design.deterministic and design.disjoint
+
+    # Validate it end-to-end through the experiment facade:
+    from repro.api import RunSpec, Session
+    with Session() as session:
+        report = session.sweep(
+            RunSpec(pair={"kind": "symmetric", "eta": 0.01})
+        ).raw
 """
 
-from . import analysis, core, protocols, simulation, workloads
+from . import analysis, api, core, protocols, simulation, workloads
 
 __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "api",
     "core",
     "protocols",
     "simulation",

@@ -1,0 +1,60 @@
+"""The unified experiment API: declarative specs, one managed runtime.
+
+This package is the single public entry point PR 4 built over the
+runtime stack of PRs 1-3.  Two serializable dataclasses separate *what*
+an experiment is from *how* it runs:
+
+* :class:`RunSpec` -- protocols / scenario / grid, reception model,
+  fidelity knobs, DES spot-check policy (:mod:`repro.api.spec`);
+* :class:`RuntimeProfile` -- backend, jobs, schedule, mp context,
+  cache/shm limits, fitted cost weights; loadable from TOML/JSON
+  (``RuntimeProfile.load``, the CLI's ``--profile``);
+
+and one context-managed facade runs them:
+
+* :class:`Session` -- resolves the backend once, owns every resource it
+  creates (persistent pools via refcounts, session-scoped cache caps
+  and cost weights, cache fingerprints under ``cache_policy="release"``)
+  and releases them deterministically on ``__exit__``;
+* :class:`RunResult` -- what each verb returns: payload + provenance
+  (spec, profile, resolved backend, timings), JSON round-trippable into
+  ``results/``.
+
+The pre-Session entry points (``evaluate_offsets(backend=)``,
+``verified_worst_case(jobs=)``, ``sweep_network_grid(schedule=)``, ...)
+remain as thin shims over this facade behind the single deprecation
+path of :mod:`repro.api._compat`.
+
+Quickstart::
+
+    from repro.api import RunSpec, RuntimeProfile, Session
+
+    with Session(RuntimeProfile(jobs=4)) as session:
+        result = session.sweep(RunSpec(pair={"kind": "symmetric", "eta": 0.01}))
+        print(result.raw.worst_one_way, result.backend, result.timings)
+        result.save("results")
+"""
+
+from ._compat import LegacyRuntimeAPIWarning
+from .result import RunResult
+from .session import Session
+from .spec import (
+    build_grid,
+    build_pair,
+    build_scenario,
+    RunSpec,
+    RuntimeProfile,
+    SpecError,
+)
+
+__all__ = [
+    "build_grid",
+    "build_pair",
+    "build_scenario",
+    "LegacyRuntimeAPIWarning",
+    "RunResult",
+    "RunSpec",
+    "RuntimeProfile",
+    "Session",
+    "SpecError",
+]

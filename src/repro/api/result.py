@@ -1,0 +1,128 @@
+"""Typed run results with provenance: what ran, how, and what came out.
+
+Every :class:`~repro.api.Session` verb returns a :class:`RunResult`
+carrying the full reproduction recipe -- the declarative spec snapshot,
+the runtime profile, the *resolved* backend name (so ``"auto"`` is
+pinned to what actually ran) and wall-clock timings -- next to a
+JSON-shaped payload of the numbers.  ``to_json``/``from_json``
+round-trip exactly, and :meth:`save` drops the result into
+``results/`` beside the repository's committed CSV artifacts.
+
+The live objects a verb produced (a :class:`SweepReport`, a
+:class:`PairWorstCase`, :class:`NetworkResult` lists) stay reachable on
+:attr:`RunResult.raw` for in-process consumers; ``raw`` is excluded
+from serialization and equality, so a deserialized result compares
+equal to the one that was saved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunResult", "network_result_payload", "sweep_report_payload"]
+
+
+def sweep_report_payload(report) -> dict:
+    """JSON-shaped form of a :class:`repro.simulation.SweepReport`."""
+    return dataclasses.asdict(report)
+
+
+def network_result_payload(result) -> dict:
+    """JSON-shaped form of a :class:`repro.simulation.NetworkResult`.
+
+    ``discovery_times`` keys are ``(receiver, sender)`` tuples; they
+    serialize as ``"receiver<-sender"`` strings.
+    """
+    return {
+        "n_nodes": result.n_nodes,
+        "horizon": result.horizon,
+        "pairs_discovered": result.pairs_discovered,
+        "pairs_expected": result.pairs_expected,
+        "discovery_rate": result.discovery_rate,
+        "total_transmissions": result.total_transmissions,
+        "total_collisions": result.total_collisions,
+        "packets_lost_to_collisions": result.packets_lost_to_collisions,
+        "median_latency": result.quantile(0.5),
+        "discovery_times": {
+            f"{receiver}<-{sender}": time
+            for (receiver, sender), time in sorted(
+                result.discovery_times.items()
+            )
+        },
+    }
+
+
+@dataclass
+class RunResult:
+    """One session verb's outcome plus its reproduction recipe."""
+
+    verb: str
+    """Which verb produced this: sweep / worst_case / grid / simulate."""
+    spec: dict
+    """Declarative :class:`~repro.api.RunSpec` snapshot (live objects
+    degrade to reprs -- see :meth:`RunSpec.describe`)."""
+    profile: dict
+    """The :class:`~repro.api.RuntimeProfile` that ran it."""
+    backend: str
+    """The *resolved* kernel name (``"auto"`` pinned to what ran)."""
+    timings: dict = field(default_factory=dict)
+    """Wall-clock seconds per phase (``build``, ``run``, ``total``...)."""
+    payload: dict = field(default_factory=dict)
+    """The numbers, JSON-shaped (verb-specific layout)."""
+    raw: Any = field(default=None, repr=False, compare=False)
+    """The live result object(s); not serialized."""
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            f.name: getattr(self, f.name) for f in fields(self) if f.compare
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        known = {f.name for f in fields(cls) if f.compare}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunResult field(s): {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, payload) -> "RunResult":
+        """Rebuild from a JSON string or a path to a saved result."""
+        if isinstance(payload, (Path,)) or (
+            isinstance(payload, str) and "\n" not in payload
+            and payload.lstrip()[:1] not in ("{", "[")
+        ):
+            payload = Path(payload).read_text(encoding="utf-8")
+        return cls.from_dict(json.loads(payload))
+
+    def save(self, directory="results", name: str | None = None) -> Path:
+        """Write the result as JSON under ``directory`` (default the
+        repository's ``results/``) and return the path.
+
+        The default filename embeds a content digest of the serialized
+        result, so the same result always lands at the same path (a
+        re-run overwrites its own file, never a different result's).
+        """
+        import hashlib
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = self.to_json()
+        if name is None:
+            digest = hashlib.sha256(payload.encode()).hexdigest()[:12]
+            name = f"RUN_{self.verb}_{digest}.json"
+        path = directory / name
+        path.write_text(payload + "\n", encoding="utf-8")
+        return path

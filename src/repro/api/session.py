@@ -1,0 +1,545 @@
+"""The lifecycle-managed experiment facade: :class:`Session`.
+
+One session = one resolved runtime.  A :class:`Session` takes a
+:class:`~repro.api.RuntimeProfile`, resolves the sweep backend **once**
+(on first use, so merely constructing a session boots nothing), and
+exposes the whole verb set over declarative
+:class:`~repro.api.RunSpec` descriptions::
+
+    from repro.api import RunSpec, RuntimeProfile, Session
+
+    profile = RuntimeProfile(backend="pooled", jobs=4)
+    with Session(profile) as session:
+        sweep = session.sweep(RunSpec(pair={"kind": "symmetric", "eta": 0.01}))
+        check = session.worst_case(RunSpec(pair={"kind": "symmetric", "eta": 0.01}))
+        grid = session.grid(RunSpec(grid={
+            "factory": "dense_network",
+            "axes": {"n_devices": [3, 5], "eta": [0.02]},
+        }))
+    # <- every worker process the session created is gone here.
+
+Resource ownership
+------------------
+
+The session *owns* what it creates and releases it deterministically on
+``close()`` / ``__exit__`` -- no reliance on ``atexit``:
+
+* **Persistent pools** -- a resolved pooled backend is reference-
+  counted (:meth:`PooledBackend.retain`): nested sessions sharing one
+  profile share one pool, and the pool shuts down exactly when the last
+  session holding it exits.  Per-sweep pools were already
+  context-managed inside :class:`repro.parallel.ParallelSweep`.
+* **Shared-memory segments** -- per-sweep
+  :class:`~repro.parallel.shm.SharedPatternStore` segments unlink on
+  sweep exit by construction; a session therefore leaks no segments.
+* **Listening-cache registry** -- with
+  ``RuntimeProfile.cache_policy="release"`` the session snapshots the
+  registry on activation and drops, on exit, every fingerprint
+  registered during its open window (pre-existing entries always
+  survive; a nested session's caches fall inside the window);
+  ``"retain"`` (default) leaves everything warm for the next session.
+  ``RuntimeProfile.cache_limit`` scopes the registry's LRU cap to the
+  session (previous cap restored on close).
+* **Scheduler cost weights** -- ``RuntimeProfile.cost_weights`` install
+  on construction and the previous process-wide pair is restored on
+  close; ``auto_calibrate`` lets :meth:`grid` re-fit them from its own
+  measured per-scenario timings and persist them into the profile.
+
+Every verb returns a :class:`~repro.api.RunResult` carrying the spec
+and profile snapshots, the resolved backend name and phase timings --
+the full reproduction recipe -- and results are **bit-identical** to
+the legacy kwarg entry points for every backend/jobs/schedule
+combination (pinned zoo-wide by
+``tests/test_parallel_equivalence_zoo.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from pathlib import PurePath
+from typing import Mapping
+
+from .result import network_result_payload, RunResult, sweep_report_payload
+from .spec import build_grid, build_pair, build_scenario, RunSpec, RuntimeProfile
+
+__all__ = ["Session", "evaluate_offsets_with_backend"]
+
+
+def evaluate_offsets_with_backend(
+    protocol_e, protocol_f, offsets, horizon, model, turnaround, backend
+):
+    """Facade-internal in-process batch evaluation.
+
+    The engine behind the ``evaluate_offsets(backend=...)`` legacy shim:
+    resolve the kernel once and run it directly, exactly as the
+    pre-Session entry point did (a pooled backend shards itself over its
+    own persistent pool; stateless kernels run in-process).  Backend
+    selection knowledge lives here, in the facade layer, not in
+    :mod:`repro.simulation.analytic`.
+    """
+    from ..backends import resolve_backend, SweepParams
+
+    return resolve_backend(backend).evaluate_offsets_batch(
+        SweepParams(protocol_e, protocol_f, horizon, model, turnaround),
+        list(offsets),
+    )
+
+
+def _as_spec(spec) -> RunSpec:
+    if isinstance(spec, RunSpec):
+        return spec
+    if isinstance(spec, Mapping):
+        return RunSpec.from_dict(spec)
+    raise TypeError(f"expected a RunSpec or mapping, got {spec!r}")
+
+
+class Session:
+    """A context-managed experiment runtime (see module docstring).
+
+    Parameters
+    ----------
+    profile:
+        The :class:`RuntimeProfile` to run under; ``None`` uses
+        :meth:`RuntimeProfile.default` (environment-aware).
+    **overrides:
+        Field overrides applied on top of ``profile`` via
+        :meth:`RuntimeProfile.replace` -- ``Session(jobs=4)`` is the
+        short spelling of a one-field profile tweak.
+    """
+
+    def __init__(self, profile: RuntimeProfile | None = None, **overrides):
+        if profile is None:
+            profile = RuntimeProfile.default()
+        elif isinstance(profile, Mapping):
+            profile = RuntimeProfile.from_dict(profile)
+        elif isinstance(profile, (str, PurePath)):
+            # A profile *file* -- the natural companion mistake to
+            # RuntimeProfile.load(); honour it instead of storing a
+            # string that would fail opaquely at first use.
+            profile = RuntimeProfile.load(profile)
+        elif not isinstance(profile, RuntimeProfile):
+            raise TypeError(
+                f"profile must be a RuntimeProfile, mapping, path or None, "
+                f"got {profile!r}"
+            )
+        if overrides:
+            profile = profile.replace(**overrides)
+        self.profile = profile
+        self._closed = False
+        self._sweeper = None
+        self._backend = None
+        self._retained_pool = None
+        self._retain_token = None
+        #: Whether this session takes a retain/release reference on a
+        #: resolved pooled backend.  True for user sessions (the
+        #: deterministic-shutdown contract); the never-closed legacy-shim
+        #: sessions set it False so they keep the pre-Session semantics
+        #: -- pools live until ``shutdown_pooled_backends()``/``atexit``
+        #: -- without pinning a refcount that would block a concurrent
+        #: ``with Session(...)`` from shutting its own pool down.
+        self._owns_pools = True
+        self._activated = False
+        self._weights_installed = False
+        self._previous_weights = None
+        self._previous_cache_cap = None
+        self._cache_baseline = None
+
+    def _activate(self) -> None:
+        """Install the profile's scoped process-wide knobs (cost
+        weights, cache cap, cache-ownership baseline) exactly once.
+
+        Deferred out of ``__init__`` to ``__enter__`` / the first verb,
+        so a session that is constructed but never used mutates nothing;
+        previous values are captured for the LIFO restore in
+        :meth:`close` (correct for nested sessions).
+        """
+        if self._activated or self._closed:
+            return
+        self._activated = True
+        from ..parallel.cache import (
+            listening_cache_fingerprints,
+            set_listening_cache_cap,
+        )
+
+        if self.profile.cost_weights is not None:
+            self._install_weights(self.profile.cost_weights)
+        if self.profile.cache_limit is not None:
+            self._previous_cache_cap = set_listening_cache_cap(
+                self.profile.cache_limit
+            )
+        if self.profile.cache_policy == "release":
+            self._cache_baseline = listening_cache_fingerprints()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        if self._closed:
+            raise RuntimeError("Session is closed; create a new one")
+        self._activate()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release everything this session created (idempotent).
+
+        Deterministic by design: pooled workers are gone (or handed to
+        an outer session still holding the shared pool) by the time
+        this returns -- the ``atexit`` backstop exists only for
+        non-session legacy callers.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        retained, self._retained_pool = self._retained_pool, None
+        token, self._retain_token = self._retain_token, None
+        try:
+            if retained is not None:
+                retained.release(token)
+        finally:
+            # The scoped-knob restores must run even if the pool
+            # shutdown raised: _closed is already True, so this is the
+            # only chance to hand the process-wide state back.
+            from ..parallel.cache import (
+                invalidate_listening_caches,
+                listening_cache_fingerprints,
+                set_listening_cache_cap,
+            )
+            from ..parallel.schedule import use_cost_weights
+
+            if self._weights_installed:
+                use_cost_weights(self._previous_weights)
+                self._weights_installed = False
+            if self._previous_cache_cap is not None:
+                set_listening_cache_cap(self._previous_cache_cap)
+                self._previous_cache_cap = None
+            if self._cache_baseline is not None:
+                for fingerprint in (
+                    listening_cache_fingerprints() - self._cache_baseline
+                ):
+                    invalidate_listening_caches(fingerprint)
+                self._cache_baseline = None
+
+    # ------------------------------------------------------------------
+    # Runtime resolution (once per session)
+    # ------------------------------------------------------------------
+
+    def _engine(self):
+        """The session's :class:`~repro.parallel.ParallelSweep`, with the
+        backend resolved exactly once (first verb).  Raises
+        :class:`repro.backends.BackendUnavailable` for profiles naming a
+        kernel this environment cannot run."""
+        if self._closed:
+            raise RuntimeError("Session is closed; create a new one")
+        self._activate()
+        if self._sweeper is None:
+            from ..backends.pooled import PooledBackend
+            from ..parallel import ParallelSweep
+
+            sweeper = ParallelSweep.from_profile(self.profile)
+            try:
+                resolved = sweeper._resolve_backend()
+            except KeyError as exc:
+                # An unknown backend *name* (REPRO_BACKEND typo, profile
+                # file) is a config problem; surface it as one instead
+                # of a KeyError traceback.  BackendUnavailable (a known
+                # name this environment cannot run) passes through.
+                from .spec import SpecError
+
+                raise SpecError(
+                    f"RuntimeProfile.backend: {exc.args[0]}"
+                ) from exc
+            if self._owns_pools and isinstance(resolved, PooledBackend):
+                self._retain_token = resolved.retain()
+                self._retained_pool = resolved
+            self._sweeper = sweeper
+            self._backend = resolved
+        return self._sweeper
+
+    @property
+    def backend(self):
+        """The resolved :class:`repro.backends.SweepBackend` instance."""
+        self._engine()
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved kernel name (``"auto"`` pinned to what runs)."""
+        return self.backend.name
+
+    def _install_weights(self, weights) -> None:
+        from ..parallel.schedule import use_cost_weights
+
+        previous = use_cost_weights(weights)
+        if not self._weights_installed:
+            self._previous_weights = previous
+            self._weights_installed = True
+
+    # ------------------------------------------------------------------
+    # Spec resolution helpers
+    # ------------------------------------------------------------------
+
+    def _pair_workload(self, spec: RunSpec):
+        """(protocol_e, protocol_f, offsets, horizon, sampling) for a
+        pair verb; ``sampling`` names what actually ran (``"explicit"``,
+        ``"uniform"``, ``"critical"``, or ``"uniform-fallback"`` when a
+        requested critical enumeration exceeded ``max_critical``)."""
+        if spec.pair is None:
+            raise ValueError("RunSpec.pair is required for this verb")
+        protocol_e, protocol_f, base = build_pair(spec.pair)
+        horizon = self._horizon_for(spec, base, protocol_e, protocol_f)
+        if spec.offsets is not None:
+            return protocol_e, protocol_f, list(spec.offsets), horizon, "explicit"
+        offsets, sampling = self._derived_offsets(spec, protocol_e, protocol_f)
+        return protocol_e, protocol_f, list(offsets), horizon, sampling
+
+    @staticmethod
+    def _pair_hyperperiod(protocol_e, protocol_f) -> int:
+        return math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
+
+    def _horizon_for(self, spec: RunSpec, base, protocol_e, protocol_f) -> int:
+        if spec.horizon is not None:
+            return spec.horizon
+        if base is None:
+            base = self._pair_hyperperiod(protocol_e, protocol_f)
+        return int(base) * spec.horizon_multiple
+
+    def _derived_offsets(self, spec: RunSpec, protocol_e, protocol_f):
+        """(offsets, sampling-actually-used) per the spec's policy."""
+        from ..simulation import critical_offsets
+
+        sampling = spec.sampling
+        if spec.sampling == "critical":
+            try:
+                return critical_offsets(
+                    protocol_e,
+                    protocol_f,
+                    omega=spec.omega,
+                    max_count=spec.max_critical,
+                ), "critical"
+            except ValueError:
+                # Critical set exceeded max_critical: fall back to a
+                # uniform sweep, and *say so* in the result payload --
+                # a sampled sweep must never masquerade as exact.
+                sampling = "uniform-fallback"
+        hyper = self._pair_hyperperiod(protocol_e, protocol_f)
+        step = max(1, hyper // spec.samples)
+        return range(0, hyper, step), sampling
+
+    def _result(self, verb, spec, payload, raw, timings) -> RunResult:
+        return RunResult(
+            verb=verb,
+            spec=spec.describe(),
+            profile=self.profile.describe(),
+            backend=self._backend.name,
+            timings=timings,
+            payload=payload,
+            raw=raw,
+        )
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def sweep(self, spec) -> RunResult:
+        """Exact phase-offset sweep of a protocol pair.
+
+        ``raw``: the :class:`repro.simulation.SweepReport`; ``payload``
+        mirrors its fields plus the offset count.
+        """
+        spec = _as_spec(spec)
+        t0 = time.perf_counter()
+        protocol_e, protocol_f, offsets, horizon, sampling = (
+            self._pair_workload(spec)
+        )
+        engine = self._engine()
+        t1 = time.perf_counter()
+        report = engine.sweep_offsets(
+            protocol_e,
+            protocol_f,
+            offsets,
+            horizon,
+            spec.reception_model(),
+            spec.turnaround,
+        )
+        t2 = time.perf_counter()
+        payload = dict(
+            sweep_report_payload(report),
+            horizon=horizon,
+            offsets=len(offsets),
+            sampling=sampling,
+            protocols=[protocol_e.name, protocol_f.name],
+            eta=[protocol_e.eta, protocol_f.eta],
+        )
+        return self._result(
+            "sweep",
+            spec,
+            payload=payload,
+            raw=report,
+            timings={"build": t1 - t0, "run": t2 - t1, "total": t2 - t0},
+        )
+
+    def worst_case(self, spec) -> RunResult:
+        """Exact worst-case latency with DES spot-check cross-validation.
+
+        ``raw``: the :class:`repro.simulation.PairWorstCase`.
+        """
+        import dataclasses
+
+        from ..simulation.runner import _verified_worst_case_impl
+
+        spec = _as_spec(spec)
+        t0 = time.perf_counter()
+        if spec.pair is None:
+            raise ValueError("RunSpec.pair is required for worst_case")
+        protocol_e, protocol_f, base = build_pair(spec.pair)
+        horizon = self._horizon_for(spec, base, protocol_e, protocol_f)
+        engine = self._engine()
+        t1 = time.perf_counter()
+        outcome = _verified_worst_case_impl(
+            protocol_e,
+            protocol_f,
+            horizon,
+            omega=spec.omega,
+            reception_model=spec.reception_model(),
+            turnaround=spec.turnaround,
+            max_critical=spec.max_critical,
+            des_spot_checks=spec.des_spot_checks,
+            fallback_samples=spec.fallback_samples,
+            sweeper=engine,
+        )
+        t2 = time.perf_counter()
+        payload = {
+            "analytic": dataclasses.asdict(outcome.analytic),
+            "des_agrees": outcome.des_agrees,
+            "offsets_checked": outcome.offsets_checked,
+            "horizon": horizon,
+            "protocols": [protocol_e.name, protocol_f.name],
+            "eta": [protocol_e.eta, protocol_f.eta],
+        }
+        return self._result(
+            "worst_case",
+            spec,
+            payload=payload,
+            raw=outcome,
+            timings={"build": t1 - t0, "run": t2 - t1, "total": t2 - t0},
+        )
+
+    def grid(self, spec) -> RunResult:
+        """Run a scenario grid through the event-driven simulator.
+
+        ``raw``: the list of :class:`repro.simulation.NetworkResult`
+        objects in grid order.  With ``profile.auto_calibrate`` the grid
+        also measures per-scenario wall-clock, re-fits the scheduler's
+        ``(beacon, window)`` cost weights from its *own* timings
+        (:func:`repro.parallel.fit_cost_weights`) and persists them into
+        ``profile.cost_weights`` -- replacing the manual
+        bench-then-``use_cost_weights`` calibration step.  Fitted
+        weights affect only future scheduling order; results are
+        seed-stable regardless.
+        """
+        spec = _as_spec(spec)
+        t0 = time.perf_counter()
+        if spec.grid is None:
+            raise ValueError("RunSpec.grid is required for grid")
+        scenarios = build_grid(spec.grid)
+        engine = self._engine()
+        t1 = time.perf_counter()
+        calibration = None
+        if self.profile.auto_calibrate:
+            results, seconds = engine.map_scenarios(
+                scenarios,
+                base_seed=spec.seed,
+                reception_model=spec.reception_model(),
+                turnaround=spec.turnaround,
+                advertising_jitter=spec.advertising_jitter,
+                collect_timings=True,
+            )
+            calibration = self._calibrate(scenarios, seconds)
+        else:
+            results = engine.map_scenarios(
+                scenarios,
+                base_seed=spec.seed,
+                reception_model=spec.reception_model(),
+                turnaround=spec.turnaround,
+                advertising_jitter=spec.advertising_jitter,
+            )
+        t2 = time.perf_counter()
+        payload = {
+            "scenarios": [scenario.name for scenario in scenarios],
+            "results": [network_result_payload(result) for result in results],
+        }
+        if calibration is not None:
+            payload["calibration"] = calibration
+        return self._result(
+            "grid",
+            spec,
+            payload=payload,
+            raw=results,
+            timings={"build": t1 - t0, "run": t2 - t1, "total": t2 - t0},
+        )
+
+    def _calibrate(self, scenarios, seconds) -> dict:
+        """Re-fit cost weights from this grid's measured timings and
+        persist them into the active profile (the ROADMAP follow-up:
+        calibration without a separate bench step)."""
+        from ..parallel.schedule import calibration_rows, fit_cost_weights
+
+        rows = calibration_rows(scenarios, seconds)
+        weights = fit_cost_weights(rows)
+        self.profile.cost_weights = weights
+        self._install_weights(weights)
+        return {
+            "cost_weights": list(weights),
+            "samples": len(rows),
+            "seconds": list(seconds),
+        }
+
+    def simulate(self, spec) -> RunResult:
+        """Run one scenario through the event-driven simulator.
+
+        ``raw``: the :class:`repro.simulation.NetworkResult`.
+        """
+        from ..simulation.runner import _run_scenario
+
+        spec = _as_spec(spec)
+        t0 = time.perf_counter()
+        if spec.scenario is None:
+            raise ValueError("RunSpec.scenario is required for simulate")
+        scenario = build_scenario(spec.scenario)
+        self._engine()  # resolve provenance even though DES needs no kernel
+        t1 = time.perf_counter()
+        result = _run_scenario(
+            scenario,
+            seed=spec.seed,
+            reception_model=spec.reception_model(),
+            turnaround=spec.turnaround,
+            advertising_jitter=spec.advertising_jitter,
+        )
+        t2 = time.perf_counter()
+        payload = dict(
+            network_result_payload(result),
+            scenario=scenario.name,
+            description=scenario.description,
+        )
+        return self._result(
+            "simulate",
+            spec,
+            payload=payload,
+            raw=result,
+            timings={"build": t1 - t0, "run": t2 - t1, "total": t2 - t0},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else (
+            f"backend={self._backend.name}" if self._backend else "unresolved"
+        )
+        return f"Session(jobs={self.profile.jobs}, {state})"

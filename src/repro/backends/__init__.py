@@ -52,9 +52,18 @@ across ``ParallelSweep`` instances, via
 :func:`~repro.backends.pooled.get_pooled_backend`'s keyed sharing) so
 worker-side pattern registries stay warm.  Shutdown is explicit --
 ``backend.close()``, the context-manager protocol, or
-:func:`~repro.backends.pooled.shutdown_pooled_backends` -- with an
-``atexit`` hook as the no-leak backstop.  A closed backend remains
-usable: the next sharded batch lazily boots a fresh pool.
+:func:`~repro.backends.pooled.shutdown_pooled_backends` (idempotent) --
+with an ``atexit`` hook as the no-leak backstop for legacy callers.
+
+Since PR 4 the preferred owner is a :class:`repro.api.Session`: a
+session that resolves a pooled backend takes a
+:meth:`~repro.backends.pooled.PooledBackend.retain` reference and
+releases it on ``__exit__``, so nested sessions sharing one profile
+share one pool and the pool closes deterministically -- without
+``atexit`` -- exactly when the last owning session exits.  Backend
+*selection* likewise now flows from one
+:class:`repro.api.RuntimeProfile` (``profile.backend``) instead of
+per-call ``backend=`` kwargs, which survive only as deprecated shims.
 """
 
 from .base import (

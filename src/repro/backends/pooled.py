@@ -91,6 +91,8 @@ class PooledBackend(SweepBackend):
         self.mp_context = mp_context or _default_mp_context()
         self.chunks_per_job = chunks_per_job
         self._executor: ProcessPoolExecutor | None = None
+        self._session_refs = 0
+        self._retain_generation = 0
 
     # ------------------------------------------------------------------
     @property
@@ -127,6 +129,46 @@ class PooledBackend(SweepBackend):
 
     #: ``shutdown`` is the conventional executor spelling.
     shutdown = close
+
+    # ------------------------------------------------------------------
+    @property
+    def session_refs(self) -> int:
+        """How many :class:`repro.api.Session` objects currently hold
+        this backend (see :meth:`retain`)."""
+        return self._session_refs
+
+    def retain(self) -> int:
+        """Register one owner of this (possibly shared) pool.
+
+        :class:`repro.api.Session` retains the pooled backend it
+        resolves and releases it on exit, so pool shutdown is
+        deterministic without ``atexit``: the pool closes exactly when
+        the *last* session holding it exits.  Returns a generation
+        token to pass back to :meth:`release` -- a force
+        :func:`shutdown_pooled_backends` bumps the generation, which
+        voids outstanding tokens so a stale owner's later release can
+        never steal a newer session's reference.
+        """
+        self._session_refs += 1
+        return self._retain_generation
+
+    def release(self, token: int | None = None, wait: bool = True) -> None:
+        """Drop one :meth:`retain` reference; close the pool when the
+        last one goes.
+
+        ``token`` is the value :meth:`retain` returned; a stale token
+        (the pool was force-shut-down and possibly re-retained since)
+        makes the release a no-op instead of decrementing a *newer*
+        owner's reference.  ``None`` releases unconditionally.  The
+        count never goes negative and closing an already-closed pool is
+        a no-op, so nested sessions sharing one profile can never
+        double-shutdown a shared pool or leak its workers.
+        """
+        if token is not None and token != self._retain_generation:
+            return  # voided by a force shutdown since this retain
+        self._session_refs = max(0, self._session_refs - 1)
+        if self._session_refs == 0:
+            self.close(wait=wait)
 
     def __enter__(self) -> "PooledBackend":
         return self
@@ -215,13 +257,29 @@ get_pooled_backend.self_managed = True
 
 
 def shutdown_pooled_backends(wait: bool = True) -> int:
-    """Explicitly shut down every live persistent pool.
+    """Explicitly shut down every live persistent pool.  **Idempotent.**
 
-    Returns the number of pools that were actually running.  Shared
-    instances stay resolvable afterwards -- their next use lazily boots
-    a fresh pool.  Registered via ``atexit`` as the no-leak backstop.
+    Returns the number of pools that were actually running; a second
+    call (or a call when nothing ever started) returns 0 and touches
+    nothing.  This is a *force* shutdown: it also clears any session
+    retain counts (see :meth:`PooledBackend.retain`), so sessions still
+    holding a pool release cleanly afterwards -- their later
+    :meth:`~PooledBackend.release` finds the count at zero and the pool
+    already closed, which is a no-op.  Shared instances stay resolvable
+    afterwards -- their next use lazily boots a fresh pool.  Registered
+    via ``atexit`` as the no-leak backstop for non-session callers;
+    session-managed pools close deterministically on ``Session.__exit__``.
     """
     live = list(_LIVE_POOLS)
+    # Clear retain state on *every* reachable pool, not just started
+    # ones: a session may have retained a lazily-created shared backend
+    # whose pool never booted, and its stale reference must not survive
+    # the force shutdown either.  Voiding the retain generation makes
+    # such a session's later release a no-op instead of decrementing a
+    # reference taken by a session created after this call.
+    for backend in set(live) | set(_SHARED.values()):
+        backend._session_refs = 0
+        backend._retain_generation += 1
     for backend in live:
         backend.close(wait=wait)
     return len(live)

@@ -10,16 +10,22 @@ Installed as ``repro-nd``.  Subcommands::
     repro-nd grid --devices 3,5,10 --jobs 4         # scenario-grid batch run
     repro-nd protocols --duty-cycle 0.05            # protocol-zoo comparison
 
-``sweep``, ``validate`` and ``grid`` accept ``--jobs N`` to shard work
-across worker processes; results are bit-identical to ``--jobs 1``
-(``validate`` also shards its DES spot-check replays, and ``grid``
-schedules scenarios with cost-sorted work stealing by default --
-``--schedule chunk`` restores uniform chunking).  They also accept
-``--backend {auto,python,numpy,pooled}`` to pick the sweep kernel
-(:mod:`repro.backends`): ``auto`` (default) uses the vectorized NumPy
-kernel when NumPy is importable and the pure-python reference
-otherwise; ``pooled`` reuses one persistent worker pool across sweeps
-(shut down before the command exits).  Every selection is bit-identical.
+Every runtime-using subcommand (``simulate``, ``sweep``, ``validate``,
+``grid``) runs on one :class:`repro.api.Session` built from a single
+shared :class:`repro.api.RuntimeProfile`, declared once via the common
+runtime flags instead of per-subcommand plumbing:
+
+* ``--profile PATH`` loads a profile from TOML or JSON (the deployment
+  story: describe the runtime once, reuse it across every command and
+  machine);
+* ``--jobs N``, ``--backend {auto,python,numpy,pooled}``,
+  ``--schedule {steal,chunk}`` and ``--mp-context`` override individual
+  profile fields for one invocation.
+
+Results are bit-identical for every profile: ``--jobs``/``--backend``/
+``--schedule`` only change how fast the answer arrives.  Session-owned
+resources (persistent ``pooled`` worker pools, shared-memory segments)
+are shut down deterministically when the command's session exits.
 """
 
 from __future__ import annotations
@@ -30,8 +36,7 @@ import sys
 from . import core
 from .analysis import format_seconds, format_table
 from .protocols import Diffcodes, Disco, Role, Searchlight, UConnect
-from .simulation import ReceptionModel, simulate_network, verified_worst_case
-from .workloads import dense_network
+from .simulation import ReceptionModel
 
 
 def _cmd_bound(args: argparse.Namespace) -> int:
@@ -79,25 +84,52 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    scenario = dense_network(
-        n_devices=args.devices, eta=args.eta, omega=args.omega, seed=args.seed
+def _profile_from_args(args: argparse.Namespace):
+    """The one RuntimeProfile every runtime subcommand runs under:
+    ``--profile`` file (or the environment default), with explicit
+    runtime flags overriding individual fields."""
+    from .api import RuntimeProfile
+
+    profile = (
+        RuntimeProfile.load(args.profile)
+        if getattr(args, "profile", None)
+        else RuntimeProfile.default()
     )
-    result = simulate_network(
-        scenario.protocols,
-        scenario.phases,
-        horizon=scenario.horizon,
+    overrides = {}
+    for name in ("jobs", "backend", "schedule", "mp_context"):
+        value = getattr(args, name, None)
+        if value is not None:
+            overrides[name] = value
+    return profile.replace(**overrides) if overrides else profile
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .api import RunSpec, Session
+
+    spec = RunSpec(
+        scenario={
+            "factory": "dense_network",
+            "params": {
+                "n_devices": args.devices,
+                "eta": args.eta,
+                "omega": args.omega,
+                "seed": args.seed,
+            },
+        },
         seed=args.seed,
     )
-    print(scenario.description)
+    with Session(_profile_from_args(args)) as session:
+        result = session.simulate(spec)
+    payload = result.payload
+    print(payload["description"])
     print(
-        f"pairs discovered : {result.pairs_discovered}/{result.pairs_expected} "
-        f"({result.discovery_rate:.1%})"
+        f"pairs discovered : {payload['pairs_discovered']}"
+        f"/{payload['pairs_expected']} "
+        f"({payload['discovery_rate']:.1%})"
     )
-    print(f"transmissions    : {result.total_transmissions}")
-    print(f"collision events : {result.total_collisions}")
-    median = result.quantile(0.5)
-    print(f"median latency   : {format_seconds(median)}")
+    print(f"transmissions    : {payload['total_transmissions']}")
+    print(f"collision events : {payload['total_collisions']}")
+    print(f"median latency   : {format_seconds(payload['median_latency'])}")
     return 0
 
 
@@ -109,25 +141,30 @@ def _positive_int(value: str) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .parallel import ParallelSweep
+    from .api import RunSpec, Session
 
-    jobs = args.jobs
-    protocol, design = core.synthesize_symmetric(args.omega, args.eta, args.alpha)
-    hyper = protocol.hyperperiod()
-    step = max(1, hyper // args.samples)
-    offsets = list(range(0, hyper, step))
-    horizon = design.worst_case_latency * args.horizon_multiple
-    model = ReceptionModel(args.model)
-    report = ParallelSweep(jobs=jobs, backend=args.backend).sweep_offsets(
-        protocol, protocol, offsets, horizon, model, args.turnaround
+    spec = RunSpec(
+        pair={
+            "kind": "symmetric",
+            "eta": args.eta,
+            "omega": args.omega,
+            "alpha": args.alpha,
+        },
+        samples=args.samples,
+        horizon_multiple=args.horizon_multiple,
+        model=args.model,
+        turnaround=args.turnaround,
     )
-    _shutdown_pools()
+    with Session(_profile_from_args(args)) as session:
+        result = session.sweep(spec)
+    report = result.raw
     print(
-        f"protocol         : {protocol.name} (eta={protocol.eta:.6f})"
+        f"protocol         : {result.payload['protocols'][0]} "
+        f"(eta={result.payload['eta'][0]:.6f})"
     )
     print(
         f"offsets evaluated: {report.offsets_evaluated} "
-        f"(jobs={jobs}, backend={_backend_display(args.backend)})"
+        f"(jobs={result.profile['jobs']}, backend={result.backend})"
     )
     print(f"failures         : {report.failures}")
     print(
@@ -145,44 +182,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _shutdown_pools() -> None:
-    """Explicitly shut down any persistent pool a command started."""
-    from .backends.pooled import shutdown_pooled_backends
-
-    shutdown_pooled_backends()
-
-
-def _backend_display(spec: str) -> str:
-    """The kernel that actually runs for ``spec`` -- resolves ``auto``
-    so command output is self-documenting about provenance."""
-    from .backends import resolve_backend
-
-    return resolve_backend(spec).name
-
-
 def _cmd_validate(args: argparse.Namespace) -> int:
-    jobs = args.jobs
-    protocol, design = core.synthesize_symmetric(args.omega, args.eta, args.alpha)
-    result = verified_worst_case(
-        protocol,
-        protocol,
-        horizon=design.worst_case_latency * args.horizon_multiple,
+    from .api import RunSpec, Session
+
+    spec = RunSpec(
+        pair={
+            "kind": "symmetric",
+            "eta": args.eta,
+            "omega": args.omega,
+            "alpha": args.alpha,
+        },
+        horizon_multiple=args.horizon_multiple,
         omega=args.omega,
         turnaround=args.turnaround,
-        jobs=jobs,
-        backend=args.backend,
     )
-    _shutdown_pools()
-    bound = core.symmetric_bound(args.omega, protocol.eta, args.alpha)
-    print(f"protocol         : {protocol.name} (eta={protocol.eta:.6f})")
+    with Session(_profile_from_args(args)) as session:
+        result = session.worst_case(spec)
+    outcome = result.raw
+    name, eta = result.payload["protocols"][0], result.payload["eta"][0]
+    bound = core.symmetric_bound(args.omega, eta, args.alpha)
+    print(f"protocol         : {name} (eta={eta:.6f})")
     print(
-        f"offsets checked  : {result.offsets_checked} "
-        f"(jobs={jobs}, backend={_backend_display(args.backend)})"
+        f"offsets checked  : {outcome.offsets_checked} "
+        f"(jobs={result.profile['jobs']}, backend={result.backend})"
     )
-    print(f"worst one-way    : {format_seconds(result.analytic.worst_one_way)}")
+    print(f"worst one-way    : {format_seconds(outcome.analytic.worst_one_way)}")
     print(f"bound (Thm 5.5)  : {format_seconds(bound)}")
-    print(f"DES agrees       : {result.des_agrees}")
-    if not result.des_agrees:
+    print(f"DES agrees       : {outcome.des_agrees}")
+    if not outcome.des_agrees:
         print("FAIL: event-driven simulation disagrees with analytic sweep")
         return 1
     return 0
@@ -209,44 +236,53 @@ def _float_list(value: str) -> list[float]:
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
-    from .simulation import sweep_network_grid
-    from .workloads import scenario_grid
+    from .api import RunSpec, Session
 
-    grid = scenario_grid(
-        dense_network,
-        n_devices=args.devices,
-        eta=args.etas,
-        omega=[args.omega],
-        seed=[args.seed],
+    spec = RunSpec(
+        grid={
+            "factory": "dense_network",
+            "axes": {
+                "n_devices": args.devices,
+                "eta": args.etas,
+                "omega": [args.omega],
+                "seed": [args.seed],
+            },
+        },
+        seed=args.seed,
     )
-    results = sweep_network_grid(
-        grid,
-        jobs=args.jobs,
-        base_seed=args.seed,
-        schedule=args.schedule,
-        backend=args.backend,
-    )
-    _shutdown_pools()
+    profile = _profile_from_args(args)
+    if args.calibrate:
+        profile = profile.replace(auto_calibrate=True)
+    with Session(profile) as session:
+        result = session.grid(spec)
     rows = []
-    for scenario, result in zip(grid, results):
-        median = result.quantile(0.5)
+    for name, network in zip(result.payload["scenarios"], result.raw):
+        median = network.quantile(0.5)
         rows.append([
-            scenario.name,
-            f"{result.pairs_discovered}/{result.pairs_expected}",
-            f"{result.discovery_rate:.1%}",
+            name,
+            f"{network.pairs_discovered}/{network.pairs_expected}",
+            f"{network.discovery_rate:.1%}",
             format_seconds(median) if median is not None else "-",
-            result.total_collisions,
+            network.total_collisions,
         ])
     print(
         format_table(
             ["scenario", "pairs", "rate", "median latency", "collisions"],
             rows,
             title=(
-                f"{len(grid)} scenarios (jobs={args.jobs}, "
-                f"schedule={args.schedule})"
+                f"{len(rows)} scenarios (jobs={result.profile['jobs']}, "
+                f"schedule={result.profile['schedule']})"
             ),
         )
     )
+    calibration = result.payload.get("calibration")
+    if calibration is not None:
+        w_beacon, w_window = calibration["cost_weights"]
+        print(
+            f"calibrated cost weights: beacon={w_beacon:.3e}, "
+            f"window={w_window:.3e} (from {calibration['samples']} "
+            f"scenario timings)"
+        )
     return 0
 
 
@@ -355,17 +391,50 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+def _runtime_flags() -> argparse.ArgumentParser:
+    """The shared runtime-flag parent parser.
+
+    Declared once and attached to every runtime-using subcommand, so no
+    subcommand re-declares ``--jobs``/``--backend``/... -- the flags
+    exist purely as per-invocation overrides of the one
+    :class:`repro.api.RuntimeProfile` (``--profile`` / environment
+    default) the command's session runs under.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("runtime (RuntimeProfile overrides)")
+    group.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help=(
+            "load a repro.api.RuntimeProfile from a TOML or JSON file; "
+            "explicit runtime flags override its fields"
+        ),
+    )
+    group.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help="worker processes (profile default: 1 = serial)",
+    )
+    group.add_argument(
         "--backend",
         choices=["auto", "python", "numpy", "pooled"],
-        default="auto",
+        default=None,
         help=(
             "sweep kernel: auto = NumPy-vectorized when NumPy is "
             "importable (python fallback); pooled = persistent worker "
-            "pool reused across sweeps; results are bit-identical"
+            "pool owned by the command's session; results are "
+            "bit-identical"
         ),
     )
+    group.add_argument(
+        "--schedule", choices=["steal", "chunk"], default=None,
+        help="grid scheduling: work-stealing (cost-sorted) or chunked",
+    )
+    group.add_argument(
+        "--mp-context", choices=["fork", "spawn", "forkserver"], default=None,
+        help="multiprocessing start method (default: platform choice)",
+    )
+    return parent
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -375,6 +444,7 @@ def main(argv: list[str] | None = None) -> int:
         description="Optimal neighbor discovery: bounds, schedules, simulation",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    runtime = _runtime_flags()
 
     p_bound = sub.add_parser("bound", help="evaluate the fundamental bounds")
     p_bound.add_argument("--eta", type=float, required=True)
@@ -389,7 +459,10 @@ def main(argv: list[str] | None = None) -> int:
     p_syn.add_argument("--alpha", type=float, default=1.0)
     p_syn.set_defaults(func=_cmd_synthesize)
 
-    p_sim = sub.add_parser("simulate", help="run a dense-network simulation")
+    p_sim = sub.add_parser(
+        "simulate", parents=[runtime],
+        help="run a dense-network simulation",
+    )
     p_sim.add_argument("--devices", type=int, default=5)
     p_sim.add_argument("--eta", type=float, default=0.02)
     p_sim.add_argument("--omega", type=int, default=32)
@@ -397,7 +470,8 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_sweep = sub.add_parser(
-        "sweep", help="exact phase-offset sweep of a synthesized pair"
+        "sweep", parents=[runtime],
+        help="exact phase-offset sweep of a synthesized pair",
     )
     p_sweep.add_argument("--eta", type=float, required=True)
     p_sweep.add_argument("--omega", type=int, default=32)
@@ -410,30 +484,22 @@ def main(argv: list[str] | None = None) -> int:
         choices=[m.value for m in ReceptionModel],
         default=ReceptionModel.POINT.value,
     )
-    p_sweep.add_argument(
-        "--jobs", type=_positive_int, default=1,
-        help="worker processes for the sweep (1 = serial)",
-    )
-    _add_backend_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_val = sub.add_parser(
-        "validate", help="verified worst case: analytic sweep + DES cross-check"
+        "validate", parents=[runtime],
+        help="verified worst case: analytic sweep + DES cross-check",
     )
     p_val.add_argument("--eta", type=float, required=True)
     p_val.add_argument("--omega", type=int, default=32)
     p_val.add_argument("--alpha", type=float, default=1.0)
     p_val.add_argument("--horizon-multiple", type=_positive_int, default=3)
     p_val.add_argument("--turnaround", type=int, default=0)
-    p_val.add_argument(
-        "--jobs", type=_positive_int, default=1,
-        help="worker processes for the offset sweep (1 = serial)",
-    )
-    _add_backend_flag(p_val)
     p_val.set_defaults(func=_cmd_validate)
 
     p_grid = sub.add_parser(
-        "grid", help="batch-run a dense-network scenario grid"
+        "grid", parents=[runtime],
+        help="batch-run a dense-network scenario grid",
     )
     p_grid.add_argument(
         "--devices", type=_int_list, default=[3, 5],
@@ -446,14 +512,12 @@ def main(argv: list[str] | None = None) -> int:
     p_grid.add_argument("--omega", type=int, default=32)
     p_grid.add_argument("--seed", type=int, default=0)
     p_grid.add_argument(
-        "--jobs", type=_positive_int, default=1,
-        help="worker processes for the grid (1 = serial)",
+        "--calibrate", action="store_true",
+        help=(
+            "re-fit the grid scheduler's cost weights from this run's "
+            "own per-scenario timings (auto-calibration)"
+        ),
     )
-    p_grid.add_argument(
-        "--schedule", choices=["steal", "chunk"], default="steal",
-        help="work-stealing (cost-sorted) or uniform chunked scheduling",
-    )
-    _add_backend_flag(p_grid)
     p_grid.set_defaults(func=_cmd_grid)
 
     p_zoo = sub.add_parser("protocols", help="compare the protocol zoo")
@@ -471,11 +535,13 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except Exception as exc:
+        from .api import SpecError
         from .backends import BackendUnavailable
 
-        if isinstance(exc, BackendUnavailable):
-            # e.g. --backend numpy on a base install: a clean one-line
-            # error like any other bad flag, not a traceback.
+        if isinstance(exc, (BackendUnavailable, SpecError)):
+            # e.g. --backend numpy on a base install, or a malformed
+            # --profile file: a clean one-line error like any other bad
+            # flag, not a traceback.
             parser.exit(2, f"{parser.prog}: error: {exc}\n")
         raise
 

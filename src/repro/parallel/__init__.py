@@ -80,11 +80,14 @@ from .cache import (
     get_listening_cache,
     invalidate_listening_caches,
     ListeningCache,
+    listening_cache_fingerprints,
     listening_cache_stats,
     protocol_fingerprint,
+    set_listening_cache_cap,
 )
 from .executor import ParallelSweep
 from .schedule import (
+    calibration_rows,
     cost_weights,
     estimate_scenario_cost,
     fit_cost_weights,
@@ -95,6 +98,7 @@ from .shm import PatternHandle, SharedPatternStore
 
 __all__ = [
     "CachedPairEvaluator",
+    "calibration_rows",
     "cost_weights",
     "derive_seed",
     "estimate_scenario_cost",
@@ -102,11 +106,13 @@ __all__ = [
     "get_listening_cache",
     "invalidate_listening_caches",
     "ListeningCache",
+    "listening_cache_fingerprints",
     "listening_cache_stats",
     "ParallelSweep",
     "PatternHandle",
     "plan_longest_first",
     "protocol_fingerprint",
+    "set_listening_cache_cap",
     "SharedPatternStore",
     "use_cost_weights",
 ]

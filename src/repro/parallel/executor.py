@@ -205,6 +205,33 @@ def _network_one_cfg(config: dict, item: tuple[int, object]):
     )
 
 
+# Timed variants: identical computation wrapped in one perf_counter
+# pair, so per-scenario wall-clock rides back next to the result for
+# cost-model auto-calibration (``map_scenarios(collect_timings=True)``)
+# without perturbing results -- the simulation is seed-deterministic
+# and never reads the clock.
+
+
+def _network_one_cfg_timed(config: dict, item: tuple[int, object]):
+    import time
+
+    started = time.perf_counter()
+    result = _network_one_cfg(config, item)
+    return result, time.perf_counter() - started
+
+
+def _network_one_timed(item: tuple[int, object]):
+    import time
+
+    started = time.perf_counter()
+    result = _network_one(item)
+    return result, time.perf_counter() - started
+
+
+def _network_chunk_timed(items: list[tuple[int, object]]) -> list:
+    return [_network_one_timed(item) for item in items]
+
+
 def _steal_merge(scenarios: list, submit) -> list:
     """The work-stealing discipline, defined once for both pool kinds.
 
@@ -312,6 +339,26 @@ class ParallelSweep:
             )
         self.schedule = schedule
         self.backend = backend
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_profile(cls, profile) -> "ParallelSweep":
+        """Construct the executor one :class:`repro.api.RuntimeProfile`
+        describes.
+
+        The one mapping between the declarative runtime configuration
+        and this engine's constructor knobs -- :class:`repro.api.Session`
+        builds its engine here, so profile fields and executor
+        parameters cannot drift apart silently.
+        """
+        return cls(
+            jobs=profile.jobs,
+            chunks_per_job=profile.chunks_per_job,
+            mp_context=profile.mp_context,
+            shared_memory=profile.shared_memory,
+            schedule=profile.schedule,
+            backend=profile.backend,
+        )
 
     # ------------------------------------------------------------------
     def _resolve_backend(self):
@@ -496,6 +543,7 @@ class ParallelSweep:
         reception_model: ReceptionModel = ReceptionModel.POINT,
         turnaround: int = 0,
         advertising_jitter: int = 0,
+        collect_timings: bool = False,
     ) -> list:
         """Run one network simulation per scenario, in input order.
 
@@ -506,22 +554,33 @@ class ParallelSweep:
         persistent worker pool (always in work-stealing submission
         order -- there is no per-grid initializer to chunk around), so
         successive small grids stop paying pool startup.
+
+        ``collect_timings=True`` returns ``(results, seconds)`` instead:
+        per-scenario wall-clock measured *inside* the worker that ran
+        each scenario, grid-ordered like the results.  This feeds
+        :meth:`repro.api.Session.grid`'s cost-weight auto-calibration;
+        the results list is bit-identical either way (the timing wrapper
+        only reads the clock around an unchanged computation).
         """
         from ..backends.pooled import PooledBackend
         from ..simulation.runner import _run_scenario
 
         scenarios = list(scenarios)
         if self.jobs <= 1 or len(scenarios) < 2:
-            return [
-                _run_scenario(
+            import time
+
+            timed: list[tuple] = []
+            for i, scenario in enumerate(scenarios):
+                started = time.perf_counter()
+                result = _run_scenario(
                     scenario,
                     seed=derive_seed(base_seed, i),
                     reception_model=reception_model,
                     turnaround=turnaround,
                     advertising_jitter=advertising_jitter,
                 )
-                for i, scenario in enumerate(scenarios)
-            ]
+                timed.append((result, time.perf_counter() - started))
+            return self._split_timings(timed, collect_timings)
         config = {
             "base_seed": base_seed,
             "reception_model": reception_model,
@@ -530,16 +589,21 @@ class ParallelSweep:
         }
         resolved = self._resolve_backend()
         if isinstance(resolved, PooledBackend) and resolved.jobs > 1:
-            return _steal_merge(
+            worker = _network_one_cfg_timed if collect_timings else _network_one_cfg
+            merged = _steal_merge(
                 scenarios,
                 lambda index: resolved.submit(
-                    _network_one_cfg, config, (index, scenarios[index])
+                    worker, config, (index, scenarios[index])
                 ),
             )
+            return self._split_timings(merged, collect_timings, wrapped=collect_timings)
         ctx = multiprocessing.get_context(self.mp_context)
         if self.schedule == "chunk":
             chunks = _chunk(
                 list(enumerate(scenarios)), self.jobs * self.chunks_per_job
+            )
+            chunk_worker = (
+                _network_chunk_timed if collect_timings else _network_chunk
             )
             with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(chunks)),
@@ -547,23 +611,36 @@ class ParallelSweep:
                 initializer=_init_network_worker,
                 initargs=(config,),
             ) as pool:
-                return [
+                merged = [
                     result
-                    for chunk in pool.map(_network_chunk, chunks)
+                    for chunk in pool.map(chunk_worker, chunks)
                     for result in chunk
                 ]
+            return self._split_timings(merged, collect_timings, wrapped=collect_timings)
         # Work stealing: submit longest-estimated-first, one scenario
         # per task, and let idle workers pull from the shared queue;
         # results land back at their grid index.
+        one_worker = _network_one_timed if collect_timings else _network_one
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(scenarios)),
             mp_context=ctx,
             initializer=_init_network_worker,
             initargs=(config,),
         ) as pool:
-            return _steal_merge(
+            merged = _steal_merge(
                 scenarios,
                 lambda index: pool.submit(
-                    _network_one, (index, scenarios[index])
+                    one_worker, (index, scenarios[index])
                 ),
             )
+        return self._split_timings(merged, collect_timings, wrapped=collect_timings)
+
+    @staticmethod
+    def _split_timings(items: list, collect_timings: bool, wrapped: bool = True):
+        """Unzip ``(result, seconds)`` pairs when timings were requested;
+        otherwise return the bare result list unchanged."""
+        if not collect_timings:
+            return [item[0] for item in items] if wrapped else items
+        results = [result for result, _ in items]
+        seconds = [seconds for _, seconds in items]
+        return results, seconds

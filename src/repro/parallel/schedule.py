@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 
 __all__ = [
+    "calibration_rows",
     "cost_components",
     "cost_weights",
     "default_simulation_cost",
@@ -176,6 +177,40 @@ def fit_cost_weights(bench) -> tuple[float, float]:
     w_beacon = (s_bs * s_ww - s_ws * s_bw) / det
     w_window = (s_ws * s_bb - s_bs * s_bw) / det
     return (max(w_beacon, 0.0), max(w_window, 0.0))
+
+
+def calibration_rows(scenarios, seconds) -> list[dict]:
+    """Pair scenarios with their measured wall-clock into fit rows.
+
+    The bridge between a grid run's own timings
+    (``ParallelSweep.map_scenarios(collect_timings=True)``) and
+    :func:`fit_cost_weights`: each row carries the scenario's two
+    event-rate components plus its measured seconds, exactly the
+    ``per_scenario`` layout the benchmark records.  This is what lets
+    :meth:`repro.api.Session.grid` auto-calibrate without a separate
+    bench step.
+    """
+    scenarios = list(scenarios)
+    seconds = list(seconds)
+    if len(scenarios) != len(seconds):
+        raise ValueError(
+            f"scenarios and seconds must align "
+            f"({len(scenarios)} vs {len(seconds)})"
+        )
+    rows = []
+    for scenario, measured in zip(scenarios, seconds):
+        beacon_component, window_component = cost_components(
+            scenario.protocols, scenario.horizon
+        )
+        rows.append(
+            {
+                "scenario": getattr(scenario, "name", ""),
+                "beacon_component": beacon_component,
+                "window_component": window_component,
+                "seconds": float(measured),
+            }
+        )
+    return rows
 
 
 def estimate_scenario_cost(scenario) -> float:

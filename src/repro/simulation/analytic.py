@@ -371,18 +371,25 @@ def evaluate_offsets(
     aggregate them later (see :func:`summarize_outcomes`), since each
     outcome depends only on its own offset.
 
-    ``backend`` selects a :mod:`repro.backends` sweep kernel by name
-    (``"python"``, ``"numpy"``, ``"pooled"``, ``"auto"``) or instance;
-    all kernels are pinned bit-identical to the default.  ``None``
-    keeps this function the direct uncached reference computation --
-    the anchor the equivalence zoo compares every kernel against.
+    ``backend=None`` (the default) keeps this function the direct
+    uncached reference computation -- the anchor the equivalence zoo
+    compares every kernel against.  Passing a backend is the
+    **deprecated** pre-Session runtime plumbing: it warns
+    (:class:`repro.api.LegacyRuntimeAPIWarning`) and delegates to the
+    facade's kernel engine, bit-identical to every prior release --
+    select the kernel on a :class:`repro.api.RuntimeProfile` instead.
     """
     if backend is not None:
-        from ..backends import resolve_backend, SweepParams
+        from ..api._compat import warn_legacy
+        from ..api.session import evaluate_offsets_with_backend
 
-        return resolve_backend(backend).evaluate_offsets_batch(
-            SweepParams(protocol_e, protocol_f, horizon, model, turnaround),
-            list(offsets),
+        warn_legacy(
+            "evaluate_offsets(backend=...)",
+            "repro.api.Session.sweep",
+        )
+        return evaluate_offsets_with_backend(
+            protocol_e, protocol_f, offsets, horizon, model, turnaround,
+            backend,
         )
     return [
         mutual_discovery_times(
@@ -449,10 +456,23 @@ def sweep_offsets(
 ) -> SweepReport:
     """Evaluate both-direction discovery over a set of phase offsets and
     aggregate worst/mean statistics (``backend`` as in
-    :func:`evaluate_offsets`)."""
+    :func:`evaluate_offsets`: ``None`` is the exact reference, anything
+    else is the deprecated kwarg path through the facade)."""
+    if backend is not None:
+        # Warn here (not via evaluate_offsets) so the warning names this
+        # entry point and points at the caller's line.
+        from ..api._compat import warn_legacy
+        from ..api.session import evaluate_offsets_with_backend
+
+        warn_legacy("sweep_offsets(backend=...)", "repro.api.Session.sweep")
+        return summarize_outcomes(
+            evaluate_offsets_with_backend(
+                protocol_e, protocol_f, offsets, horizon, model, turnaround,
+                backend,
+            )
+        )
     return summarize_outcomes(
         evaluate_offsets(
-            protocol_e, protocol_f, offsets, horizon, model, turnaround,
-            backend=backend,
+            protocol_e, protocol_f, offsets, horizon, model, turnaround
         )
     )

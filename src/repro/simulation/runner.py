@@ -394,7 +394,12 @@ def _select_spot_check_offsets(
     return sorted(chosen)
 
 
-def verified_worst_case(
+#: Sentinel distinguishing "caller left the runtime kwarg alone" from an
+#: explicit value -- only explicit legacy runtime plumbing deprecation-warns.
+_UNSET = object()
+
+
+def _verified_worst_case_impl(
     protocol_e: NDProtocol,
     protocol_f: NDProtocol,
     horizon: int,
@@ -404,25 +409,21 @@ def verified_worst_case(
     max_critical: int = 200_000,
     des_spot_checks: int = 16,
     fallback_samples: int = 4096,
-    jobs: int = 1,
-    backend: str = "auto",
+    sweeper=None,
 ) -> PairWorstCase:
-    """Exact worst-case latency over all phase offsets, cross-validated.
+    """The worst-case verification engine behind
+    :meth:`repro.api.Session.worst_case` (and, through it, the legacy
+    :func:`verified_worst_case` shim).
 
     Uses the critical-offset enumeration for exactness (falling back to a
     uniform sweep when the critical set explodes), then replays a handful
     of offsets -- including the worst ones -- through the event-driven
-    simulator and checks for exact agreement.
-
-    ``jobs > 1`` shards both the offset sweep *and* the DES spot-check
-    replays across worker processes via
-    :class:`repro.parallel.ParallelSweep`; ``backend`` picks the sweep
-    kernel (:mod:`repro.backends`: ``"auto"`` uses the vectorized NumPy
-    kernel when importable, ``"pooled"`` reuses the persistent worker
-    pool).  The report and the verdict are bit-identical for every
-    ``jobs``/``backend`` combination (spot-check offsets are chosen
-    deterministically, each replay is an independent computation, and
-    every kernel is pinned against the exact reference).
+    simulator and checks for exact agreement.  ``sweeper`` is the
+    session's configured :class:`repro.parallel.ParallelSweep`; the
+    report and the verdict are bit-identical for every runtime profile
+    (spot-check offsets are chosen deterministically, each replay is an
+    independent computation, and every kernel is pinned against the
+    exact reference).
     """
     try:
         offsets = critical_offsets(
@@ -432,11 +433,10 @@ def verified_worst_case(
         hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
         step = max(1, hyper // fallback_samples)
         offsets = list(range(0, hyper, step))
-    from ..parallel import ParallelSweep
+    if sweeper is None:
+        from ..parallel import ParallelSweep
 
-    # One dispatch for every jobs value: ParallelSweep runs jobs <= 1
-    # in-process (bit-identical to the plain serial sweep).
-    sweeper = ParallelSweep(jobs=jobs, backend=backend)
+        sweeper = ParallelSweep(jobs=1)
     report = sweeper.sweep_offsets(
         protocol_e, protocol_f, offsets, horizon, reception_model, turnaround
     )
@@ -460,6 +460,58 @@ def verified_worst_case(
     return PairWorstCase(
         analytic=report, des_agrees=agrees, offsets_checked=len(offsets)
     )
+
+
+def verified_worst_case(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    horizon: int,
+    omega: int | None = None,
+    reception_model: ReceptionModel = ReceptionModel.POINT,
+    turnaround: int = 0,
+    max_critical: int = 200_000,
+    des_spot_checks: int = 16,
+    fallback_samples: int = 4096,
+    jobs=_UNSET,
+    backend=_UNSET,
+) -> PairWorstCase:
+    """Exact worst-case latency over all phase offsets, cross-validated.
+
+    Thin shim over :meth:`repro.api.Session.worst_case`, kept for the
+    pre-Session call shape.  The per-call runtime kwargs (``jobs``,
+    ``backend``) are **deprecated**: passing them warns
+    (:class:`repro.api.LegacyRuntimeAPIWarning`) and routes through a
+    shared legacy session for that runtime shape -- configure a
+    :class:`repro.api.RuntimeProfile` once instead.  Results are
+    bit-identical to every prior release for every ``jobs``/``backend``
+    combination.
+    """
+    from ..api import RunSpec
+    from ..api._compat import legacy_session, warn_legacy
+
+    jobs = 1 if jobs is _UNSET else jobs
+    backend = "auto" if backend is _UNSET else backend
+    # Only *non-default* runtime plumbing warns: explicitly restating
+    # the documented defaults (jobs=1, backend="auto") requests nothing
+    # and must not start raising under -W error lanes.
+    if jobs != 1 or backend != "auto":
+        warn_legacy(
+            "verified_worst_case(jobs=..., backend=...)",
+            "repro.api.Session.worst_case",
+        )
+    session = legacy_session(jobs=jobs, backend=backend)
+    return session.worst_case(
+        RunSpec(
+            pair=(protocol_e, protocol_f),
+            horizon=horizon,
+            omega=omega,
+            model=reception_model.value,
+            turnaround=turnaround,
+            max_critical=max_critical,
+            des_spot_checks=des_spot_checks,
+            fallback_samples=fallback_samples,
+        )
+    ).raw
 
 
 def _run_scenario(
@@ -489,46 +541,62 @@ def _run_scenario(
 
 def sweep_network_grid(
     scenarios,
-    jobs: int = 1,
+    jobs=_UNSET,
     base_seed: int = 0,
     reception_model: ReceptionModel = ReceptionModel.POINT,
     turnaround: int = 0,
     advertising_jitter: int = 0,
-    schedule: str = "steal",
-    backend: str | None = None,
+    schedule=_UNSET,
+    backend=_UNSET,
 ) -> list[NetworkResult]:
     """Run every scenario of a grid through the event-driven simulator.
 
-    The batch driver behind grid experiments (e.g. device-count x
-    duty-cycle sweeps from :func:`repro.workloads.scenario_grid`).
-    Results come back in input order; each scenario's RNG seed derives
-    from ``(base_seed, its grid index)`` via
+    Thin shim over :meth:`repro.api.Session.grid`, kept for the
+    pre-Session call shape.  Results come back in input order; each
+    scenario's RNG seed derives from ``(base_seed, its grid index)`` via
     :func:`repro.parallel.derive_seed`, so the output is bit-identical
-    for any ``jobs`` value, either ``schedule`` discipline
-    (``"steal"``: cost-sorted work stealing, the default; ``"chunk"``:
-    uniform contiguous chunks) and any ``backend`` -- scheduling is
-    invisible to the RNG.
+    for any ``jobs`` value, either ``schedule`` discipline and any
+    ``backend`` -- scheduling is invisible to the RNG.
 
-    ``backend`` follows :class:`repro.parallel.ParallelSweep`;
-    ``"pooled"`` makes many-small-grid workloads reuse one persistent
-    worker pool.  When ``None``, scenarios that all agree on a
-    :attr:`repro.workloads.Scenario.backend` preference get it;
-    otherwise auto-detection applies.
+    The per-call runtime kwargs (``jobs``, ``schedule``, ``backend``)
+    are **deprecated**: passing them warns
+    (:class:`repro.api.LegacyRuntimeAPIWarning`) and routes through a
+    shared legacy session for that runtime shape -- configure a
+    :class:`repro.api.RuntimeProfile` once instead.  Legacy semantics
+    are preserved exactly, including the :attr:`Scenario.backend`
+    unanimous-preference resolution when no backend is given.
     """
-    from ..parallel import ParallelSweep
+    from ..api import RunSpec
+    from ..api._compat import legacy_session, warn_legacy
 
     scenarios = list(scenarios)
-    if backend is None:
+    # Only *non-default* runtime plumbing warns: explicitly restating
+    # the documented defaults (jobs=1, schedule="steal", backend=None)
+    # requests nothing and must not start raising under -W error lanes.
+    runtime_given = (
+        jobs not in (_UNSET, 1)
+        or schedule not in (_UNSET, "steal")
+        or backend not in (_UNSET, None)
+    )
+    jobs = 1 if jobs is _UNSET else jobs
+    schedule = "steal" if schedule is _UNSET else schedule
+    if backend is _UNSET or backend is None:
         hints = {
             getattr(scenario, "backend", None) for scenario in scenarios
         } - {None}
         backend = hints.pop() if len(hints) == 1 else "auto"
-    return ParallelSweep(
-        jobs=jobs, schedule=schedule, backend=backend
-    ).map_scenarios(
-        scenarios,
-        base_seed=base_seed,
-        reception_model=reception_model,
-        turnaround=turnaround,
-        advertising_jitter=advertising_jitter,
-    )
+    if runtime_given:
+        warn_legacy(
+            "sweep_network_grid(jobs=..., schedule=..., backend=...)",
+            "repro.api.Session.grid",
+        )
+    session = legacy_session(jobs=jobs, schedule=schedule, backend=backend)
+    return session.grid(
+        RunSpec(
+            grid=scenarios,
+            seed=base_seed,
+            model=reception_model.value,
+            turnaround=turnaround,
+            advertising_jitter=advertising_jitter,
+        )
+    ).raw

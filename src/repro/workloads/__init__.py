@@ -5,17 +5,21 @@ from .scenarios import (
     dense_network,
     drifting_pair,
     gateway_and_peripherals,
+    register_scenario_factory,
     Scenario,
+    SCENARIO_FACTORIES,
     scenario_grid,
     symmetric_pair,
 )
 
 __all__ = [
     "Scenario",
+    "SCENARIO_FACTORIES",
     "dense_network",
     "drifting_pair",
     "gateway_and_peripherals",
     "gradual_join",
+    "register_scenario_factory",
     "scenario_grid",
     "symmetric_pair",
 ]

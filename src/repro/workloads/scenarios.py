@@ -25,6 +25,8 @@ from ..core.sequences import NDProtocol
 
 __all__ = [
     "Scenario",
+    "SCENARIO_FACTORIES",
+    "register_scenario_factory",
     "scenario_grid",
     "symmetric_pair",
     "gateway_and_peripherals",
@@ -253,3 +255,24 @@ def drifting_pair(
         drift_ppm=[drift_ppm, -drift_ppm],
         description=base.description + f"; +-{drift_ppm} ppm clock drift",
     )
+
+
+#: Named scenario factories resolvable from declarative
+#: :class:`repro.api.RunSpec` descriptions (``{"factory": "...",
+#: "params"/"axes": {...}}``) -- the registry that lets a scenario or a
+#: whole grid live in a JSON spec file instead of python code.
+SCENARIO_FACTORIES: dict[str, Callable[..., Scenario]] = {
+    "symmetric_pair": symmetric_pair,
+    "gateway_and_peripherals": gateway_and_peripherals,
+    "dense_network": dense_network,
+    "gradual_join": gradual_join,
+    "drifting_pair": drifting_pair,
+}
+
+
+def register_scenario_factory(
+    name: str, factory: Callable[..., Scenario]
+) -> None:
+    """Register a custom scenario factory for declarative specs
+    (replacing any previous entry under ``name``)."""
+    SCENARIO_FACTORIES[name] = factory

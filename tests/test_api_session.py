@@ -1,0 +1,404 @@
+"""Tests of the :class:`repro.api.Session` facade lifecycle.
+
+Part of the **facade-only** subset (run in CI under
+``-W error::DeprecationWarning``): everything here uses the Session
+verbs and the spec/profile layer exclusively -- a legacy shim sneaking
+into any code path these tests exercise fails the lane.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api import RunSpec, RuntimeProfile, Session
+from repro.backends import get_pooled_backend, PooledBackend
+from repro.backends.pooled import shutdown_pooled_backends
+from repro.parallel import (
+    cost_weights,
+    listening_cache_fingerprints,
+    use_cost_weights,
+)
+from repro.parallel.cache import _REGISTRY_CAP as _DEFAULT_CAP
+
+
+def _sweep_spec(samples=24):
+    return RunSpec(
+        pair={"kind": "symmetric", "eta": 0.05}, samples=samples,
+        horizon_multiple=2,
+    )
+
+
+def _grid_spec():
+    return RunSpec(
+        grid={
+            "factory": "dense_network",
+            "axes": {"n_devices": [3, 4], "eta": [0.05]},
+        },
+        seed=5,
+    )
+
+
+def _assert_processes_exit(pids, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    remaining = set(pids)
+    while remaining and time.monotonic() < deadline:
+        for pid in list(remaining):
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                remaining.discard(pid)
+        if remaining:
+            time.sleep(0.05)
+    assert not remaining, f"worker processes leaked: {remaining}"
+
+
+def _worker_pids(backend, count=8):
+    futures = [backend.submit(os.getpid) for _ in range(count)]
+    return {future.result() for future in futures}
+
+
+class TestSessionBasics:
+    def test_context_manager_and_closed_state(self):
+        session = Session(RuntimeProfile(jobs=1))
+        with session as entered:
+            assert entered is session
+            assert not session.closed
+        assert session.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            session.sweep(_sweep_spec())
+        with pytest.raises(RuntimeError, match="closed"):
+            with session:
+                pass
+        session.close()  # idempotent
+
+    def test_overrides_build_profile(self):
+        with Session(jobs=2, backend="python") as session:
+            assert session.profile.jobs == 2
+            assert session.profile.backend == "python"
+
+    def test_backend_resolved_once_and_lazily(self):
+        with Session(RuntimeProfile(backend="python")) as session:
+            assert session._backend is None  # nothing resolved yet
+            first = session.backend
+            assert session.backend is first
+            assert session.backend_name == "python"
+
+    def test_mapping_specs_accepted(self):
+        with Session(jobs=1) as session:
+            result = session.sweep(
+                {"pair": {"kind": "symmetric", "eta": 0.05}, "samples": 8}
+            )
+        assert result.payload["offsets"] == 8
+
+    def test_result_provenance(self):
+        with Session(RuntimeProfile(backend="python", jobs=1)) as session:
+            result = session.sweep(_sweep_spec())
+        assert result.verb == "sweep"
+        assert result.backend == "python"
+        assert result.profile["jobs"] == 1
+        assert result.spec["pair"]["kind"] == "symmetric"
+        assert result.timings["total"] >= result.timings["run"] >= 0
+        # Full provenance round-trips through JSON.
+        from repro.api import RunResult
+
+        assert RunResult.from_json(result.to_json()) == result
+
+
+class TestSessionPoolLifecycle:
+    def setup_method(self):
+        shutdown_pooled_backends()
+
+    def teardown_method(self):
+        shutdown_pooled_backends()
+
+    def test_exit_shuts_down_session_pool(self):
+        profile = RuntimeProfile(backend="pooled", jobs=2)
+        with Session(profile) as session:
+            session.sweep(_sweep_spec())
+            backend = session.backend
+            assert isinstance(backend, PooledBackend)
+            assert backend.started
+            pids = _worker_pids(backend)
+        assert not backend.started
+        _assert_processes_exit(pids)
+
+    def test_nested_sessions_share_pool_without_double_shutdown(self):
+        """Two nested sessions on one profile share one pool; the inner
+        exit must neither kill the outer's workers nor the outer exit
+        double-shutdown -- the satellite regression."""
+        profile = RuntimeProfile(backend="pooled", jobs=2)
+        with Session(profile) as outer:
+            outer.sweep(_sweep_spec())
+            backend = outer.backend
+            pids = _worker_pids(backend)
+            assert backend.session_refs == 1
+            with Session(profile) as inner:
+                assert inner.backend is backend  # shared shape -> shared pool
+                assert backend.session_refs == 2
+                inner.sweep(_sweep_spec())
+            # Inner exit released its reference but left the pool alive.
+            assert backend.session_refs == 1
+            assert backend.started
+            for pid in pids:
+                os.kill(pid, 0)  # raises if a worker died
+            outer.sweep(_sweep_spec())  # outer still fully functional
+        assert backend.session_refs == 0
+        assert not backend.started
+        _assert_processes_exit(pids)
+
+    def test_force_shutdown_clears_refs_on_unstarted_retained_pools(self):
+        """A retained backend whose pool never booted must also have its
+        retain state cleared by a force shutdown -- otherwise its stale
+        reference keeps a later session's pool alive."""
+        profile = RuntimeProfile(backend="pooled", jobs=2)
+        stale = Session(profile)
+        backend = stale.backend  # retained, but no pool booted yet
+        assert not backend.started and backend.session_refs == 1
+        assert shutdown_pooled_backends() == 0  # nothing was running
+        assert backend.session_refs == 0
+        fresh = Session(profile)
+        fresh.sweep(_sweep_spec())
+        assert fresh.backend is backend and backend.started
+        fresh.close()
+        assert not backend.started  # stale's reference did not pin it
+        stale.close()  # voided token: no-op
+
+    def test_stale_release_cannot_steal_newer_sessions_pool(self):
+        """A session that retained before a force shutdown must not, on
+        its own (later) close, decrement a reference taken by a session
+        created *after* the shutdown -- retain tokens are voided by
+        generation."""
+        profile = RuntimeProfile(backend="pooled", jobs=2)
+        stale = Session(profile)
+        stale.sweep(_sweep_spec())
+        backend = stale.backend
+        shutdown_pooled_backends()  # voids stale's retain token
+        fresh = Session(profile)
+        fresh.sweep(_sweep_spec())
+        assert fresh.backend is backend  # same shared shape
+        assert backend.session_refs == 1
+        stale.close()  # stale token: must be a no-op on the refcount
+        assert backend.session_refs == 1
+        assert backend.started, "stale close stole the fresh session's pool"
+        fresh.sweep(_sweep_spec())  # still fully functional
+        fresh.close()
+        assert backend.session_refs == 0
+        assert not backend.started
+
+    def test_force_shutdown_then_session_exit_is_safe(self):
+        """shutdown_pooled_backends() is idempotent and clears retain
+        counts, so a session exiting afterwards is a clean no-op."""
+        profile = RuntimeProfile(backend="pooled", jobs=2)
+        session = Session(profile)
+        session.sweep(_sweep_spec())
+        backend = session.backend
+        assert backend.started
+        assert shutdown_pooled_backends() == 1
+        assert shutdown_pooled_backends() == 0  # idempotent
+        assert backend.session_refs == 0
+        session.close()  # releasing an already-reaped pool: no error
+        assert not backend.started
+        assert shutdown_pooled_backends() == 0
+
+    def test_stateless_backend_sessions_own_nothing(self):
+        with Session(RuntimeProfile(backend="python", jobs=1)) as session:
+            session.sweep(_sweep_spec())
+            assert session._retained_pool is None
+        # No pooled backend was ever created, so nothing to shut down.
+        assert shutdown_pooled_backends() == 0
+
+
+class TestSessionLeaksNothing:
+    def test_zero_leaked_processes_and_shm_segments(self):
+        """The acceptance-criteria lifecycle test: after ``__exit__``,
+        every worker process the session booted is gone and /dev/shm
+        holds no new segments."""
+        import multiprocessing
+
+        shm_dir = "/dev/shm"
+        can_watch_shm = os.path.isdir(shm_dir)
+        before_shm = set(os.listdir(shm_dir)) if can_watch_shm else set()
+        profile = RuntimeProfile(backend="pooled", jobs=2)
+        with Session(profile) as session:
+            session.sweep(_sweep_spec())
+            session.grid(_grid_spec())
+            session.worst_case(
+                RunSpec(pair={"kind": "symmetric", "eta": 0.05},
+                        omega=32, des_spot_checks=4)
+            )
+            pids = _worker_pids(session.backend)
+        _assert_processes_exit(pids)
+        assert not multiprocessing.active_children()
+        if can_watch_shm:
+            leaked = set(os.listdir(shm_dir)) - before_shm
+            assert not leaked, f"shared-memory segments leaked: {leaked}"
+
+
+class TestScopedProcessKnobs:
+    def teardown_method(self):
+        use_cost_weights(None)
+
+    def test_profile_cost_weights_scoped_to_session(self):
+        baseline = cost_weights()
+        with Session(RuntimeProfile(cost_weights=(3e-6, 7e-6))):
+            assert cost_weights() == (3e-6, 7e-6)
+        assert cost_weights() == baseline
+
+    def test_nested_sessions_restore_lifo(self):
+        with Session(RuntimeProfile(cost_weights=(2.0, 2.0))):
+            with Session(RuntimeProfile(cost_weights=(5.0, 5.0))):
+                assert cost_weights() == (5.0, 5.0)
+            assert cost_weights() == (2.0, 2.0)
+        assert cost_weights() == (1.0, 1.0)
+
+    def test_cache_limit_scoped_to_session(self):
+        from repro.parallel.cache import _REGISTRY_CAP as cap_before
+
+        with Session(RuntimeProfile(cache_limit=4)):
+            from repro.parallel import cache
+
+            assert cache._REGISTRY_CAP == 4
+        from repro.parallel import cache
+
+        assert cache._REGISTRY_CAP == cap_before == _DEFAULT_CAP
+
+    def test_cache_policy_release_drops_only_session_caches(self):
+        from repro.core.optimal import synthesize_symmetric
+        from repro.parallel import get_listening_cache
+
+        # A cache created *outside* the session must survive it.
+        outside_protocol, _ = synthesize_symmetric(32, 0.02)
+        get_listening_cache(outside_protocol)
+        from repro.parallel import protocol_fingerprint
+
+        outside_key = protocol_fingerprint(outside_protocol)
+        before = listening_cache_fingerprints()
+        assert outside_key in before
+        fresh_spec = RunSpec(
+            # An eta no other test uses, so the session really builds
+            # (and therefore owns) these caches.
+            pair={"kind": "symmetric", "eta": 0.0387},
+            samples=8, horizon_multiple=1,
+        )
+        with Session(
+            RuntimeProfile(backend="python", cache_policy="release")
+        ) as session:
+            session.sweep(fresh_spec)
+            during = listening_cache_fingerprints()
+            assert during - before, "sweep should have built new caches"
+        after = listening_cache_fingerprints()
+        assert outside_key in after
+        assert after == before
+
+
+class TestAutoCalibration:
+    def teardown_method(self):
+        use_cost_weights(None)
+
+    def test_grid_refits_and_persists_weights(self):
+        profile = RuntimeProfile(backend="python", auto_calibrate=True)
+        assert profile.cost_weights is None
+        with Session(profile) as session:
+            result = session.grid(_grid_spec())
+            # Weights persisted into the *active* profile and installed
+            # process-wide for the rest of the session.
+            assert profile.cost_weights is not None
+            w_beacon, w_window = profile.cost_weights
+            assert w_beacon >= 0 and w_window >= 0
+            assert cost_weights() == profile.cost_weights
+        calibration = result.payload["calibration"]
+        assert calibration["cost_weights"] == list(profile.cost_weights)
+        assert calibration["samples"] == 2
+        assert len(calibration["seconds"]) == 2
+        assert all(s > 0 for s in calibration["seconds"])
+        # Session scope: the process-wide pair is restored on exit...
+        assert cost_weights() == (1.0, 1.0)
+        # ...but the profile keeps the fit for the next session.
+        reused = RuntimeProfile.from_dict(profile.to_dict())
+        assert reused.cost_weights == profile.cost_weights
+
+    def test_calibrated_results_identical_to_uncalibrated(self):
+        with Session(RuntimeProfile(backend="python")) as session:
+            plain = session.grid(_grid_spec())
+        with Session(
+            RuntimeProfile(backend="python", auto_calibrate=True)
+        ) as session:
+            calibrated = session.grid(_grid_spec())
+        assert calibrated.raw == plain.raw
+
+    def test_parallel_calibration_matches_serial_results(self):
+        with Session(RuntimeProfile(backend="python")) as session:
+            serial = session.grid(_grid_spec())
+        with Session(
+            RuntimeProfile(backend="python", jobs=2, auto_calibrate=True)
+        ) as session:
+            parallel = session.grid(_grid_spec())
+            assert session.profile.cost_weights is not None
+        assert parallel.raw == serial.raw
+
+
+class TestVerbValidation:
+    def test_missing_slots_raise(self):
+        with Session(jobs=1) as session:
+            with pytest.raises(ValueError, match="pair"):
+                session.sweep(RunSpec())
+            with pytest.raises(ValueError, match="pair"):
+                session.worst_case(RunSpec())
+            with pytest.raises(ValueError, match="grid"):
+                session.grid(RunSpec())
+            with pytest.raises(ValueError, match="scenario"):
+                session.simulate(RunSpec())
+
+    def test_worst_case_verb(self):
+        spec = RunSpec(
+            pair={"kind": "symmetric", "eta": 0.05}, omega=32,
+            des_spot_checks=4,
+        )
+        with Session(RuntimeProfile(backend="python")) as session:
+            result = session.worst_case(spec)
+        assert result.verb == "worst_case"
+        assert result.raw.des_agrees
+        assert result.payload["des_agrees"] is True
+        assert result.payload["offsets_checked"] == result.raw.offsets_checked
+
+    def test_simulate_verb(self):
+        spec = RunSpec(
+            scenario={"factory": "dense_network",
+                      "params": {"n_devices": 3, "eta": 0.05}},
+            seed=2,
+        )
+        with Session(jobs=1) as session:
+            result = session.simulate(spec)
+        assert result.verb == "simulate"
+        assert result.payload["pairs_expected"] == 6
+        assert result.raw.n_nodes == 3
+
+    def test_critical_sampling_sweep(self):
+        spec = RunSpec(
+            pair={"kind": "symmetric-split", "eta": 0.05},
+            sampling="critical",
+            omega=32,
+            horizon_multiple=2,
+        )
+        with Session(RuntimeProfile(backend="python")) as session:
+            result = session.sweep(spec)
+        assert result.payload["failures"] == 0
+        assert result.payload["offsets"] > 0
+        assert result.payload["sampling"] == "critical"
+
+    def test_critical_fallback_is_recorded_not_silent(self):
+        """When the critical set exceeds max_critical, the sweep falls
+        back to uniform sampling and the payload says so -- a sampled
+        sweep must never masquerade as exact."""
+        spec = RunSpec(
+            pair={"kind": "symmetric", "eta": 0.05},
+            sampling="critical",
+            omega=32,
+            max_critical=16,  # force the fallback
+            samples=32,
+        )
+        with Session(RuntimeProfile(backend="python")) as session:
+            result = session.sweep(spec)
+        assert result.payload["sampling"] == "uniform-fallback"
+        assert result.payload["offsets"] <= 33

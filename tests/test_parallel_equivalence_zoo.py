@@ -21,7 +21,11 @@ fidelity knobs of grid scenarios.  This file pins that invariant:
   sweep kernels pinned bit-identical for every family under **all
   three** reception models, plus persistent-pool lifecycle units (lazy
   creation, reuse across sweeps, explicit shutdown, no leaked worker
-  processes).
+  processes);
+* (PR 4) Session-facade equivalence: :class:`repro.api.Session` verbs
+  pinned bit-identical to the legacy kwarg entry points across all 13
+  families, plus a session lifecycle test showing zero leaked worker
+  processes and shared-memory segments after ``__exit__``.
 """
 
 import os
@@ -66,6 +70,7 @@ from repro.simulation import (
     ReceptionModel,
     sweep_network_grid,
     sweep_offsets,
+    verified_worst_case,
 )
 from repro.simulation.analytic import packet_heard
 from repro.workloads import (
@@ -560,3 +565,114 @@ class TestPersistentPoolLifecycle:
             scenario.backend = "pooled"
         serial = sweep_network_grid(grid, jobs=1, base_seed=3)
         assert sweep_network_grid(grid, jobs=2, base_seed=3) == serial
+
+
+# ----------------------------------------------------------------------
+# PR 4: the Session facade vs the legacy kwarg entry points
+# ----------------------------------------------------------------------
+
+from repro.api import RunSpec, RuntimeProfile, Session  # noqa: E402
+
+
+@pytest.mark.parametrize("family", list(ZOO), ids=list(ZOO))
+def test_session_sweep_matches_legacy_entry_points(family):
+    """Session.sweep pinned bit-identical to the legacy kwarg paths --
+    the exact reference, the kwarg-threaded backend selection, and the
+    chunked ParallelSweep -- for every protocol family."""
+    protocol_e, protocol_f = ZOO[family]()
+    offsets, horizon = _workload(protocol_e, protocol_f)
+    model = MODELS[sorted(ZOO).index(family) % len(MODELS)]
+
+    reference_report = sweep_offsets(
+        protocol_e, protocol_f, offsets, horizon, model
+    )
+    legacy_kwarg_report = ParallelSweep(jobs=1, backend="auto").sweep_offsets(
+        protocol_e, protocol_f, offsets, horizon, model
+    )
+    spec = RunSpec(
+        pair=(protocol_e, protocol_f),
+        offsets=list(offsets),
+        horizon=horizon,
+        model=model.value,
+    )
+    with Session(RuntimeProfile(jobs=1)) as session:
+        facade_report = session.sweep(spec).raw
+    assert facade_report == reference_report == legacy_kwarg_report, family
+
+
+def test_session_sweep_sharded_matches_legacy():
+    """The multi-worker facade path (jobs=2, shared memory) equals the
+    legacy sharded executor and the serial reference."""
+    protocol_e, protocol_f = ZOO["disco"]()
+    offsets, horizon = _workload(protocol_e, protocol_f)
+    serial = sweep_offsets(protocol_e, protocol_f, offsets, horizon)
+    legacy = ParallelSweep(jobs=2, chunks_per_job=3).sweep_offsets(
+        protocol_e, protocol_f, offsets, horizon
+    )
+    spec = RunSpec(pair=(protocol_e, protocol_f), offsets=list(offsets),
+                   horizon=horizon)
+    with Session(RuntimeProfile(jobs=2, chunks_per_job=3)) as session:
+        facade = session.sweep(spec).raw
+    assert facade == serial == legacy
+
+
+@pytest.mark.parametrize("family", ["disco", "nihao", "optimal-slotless"])
+def test_session_worst_case_matches_legacy(family):
+    """Session.worst_case equals the legacy verified_worst_case shim
+    (report, verdict and offsets checked) for representative families."""
+    protocol_e, protocol_f = ZOO[family]()
+    _offsets, horizon = _workload(protocol_e, protocol_f)
+    legacy = verified_worst_case(
+        protocol_e, protocol_f, horizon, omega=OMEGA, des_spot_checks=4
+    )
+    spec = RunSpec(
+        pair=(protocol_e, protocol_f), horizon=horizon, omega=OMEGA,
+        des_spot_checks=4,
+    )
+    with Session(RuntimeProfile(jobs=1)) as session:
+        facade = session.worst_case(spec).raw
+    assert facade == legacy, family
+
+
+def test_session_grid_matches_legacy_entry_point():
+    """Session.grid equals the legacy sweep_network_grid shim for a grid
+    mixing device counts, drift and staggered joins."""
+    grid = (
+        scenario_grid(dense_network, n_devices=[3, 4], eta=[0.05], seed=[0, 1])
+        + [drifting_pair(eta=0.05, drift_ppm=40, seed=2)]
+        + [gradual_join(n_devices=3, eta=0.05, seed=3)]
+    )
+    legacy = sweep_network_grid(
+        grid, jobs=2, base_seed=11, advertising_jitter=300
+    )
+    spec = RunSpec(grid=grid, seed=11, advertising_jitter=300)
+    with Session(RuntimeProfile(jobs=2)) as session:
+        facade = session.grid(spec).raw
+    assert facade == legacy
+
+
+def test_session_lifecycle_leaks_nothing():
+    """After ``__exit__``: zero leaked worker processes, zero leaked
+    shared-memory segments (the PR-4 acceptance criterion)."""
+    shm_dir = "/dev/shm"
+    can_watch_shm = os.path.isdir(shm_dir)
+    before_shm = set(os.listdir(shm_dir)) if can_watch_shm else set()
+    protocol_e, protocol_f = ZOO["disco"]()
+    offsets, horizon = _workload(protocol_e, protocol_f)
+    spec = RunSpec(pair=(protocol_e, protocol_f), offsets=list(offsets),
+                   horizon=horizon)
+    with Session(RuntimeProfile(backend="pooled", jobs=2)) as session:
+        session.sweep(spec)
+        session.grid(RunSpec(
+            grid=scenario_grid(dense_network, n_devices=[3, 4], eta=[0.05],
+                               seed=[0]),
+            seed=7,
+        ))
+        backend = session.backend
+        assert backend.started
+        pids = _worker_pids(backend)
+    assert not backend.started
+    _assert_processes_exit(pids)
+    if can_watch_shm:
+        leaked = set(os.listdir(shm_dir)) - before_shm
+        assert not leaked, f"shared-memory segments leaked: {leaked}"
