@@ -31,6 +31,19 @@ shared CI runners make wall-clock ratios unreliable -- plus top-level
 per-scenario grid wall-clock (with the two event-rate cost components)
 that :func:`repro.parallel.fit_cost_weights` regresses into calibrated
 ``Scenario.cost_hint`` weights.
+
+Since PR 5 two more phases cover the worst-case pipeline setup:
+
+* **critical-offset enumeration** on a large-zoo pair (Disco 101x103 at
+  slot 1000: ~330k beacon x bound cells per direction, a ~156k-offset
+  critical set), python reference vs the vectorized kernel, with
+  **bit-identity as a hard exit gate** exactly like the sweep kernels
+  (the speedup -- >= 3x acceptance, ~7x on the reference machine -- is
+  recorded, not asserted);
+* **pooled arena cold start**: one cold sweep through two private
+  spawn-context pools, with and without the shared-memory pattern
+  arena, so the JSON tracks what the arena saves spawn-start workers
+  (the pattern rebuild each worker paid before PR 5).
 """
 
 from __future__ import annotations
@@ -41,8 +54,13 @@ import sys
 import time
 from pathlib import Path
 
-from repro.backends import available_backends, default_backend_name, numpy_version
-from repro.backends.pooled import shutdown_pooled_backends
+from repro.backends import (
+    available_backends,
+    default_backend_name,
+    numpy_version,
+    SweepParams,
+)
+from repro.backends.pooled import PooledBackend, shutdown_pooled_backends
 from repro.core.optimal import synthesize_symmetric
 from repro.parallel import (
     derive_seed,
@@ -52,7 +70,8 @@ from repro.parallel import (
     ParallelSweep,
 )
 from repro.parallel.schedule import cost_components
-from repro.simulation import sweep_offsets
+from repro.protocols import Disco, PeriodicInterval, Role
+from repro.simulation import critical_offsets, ReceptionModel, sweep_offsets
 from repro.simulation.runner import _run_scenario
 from repro.workloads import dense_network, scenario_grid
 
@@ -185,6 +204,89 @@ def main(argv: list[str] | None = None) -> int:
         f"{pooled_warm_s:.3f} s warm   bit-identical: {pooled_identical}"
     )
     shutdown_pooled_backends()
+
+    # Phase: critical-offset enumeration on a large-zoo pair (PR 5).
+    # The python reference double loop vs the vectorized kernel;
+    # bit-identity between the full sorted offset lists is a hard exit
+    # gate, the speedup (>= 3x acceptance bar) is recorded evidence.
+    enum_proto = Disco(101, 103, slot_length=1000, omega=32)
+    enum_e, enum_f = enum_proto.device(Role.E), enum_proto.device(Role.F)
+    enum_python_s, enum_python = best_of(
+        args.repeats,
+        lambda: critical_offsets(enum_e, enum_f, omega=32),
+    )
+    backend_timings["enumeration_python_seconds"] = enum_python_s
+    backend_timings["enumeration_offsets"] = len(enum_python)
+    print(
+        f"enum python  : {enum_python_s:.3f} s "
+        f"({len(enum_python)} critical offsets, Disco 101x103)"
+    )
+    if "numpy" in available_backends():
+        enum_numpy_s, enum_numpy = best_of(
+            args.repeats,
+            lambda: critical_offsets(enum_e, enum_f, omega=32, backend="numpy"),
+        )
+        enum_identical = enum_numpy == enum_python
+        identical = identical and enum_identical
+        enum_speedup = (
+            enum_python_s / enum_numpy_s if enum_numpy_s > 0 else float("inf")
+        )
+        backend_timings["enumeration_numpy_seconds"] = enum_numpy_s
+        backend_timings["enumeration_speedup_numpy_over_python"] = enum_speedup
+        print(
+            f"enum numpy   : {enum_numpy_s:.3f} s   {enum_speedup:.2f}x over "
+            f"python   bit-identical: {enum_identical}"
+        )
+
+    # Phase: pooled cold start with vs without the shared-memory pattern
+    # arena, under spawn (the start method whose workers rebuild every
+    # pattern from scratch -- fork gets the parent registry for free).
+    # The workload is a heavy-pattern pair (PeriodicInterval 997x10007:
+    # ~2 s of exact segment derivation per cold build) with the parent
+    # registry prewarmed, matching a real session: the parent holds the
+    # pattern, and the question is whether each spawn worker re-derives
+    # it (no arena) or maps the parent's copy (arena).  Private pools so
+    # neither run reuses the other's workers; one cold sweep each.
+    arena_proto = PeriodicInterval(997, 10_007, 100, omega=32,
+                                   bidirectional=True)
+    arena_e, arena_f = arena_proto.device(Role.E), arena_proto.device(Role.F)
+    arena_offsets = [i * 131 for i in range(64)]
+    arena_params = SweepParams(
+        arena_e, arena_f, 1_000_000, ReceptionModel.POINT
+    )
+    for receiver in (arena_e, arena_f):
+        get_listening_cache(receiver)  # prewarm the parent registry
+    arena_reference = ParallelSweep(
+        jobs=1, backend="python"
+    ).evaluate_offsets(arena_e, arena_f, arena_offsets, 1_000_000)
+    arena_timings = {}
+    for label, use_arena in (("arena", True), ("no_arena", False)):
+        private = PooledBackend(
+            jobs=args.jobs, mp_context="spawn", use_arena=use_arena
+        )
+        try:
+            seconds, outcomes = best_of(
+                1,
+                lambda: private.evaluate_offsets_batch(
+                    arena_params, arena_offsets
+                ),
+            )
+        finally:
+            private.close()
+        arena_identical = outcomes == arena_reference
+        identical = identical and arena_identical
+        arena_timings[f"pooled_spawn_cold_{label}_seconds"] = seconds
+    backend_timings.update(arena_timings)
+    arena_delta = (
+        arena_timings["pooled_spawn_cold_no_arena_seconds"]
+        - arena_timings["pooled_spawn_cold_arena_seconds"]
+    )
+    print(
+        f"pooled spawn : {arena_timings['pooled_spawn_cold_arena_seconds']:.3f} s "
+        f"cold with arena, "
+        f"{arena_timings['pooled_spawn_cold_no_arena_seconds']:.3f} s without "
+        f"({arena_delta:+.3f} s saved)"
+    )
 
     # Phase: DES spot-check replays (the verified_worst_case tail),
     # serial vs the jobs-aware path.  This batch sits below the pooled

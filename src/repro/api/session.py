@@ -313,7 +313,13 @@ class Session:
         return int(base) * spec.horizon_multiple
 
     def _derived_offsets(self, spec: RunSpec, protocol_e, protocol_f):
-        """(offsets, sampling-actually-used) per the spec's policy."""
+        """(offsets, sampling-actually-used) per the spec's policy.
+
+        ``sampling="critical"`` enumerates through the session's
+        resolved kernel (``critical_offsets(backend=...)``), so a numpy
+        profile vectorizes the breakpoint generation as well as the
+        sweep -- bit-identical offsets by the backend contract.
+        """
         from ..simulation import critical_offsets
 
         sampling = spec.sampling
@@ -324,6 +330,7 @@ class Session:
                     protocol_f,
                     omega=spec.omega,
                     max_count=spec.max_critical,
+                    backend=self.backend,
                 ), "critical"
             except ValueError:
                 # Critical set exceeded max_critical: fall back to a
@@ -390,7 +397,11 @@ class Session:
     def worst_case(self, spec) -> RunResult:
         """Exact worst-case latency with DES spot-check cross-validation.
 
-        ``raw``: the :class:`repro.simulation.PairWorstCase`.
+        ``raw``: the :class:`repro.simulation.PairWorstCase`.  The
+        session's resolved kernel runs the whole pipeline -- critical
+        enumeration (``critical_offsets(backend=...)``, vectorized
+        under numpy), the sweep, and (for pooled profiles) the
+        spot-check sharding over the arena-warmed persistent pool.
         """
         import dataclasses
 

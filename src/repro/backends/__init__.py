@@ -43,6 +43,42 @@ vectorize a batch (non-integer schedules, disabled pattern caches,
 oversized values) silently delegate to the ``python`` reference rather
 than approximate.
 
+The ``enumerate_critical_offsets`` operation (PR 5)
+---------------------------------------------------
+
+Backends dispatch a second operation,
+:meth:`SweepBackend.enumerate_critical_offsets(params, omega, max_count)
+<SweepBackend.enumerate_critical_offsets>` -- the breakpoint
+enumeration feeding ``verified_worst_case`` and
+``sampling="critical"`` sweeps.  Its contract mirrors
+``evaluate_offsets_batch``:
+
+* **Inputs.**  Only ``params.protocol_e`` / ``params.protocol_f`` are
+  read (breakpoint positions do not depend on horizon, reception model
+  or turnaround); ``omega`` adds the packet-length-shifted window
+  bounds, ``max_count`` is the explosion guard.
+* **Bit-identity.**  Every implementation returns the identical sorted
+  list of python ints as the reference
+  (:func:`repro.backends.python_loop.enumerate_critical_offsets_reference`)
+  -- the ``numpy`` kernel replaces the ``beacon_times x window_bounds``
+  double loop with one broadcast modular subtraction per direction,
+  vectorized ``+-1`` neighbours and ``np.unique`` dedup, but builds
+  both boundary lists with the exact reference code so every input
+  instant is the same integer.  Pinned by the property-based
+  differential harness (``tests/test_critical_offsets_property.py``)
+  across all 13 zoo families and by the bench smoke's hard exit gate.
+* **Guard parity.**  The ``max_count`` guards raise ``ValueError`` at
+  the same points with the same messages for every backend: a
+  pre-enumeration product guard per direction (on the *deduplicated*
+  window-bound count) and a cumulative set-size guard after each
+  direction.
+* **Delegation.**  The abstract base provides the reference as the
+  default implementation, so custom kernels stay correct without
+  opting in; ``pooled`` delegates to its inner kernel in-process (the
+  enumeration is one pass, not a batch worth sharding), and the numpy
+  kernel falls back to the reference wholesale beyond its int64
+  headroom.
+
 Persistent-pool lifecycle
 -------------------------
 

@@ -32,6 +32,7 @@ families and all three reception models.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from ..core.sequences import NDProtocol
@@ -46,6 +47,13 @@ __all__ = ["NumpyBackend"]
 # residue arithmetic (t - rx_phase spans twice the magnitude), so such
 # batches take the arbitrary-precision python path instead.
 _INT_BOUND = 1 << 60
+
+# Critical-offset enumeration uses an O(hyperperiod) boolean scatter
+# mask for dedup (no sort at all) up to this hyperperiod -- 64 MB of
+# transient bool scratch at the limit.  Larger hyperperiods fall back
+# to sort-based dedup, which costs O(B*W log B*W) but no per-microsecond
+# memory.
+_BITMAP_MAX_HYPER = 1 << 26
 
 
 def _pattern_arrays(cache: ListeningCache):
@@ -157,6 +165,108 @@ class NumpyBackend(SweepBackend):
                 )
             )
         return outcomes
+
+    def enumerate_critical_offsets(
+        self,
+        params: SweepParams,
+        omega: int | None = None,
+        max_count: int = 200_000,
+    ) -> list[int]:
+        """Vectorized critical-offset enumeration, bit-identical to the
+        pure-python reference.
+
+        The reference is a double loop over ``beacon_times x
+        window_bounds`` with modular arithmetic per cell.  Here the two
+        boundary lists are still built by the exact (linear) reference
+        code -- :meth:`BeaconSchedule.beacon_times` and the deduplicated
+        :func:`repro.backends.python_loop.critical_window_bounds` -- so
+        every input instant is the identical integer, and only the
+        quadratic part is batched: one broadcast subtraction of window
+        bounds against beacon times mod the hyperperiod per direction,
+        with the ``+-1`` one-sided-limit neighbours generated
+        vectorized.  Dedup is a boolean scatter mask over the
+        hyperperiod where that fits in memory (no sort at all --
+        ``np.flatnonzero`` reads the sorted set straight back out) and
+        sort-based ``np.unique``/``np.union1d`` beyond it.  The
+        ``max_count`` guards fire at the same points with the same
+        messages as the reference (pre-enumeration product guard per
+        direction, cumulative set guard after each direction), and the
+        returned list is the same sorted python ints.  Hyperperiods at
+        or beyond the int64 headroom delegate to the reference
+        wholesale.
+        """
+        np = _np.np
+        if np is None:  # pragma: no cover - registration guards this
+            raise BackendUnavailable("NumPy disappeared after registration")
+        from .python_loop import (
+            critical_window_bounds,
+            enumerate_critical_offsets_reference,
+        )
+
+        protocol_e, protocol_f = params.protocol_e, params.protocol_f
+        hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
+        if hyper >= _INT_BOUND or (
+            omega is not None and abs(omega) >= _INT_BOUND
+        ):
+            return enumerate_critical_offsets_reference(
+                protocol_e, protocol_f, omega, max_count
+            )
+
+        mask = None
+        merged = None
+        # Direction signs as in the reference: E->F breakpoints at
+        # offset = tau - bound (sign -1), F->E at bound - tau (+1).
+        for tx, rx, sign in (
+            (protocol_e.beacons, protocol_f.reception, -1),
+            (protocol_f.beacons, protocol_e.reception, +1),
+        ):
+            if tx is None or rx is None:
+                continue
+            n_beacons = hyper // int(tx.period) * tx.n_beacons
+            beacon_times = [int(tau) for tau in tx.beacon_times(n_beacons)]
+            window_bounds = critical_window_bounds(rx, hyper, omega)
+            if len(beacon_times) * len(window_bounds) > max_count * 4:
+                raise ValueError(
+                    f"critical set too large "
+                    f"({len(beacon_times)} beacons x "
+                    f"{len(window_bounds)} bounds); "
+                    f"use a uniform sweep"
+                )
+            taus = np.asarray(beacon_times, dtype=np.int64)
+            bounds = np.asarray(window_bounds, dtype=np.int64)
+            base = (sign * np.subtract.outer(bounds, taus)) % hyper
+            base = base.ravel()
+            if hyper <= _BITMAP_MAX_HYPER:
+                if mask is None:
+                    mask = np.zeros(hyper, dtype=bool)
+                mask[base] = True
+                mask[(base - 1) % hyper] = True
+                mask[(base + 1) % hyper] = True
+                count = int(np.count_nonzero(mask))
+            else:
+                # Dedup the base offsets *before* neighbour generation:
+                # the second sort then runs over ~3 unique values per
+                # breakpoint instead of 3 per (beacon, bound) cell.
+                unique = np.unique(base)
+                unique = np.unique(
+                    np.concatenate(
+                        (unique, (unique - 1) % hyper, (unique + 1) % hyper)
+                    )
+                )
+                merged = (
+                    unique if merged is None else np.union1d(merged, unique)
+                )
+                count = int(merged.size)
+            if count > max_count:
+                raise ValueError(
+                    f"critical set exceeded {max_count} offsets; "
+                    f"use a uniform sweep"
+                )
+        if mask is not None:
+            return np.flatnonzero(mask).tolist()
+        if merged is None:
+            return []
+        return merged.tolist()
 
     def _first_discovery_batch(
         self,

@@ -20,11 +20,25 @@ explicitly shut-down** persistent pool:
   terminates the workers deterministically; an ``atexit`` hook is the
   backstop so no interpreter exit ever leaks processes.
 
-Work ships as ``(inner_name, params, offsets)`` chunks through a
-module-level function -- everything pickles under fork and spawn, and
-workers resolve listening patterns through their own process-wide
-registries (no per-sweep initializer exists on a persistent pool, and
-none is needed: the registry memoizes across tasks).
+Work ships as ``(inner_name, params, offsets, arena_handles)`` chunks
+through a module-level function -- everything pickles under fork and
+spawn, and workers resolve listening patterns through their own
+process-wide registries (no per-sweep initializer exists on a
+persistent pool, and none is needed: the registry memoizes across
+tasks).
+
+Since PR 5 the pool also pins a **shared-memory pattern arena**
+(:class:`repro.parallel.shm.PatternArena`) for the registry's sweep
+patterns: the parent publishes each pair's listening patterns (resolved
+through the keyed cache registry, so a warm zoo costs one dict probe)
+into pool-lifetime segments, and every sweep chunk carries the covering
+segment handles so workers map the patterns zero-copy instead of
+rebuilding them -- removing the one cold rebuild spawn-start workers
+still paid per protocol.  The arena lives and dies with the pool: it is
+released in :meth:`PooledBackend.close` (reached from
+``Session.__exit__`` via the retain/release protocol, or from
+:func:`shutdown_pooled_backends`), never leaking segments past the
+owning pool.
 """
 
 from __future__ import annotations
@@ -58,15 +72,32 @@ def _default_mp_context() -> str:
 
 
 def _pooled_chunk(
-    inner_name: str, params: SweepParams, offsets: list[int]
+    inner_name: str,
+    params: SweepParams,
+    offsets: list[int],
+    arena_handles: tuple = (),
 ) -> list[tuple]:
     """Worker entry point: evaluate one chunk through the inner kernel.
 
-    Outcomes travel back in the shared tuple wire format
-    (:func:`repro.backends.base.encode_outcomes`, cheaper to pickle
-    than dataclasses); the parent rebuilds :class:`DiscoveryOutcome`
-    field-for-field.
+    ``arena_handles`` are the pool arena's segment handles covering this
+    pair's patterns; the (idempotent, per-fingerprint-once) attach maps
+    them zero-copy into the worker's keyed registry before the kernel
+    resolves its caches, so even a spawn-start worker's first chunk
+    skips pattern construction.  Outcomes travel back in the shared
+    tuple wire format (:func:`repro.backends.base.encode_outcomes`,
+    cheaper to pickle than dataclasses); the parent rebuilds
+    :class:`DiscoveryOutcome` field-for-field.
     """
+    if arena_handles:
+        from ..parallel.shm import attach_pattern_arena
+
+        attach_pattern_arena(
+            arena_handles,
+            [
+                (params.protocol_e, params.turnaround),
+                (params.protocol_f, params.turnaround),
+            ],
+        )
     return encode_outcomes(
         get_backend(inner_name).evaluate_offsets_batch(params, offsets)
     )
@@ -83,6 +114,7 @@ class PooledBackend(SweepBackend):
         jobs: int | None = None,
         mp_context: str | None = None,
         chunks_per_job: int = 4,
+        use_arena: bool = True,
     ) -> None:
         from .base import default_backend_name
 
@@ -90,7 +122,13 @@ class PooledBackend(SweepBackend):
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.mp_context = mp_context or _default_mp_context()
         self.chunks_per_job = chunks_per_job
+        #: Pin a pool-lifetime shared-memory pattern arena (module
+        #: docstring); ``False`` keeps the PR-3 rebuild-per-worker
+        #: behaviour -- results are bit-identical either way, the flag
+        #: exists for the cold-start benchmark comparison.
+        self.use_arena = use_arena
         self._executor: ProcessPoolExecutor | None = None
+        self._arena = None
         self._session_refs = 0
         self._retain_generation = 0
 
@@ -119,13 +157,50 @@ class PooledBackend(SweepBackend):
         """
         return self.executor().submit(fn, *args, **kwargs)
 
+    @property
+    def arena(self):
+        """The pool's :class:`repro.parallel.shm.PatternArena` (or
+        ``None`` before the first sharded sweep / when disabled)."""
+        return self._arena
+
+    def _arena_handles(self, params: SweepParams) -> tuple:
+        """Parent-side arena upkeep for one sweep batch.
+
+        Resolves both receivers' listening caches through the keyed
+        registry (warm zoos hit; cold pairs build once, in the parent,
+        instead of once per worker), publishes any pattern the arena
+        does not hold yet into a new pool-lifetime segment, and returns
+        the handles covering this pair for the chunk submissions.
+        """
+        if not self.use_arena:
+            return ()
+        from ..parallel.cache import get_listening_cache, protocol_fingerprint
+        from ..parallel.shm import PatternArena
+
+        if self._arena is None:
+            self._arena = PatternArena()
+        caches = {
+            protocol_fingerprint(receiver, params.turnaround):
+                get_listening_cache(receiver, params.turnaround)
+            for receiver in (params.protocol_e, params.protocol_f)
+        }
+        self._arena.ensure(caches)
+        return self._arena.handles_for(caches)
+
     def close(self, wait: bool = True) -> None:
-        """Shut the worker pool down (idempotent); the next batch that
-        needs one lazily creates a fresh pool."""
+        """Shut the worker pool down and release its pattern arena
+        (idempotent); the next batch that needs one lazily creates a
+        fresh pool (and arena)."""
         executor, self._executor = self._executor, None
+        arena, self._arena = self._arena, None
         _LIVE_POOLS.discard(self)
         if executor is not None:
             executor.shutdown(wait=wait)
+        if arena is not None:
+            # After the workers: their mappings outlive the unlink
+            # safely (POSIX), but unlinking only once no new chunk can
+            # be submitted keeps the ordering obviously correct.
+            arena.close()
 
     #: ``shutdown`` is the conventional executor spelling.
     shutdown = close
@@ -177,6 +252,22 @@ class PooledBackend(SweepBackend):
         self.close()
 
     # ------------------------------------------------------------------
+    def enumerate_critical_offsets(
+        self,
+        params: SweepParams,
+        omega: int | None = None,
+        max_count: int = 200_000,
+    ) -> list[int]:
+        """Critical-offset enumeration through the *inner* kernel,
+        in-process: the enumeration is one (possibly vectorized) pass,
+        not a batch worth sharding, so a ``pooled(numpy)`` backend gets
+        the numpy kernel's batched modular arithmetic without paying
+        any pool round-trip."""
+        return get_backend(self.inner).enumerate_critical_offsets(
+            params, omega, max_count
+        )
+
+    # ------------------------------------------------------------------
     def evaluate_offsets_batch(
         self,
         params: SweepParams,
@@ -196,9 +287,14 @@ class PooledBackend(SweepBackend):
             )
         per_job = chunks_per_job if chunks_per_job else self.chunks_per_job
         chunks = chunk_evenly(offsets, self.jobs * per_job)
+        # Boot (or reuse) the executor before publishing into the
+        # arena: only a booted pool is tracked by _LIVE_POOLS, so a
+        # failed boot must not strand freshly published shm segments
+        # beyond shutdown_pooled_backends()'s reach.
         pool = self.executor()
+        handles = self._arena_handles(params)
         futures = [
-            pool.submit(_pooled_chunk, self.inner, params, chunk)
+            pool.submit(_pooled_chunk, self.inner, params, chunk, handles)
             for chunk in chunks
         ]
         # Futures are consumed in submission order, so flattening

@@ -12,15 +12,110 @@ everywhere, which is why auto-detection falls back to it.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from typing import Sequence
 
-from ..core.sequences import NDProtocol
+from ..core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
 from ..parallel.cache import get_listening_cache, ListeningCache
 from ..simulation.analytic import DiscoveryOutcome, ReceptionModel
 from .base import SweepBackend, SweepParams
 
-__all__ = ["CachedPairEvaluator", "PythonBackend"]
+__all__ = [
+    "CachedPairEvaluator",
+    "critical_window_bounds",
+    "enumerate_critical_offsets_reference",
+    "PythonBackend",
+]
+
+
+def critical_window_bounds(
+    rx: ReceptionSchedule, hyper: int, omega: int | None
+) -> list[int]:
+    """Deduplicated window-boundary instants of ``rx`` over one
+    hyperperiod (first-occurrence order).
+
+    Every window contributes its start and end (plus the ``- omega``
+    shifted twins when a packet length is given), per schedule instance.
+    Duplicates -- abutting windows share a boundary, and an ``omega``
+    equal to a multiple of the window grid folds shifted bounds onto
+    unshifted ones -- are dropped *before* any size guard looks at the
+    count, so duplicate-heavy schedules are judged by the breakpoints
+    they actually produce (the PR-5 guard fix).
+    """
+    bounds: list[int] = []
+    n_instances = hyper // int(rx.period)
+    for instance in range(n_instances):
+        base = instance * int(rx.period)
+        for w in rx.windows:
+            bounds.append(base + int(w.start))
+            bounds.append(base + int(w.end))
+            if omega:
+                bounds.append(base + int(w.start) - omega)
+                bounds.append(base + int(w.end) - omega)
+    return list(dict.fromkeys(bounds))
+
+
+def enumerate_critical_offsets_reference(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    omega: int | None = None,
+    max_count: int = 200_000,
+) -> list[int]:
+    """The exact pure-python critical-offset enumeration.
+
+    The reference loop behind
+    :func:`repro.simulation.analytic.critical_offsets`, extracted here
+    (PR 5) so it sits next to the sweep kernels it feeds and so the
+    vectorized :class:`repro.backends.numpy_kernel.NumpyBackend`
+    enumeration can be pinned bit-identical against it.  Semantics are
+    unchanged except for one bugfix: the pre-enumeration size guard now
+    runs on the *deduplicated* window-bound count
+    (:func:`critical_window_bounds`), so duplicate-heavy schedules whose
+    actual critical set is small are no longer rejected.
+    """
+    hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
+
+    offsets: set[int] = set()
+
+    def add_direction(
+        tx: BeaconSchedule | None, rx: ReceptionSchedule | None, sign: int
+    ) -> None:
+        if tx is None or rx is None:
+            return
+        n_beacons = hyper // int(tx.period) * tx.n_beacons
+        beacon_times = tx.beacon_times(n_beacons)
+        window_bounds = critical_window_bounds(rx, hyper, omega)
+        if len(beacon_times) * len(window_bounds) > max_count * 4:
+            raise ValueError(
+                f"critical set too large "
+                f"({len(beacon_times)} beacons x {len(window_bounds)} bounds); "
+                f"use a uniform sweep"
+            )
+        for tau in beacon_times:
+            tau = int(tau)
+            for bound in window_bounds:
+                base_offset = (sign * (bound - tau)) % hyper
+                offsets.add(base_offset)
+                offsets.add((base_offset - 1) % hyper)
+                offsets.add((base_offset + 1) % hyper)
+        if len(offsets) > max_count:
+            raise ValueError(
+                f"critical set exceeded {max_count} offsets; "
+                f"use a uniform sweep"
+            )
+
+    # F is shifted by +offset.  E->F: a beacon of E at tau meets a window
+    # bound of F (sitting at offset + bound) when tau = offset + bound,
+    # so breakpoints fall at offset = tau - bound (sign -1).  F->E: F's
+    # beacon at offset + tau meets E's bound when offset = bound - tau
+    # (sign +1).  The pre-PR-5 code had the two signs swapped -- masked
+    # for symmetric pairs, whose two directions mirror each other, but
+    # missing true breakpoints (and worst cases) for asymmetric ones;
+    # caught by the property harness's duplicate-heavy regression pair.
+    add_direction(protocol_e.beacons, protocol_f.reception, -1)
+    add_direction(protocol_f.beacons, protocol_e.reception, +1)
+    return sorted(offsets)
 
 
 class CachedPairEvaluator:

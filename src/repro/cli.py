@@ -420,10 +420,11 @@ def _runtime_flags() -> argparse.ArgumentParser:
         choices=["auto", "python", "numpy", "pooled"],
         default=None,
         help=(
-            "sweep kernel: auto = NumPy-vectorized when NumPy is "
-            "importable (python fallback); pooled = persistent worker "
-            "pool owned by the command's session; results are "
-            "bit-identical"
+            "sweep + critical-offset-enumeration kernel: auto = "
+            "NumPy-vectorized when NumPy is importable (python "
+            "fallback); pooled = persistent worker pool (with its "
+            "shared-memory pattern arena) owned by the command's "
+            "session; results are bit-identical"
         ),
     )
     group.add_argument(

@@ -71,8 +71,17 @@ batches *and* scenario grids, shut down explicitly via
 ``atexit`` backstop so no interpreter exit leaks worker processes.
 Persistent workers hold no per-sweep initializer state: work arrives
 fully parameterized and patterns resolve through each worker's own
-keyed registry, which stays warm across sweeps -- the shared-memory
-segment transport is a per-sweep-pool concern and does not apply.
+keyed registry, which stays warm across sweeps.  Since PR 5 the
+persistent pool additionally pins a pool-lifetime shared-memory
+**pattern arena** (:class:`repro.parallel.shm.PatternArena`): the
+parent publishes each pair's registry patterns into append-only int64
+segments and every sweep chunk carries the covering handles, so even
+spawn-start workers map their patterns zero-copy instead of paying one
+cold rebuild per protocol.  Arena segments are released exactly when
+the owning pool closes (``Session.__exit__`` /
+``shutdown_pooled_backends``) -- the per-sweep
+:class:`~repro.parallel.shm.SharedPatternStore` contract (unlink on
+sweep exit) is unchanged for per-sweep pools.
 """
 
 from .cache import (
@@ -94,7 +103,7 @@ from .schedule import (
     plan_longest_first,
     use_cost_weights,
 )
-from .shm import PatternHandle, SharedPatternStore
+from .shm import PatternArena, PatternHandle, SharedPatternStore
 
 __all__ = [
     "CachedPairEvaluator",
@@ -109,6 +118,7 @@ __all__ = [
     "listening_cache_fingerprints",
     "listening_cache_stats",
     "ParallelSweep",
+    "PatternArena",
     "PatternHandle",
     "plan_longest_first",
     "protocol_fingerprint",

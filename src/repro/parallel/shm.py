@@ -27,6 +27,12 @@ Lifecycle contract
   hook (memoryviews first, then the segment) so pool shutdown stays
   warning-free.  POSIX keeps a mapped segment's memory valid even after
   the parent unlinks the name, so in-flight chunks are always safe.
+* For **persistent pools** the per-sweep lifetime is wrong by design:
+  :class:`PatternArena` (PR 5) owns append-only segments for the
+  pool's lifetime instead, published incrementally from the keyed
+  cache registry and attached idempotently per chunk
+  (:func:`attach_pattern_arena`), released when the owning
+  :class:`repro.backends.pooled.PooledBackend` closes.
 """
 
 from __future__ import annotations
@@ -39,9 +45,11 @@ from multiprocessing import shared_memory
 from .cache import ListeningCache, protocol_fingerprint, register_listening_cache
 
 __all__ = [
+    "PatternArena",
     "PatternEntry",
     "PatternHandle",
     "SharedPatternStore",
+    "attach_pattern_arena",
     "attach_pattern_caches",
 ]
 
@@ -157,6 +165,99 @@ class SharedPatternStore:
         self.close()
 
 
+class PatternArena:
+    """Long-lived, incrementally grown pattern store for persistent pools.
+
+    A :class:`SharedPatternStore` is per-sweep by contract: one segment,
+    published once, unlinked when the sweep exits.  A persistent
+    :class:`repro.backends.pooled.PooledBackend` has the opposite
+    lifetime -- its workers survive across sweeps, and under ``spawn``
+    each one used to rebuild every listening pattern once per protocol
+    before the keyed registry went warm.  The arena pins the patterns to
+    the *pool's* lifetime instead: the parent packs each batch of
+    not-yet-published patterns (resolved through the keyed
+    listening-cache registry) into an additional immutable segment, and
+    workers map the segments zero-copy on first use
+    (:func:`attach_pattern_arena`), so even a spawn-start worker's first
+    chunk finds its patterns already built.
+
+    Segments are append-only -- shared memory cannot grow in place, so
+    new fingerprints get a new segment rather than a repack -- and the
+    arena never unlinks until :meth:`close`, which the owning pool calls
+    from its own ``close()`` (reached via ``Session.__exit__`` releasing
+    the last retain reference, or ``shutdown_pooled_backends``).  Worker
+    mappings are released by the same ``atexit`` hook as per-sweep
+    segments; POSIX keeps mapped memory valid past the unlink, so
+    teardown order cannot race in-flight chunks.
+    """
+
+    def __init__(self) -> None:
+        self._stores: list[SharedPatternStore] = []
+        self._by_fingerprint: dict[str, PatternHandle] = {}
+
+    @property
+    def segments(self) -> int:
+        """Published shared-memory segments currently owned."""
+        return len(self._stores)
+
+    @property
+    def fingerprints(self) -> frozenset[str]:
+        """Fingerprints whose patterns live in some arena segment."""
+        return frozenset(self._by_fingerprint)
+
+    def ensure(self, caches: dict[str, ListeningCache]) -> int:
+        """Publish one new segment covering the not-yet-arena'd entries
+        of ``caches`` (fingerprint -> cache).  Disabled or pattern-less
+        caches are skipped -- their per-query fallback path needs no
+        transport.  Returns the number of patterns newly published;
+        0 means every enabled pattern was already covered (the warm
+        path, a dict probe per fingerprint).
+        """
+        fresh = {
+            fingerprint: cache
+            for fingerprint, cache in caches.items()
+            if fingerprint not in self._by_fingerprint
+            and cache.enabled
+            and cache.pattern_segments
+        }
+        if not fresh:
+            return 0
+        store = SharedPatternStore()
+        handle = store.publish(fresh)
+        if handle is None:  # pragma: no cover - fresh is pre-filtered
+            return 0
+        self._stores.append(store)
+        for entry in handle.entries:
+            self._by_fingerprint[entry.fingerprint] = handle
+        return len(handle.entries)
+
+    def handles_for(self, fingerprints) -> tuple[PatternHandle, ...]:
+        """The minimal handle set covering ``fingerprints`` (patterns
+        published together share a segment and therefore a handle);
+        unknown fingerprints are simply not covered."""
+        handles: list[PatternHandle] = []
+        seen: set[str] = set()
+        for fingerprint in fingerprints:
+            handle = self._by_fingerprint.get(fingerprint)
+            if handle is not None and handle.shm_name not in seen:
+                seen.add(handle.shm_name)
+                handles.append(handle)
+        return tuple(handles)
+
+    def close(self) -> None:
+        """Unlink every owned segment (idempotent)."""
+        stores, self._stores = self._stores, []
+        self._by_fingerprint.clear()
+        for store in stores:
+            store.close()
+
+    def __enter__(self) -> "PatternArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
@@ -165,6 +266,11 @@ class SharedPatternStore:
 # worker's lifetime and torn down (views before segments) at exit.
 _ATTACHED_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
 _ATTACHED_VIEWS: list[memoryview] = []
+# Fingerprints this process already registered from an arena segment:
+# the guard that makes attach_pattern_arena idempotent per chunk, so a
+# worker's segment-backed caches (and their residue memos) survive
+# instead of being rebuilt on every submission.
+_ARENA_REGISTERED: set[str] = set()
 _ATEXIT_REGISTERED = False
 
 
@@ -179,6 +285,7 @@ def _release_attached() -> None:
         except BufferError:  # pragma: no cover - stray external view
             pass
     _ATTACHED_SEGMENTS.clear()
+    _ARENA_REGISTERED.clear()
     _ATEXIT_REGISTERED = False
 
 
@@ -196,29 +303,24 @@ def _map_segment(handle: PatternHandle) -> memoryview:
     return view
 
 
-def attach_pattern_caches(handle: PatternHandle, receivers) -> int:
-    """Register segment-backed caches for ``receivers`` in this process.
-
-    ``receivers`` is an iterable of ``(protocol, turnaround)`` pairs;
-    each one whose fingerprint appears in ``handle`` gets a
-    :meth:`ListeningCache.from_pattern` over the mapped segment --
-    zero-copy int64 memoryview slices for patterns of at least
-    ``ZERO_COPY_MIN_SEGMENTS`` segments, a plain-list copy below that
-    (the segment is still the single transport; only the per-query
-    representation differs) -- installed via
-    :func:`repro.parallel.cache.register_listening_cache`, deliberately
-    replacing fork-inherited private copies.  Returns the number of
-    caches registered.
-    """
+def _register_from_handle(
+    handle: PatternHandle, receivers, skip: frozenset | set = frozenset()
+) -> set[str]:
+    """Register segment-backed caches for every receiver whose
+    fingerprint appears in ``handle`` and not in ``skip``; returns the
+    fingerprints registered (the shared body behind both attach
+    entry points)."""
     by_fp = {entry.fingerprint: entry for entry in handle.entries}
     matched = {}
     for protocol, turnaround in receivers:
         fingerprint = protocol_fingerprint(protocol, turnaround)
+        if fingerprint in skip:
+            continue
         entry = by_fp.get(fingerprint)
         if entry is not None:
             matched[fingerprint] = (protocol, turnaround, entry)
     if not matched:
-        return 0
+        return set()
     view = _map_segment(handle)
     for fingerprint, (protocol, turnaround, entry) in matched.items():
         lo, n = entry.offset, entry.length
@@ -235,4 +337,42 @@ def attach_pattern_caches(handle: PatternHandle, receivers) -> int:
                 protocol, turnaround, entry.hyper, entry.threshold, starts, ends
             ),
         )
-    return len(matched)
+    return set(matched)
+
+
+def attach_pattern_caches(handle: PatternHandle, receivers) -> int:
+    """Register segment-backed caches for ``receivers`` in this process.
+
+    ``receivers`` is an iterable of ``(protocol, turnaround)`` pairs;
+    each one whose fingerprint appears in ``handle`` gets a
+    :meth:`ListeningCache.from_pattern` over the mapped segment --
+    zero-copy int64 memoryview slices for patterns of at least
+    ``ZERO_COPY_MIN_SEGMENTS`` segments, a plain-list copy below that
+    (the segment is still the single transport; only the per-query
+    representation differs) -- installed via
+    :func:`repro.parallel.cache.register_listening_cache`, deliberately
+    replacing fork-inherited private copies.  Returns the number of
+    caches registered.
+    """
+    return len(_register_from_handle(handle, receivers))
+
+
+def attach_pattern_arena(
+    handles: tuple[PatternHandle, ...], receivers
+) -> int:
+    """Idempotently register arena-backed caches in this worker.
+
+    Unlike :func:`attach_pattern_caches` (one call per pool boot,
+    through the initializer), this runs on **every** pooled chunk -- a
+    persistent pool has no per-sweep initializer -- so it must be a
+    cheap no-op once a pattern is installed: fingerprints already
+    registered from an arena are skipped (preserving the worker's warm
+    residue memos), and only genuinely new ones map their segment and
+    register.  Returns the number of caches newly registered.
+    """
+    registered = 0
+    for handle in handles:
+        fresh = _register_from_handle(handle, receivers, _ARENA_REGISTERED)
+        _ARENA_REGISTERED.update(fresh)
+        registered += len(fresh)
+    return registered

@@ -23,7 +23,6 @@ For every configuration: ``L(ANY_OVERLAP) <= L(POINT) <= L(CONTAINMENT)``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
@@ -279,6 +278,7 @@ def critical_offsets(
     protocol_f: NDProtocol,
     omega: int | None = None,
     max_count: int = 200_000,
+    backend=None,
 ) -> list[int]:
     """Phase offsets at which the discovery-time function can change.
 
@@ -291,53 +291,40 @@ def critical_offsets(
 
     Considers both directions (E's beacons vs F's windows and vice
     versa).  Raises ``ValueError`` if the critical set would exceed
-    ``max_count`` (fall back to a uniform sweep for such configs).
+    ``max_count`` (fall back to a uniform sweep for such configs); the
+    size guard runs on the *deduplicated* window-bound count, so
+    duplicate-heavy schedules are judged by the breakpoints they
+    actually produce.
+
+    The enumeration is the second kernel-dispatched
+    :mod:`repro.backends` operation (PR 5).  ``backend=None`` (the
+    default) runs the exact pure-python reference loop
+    (:func:`repro.backends.python_loop.enumerate_critical_offsets_reference`)
+    -- the anchor the property harness pins every kernel against.  Any
+    other value resolves a :class:`repro.backends.SweepBackend` and
+    dispatches to its
+    :meth:`~repro.backends.SweepBackend.enumerate_critical_offsets`,
+    bit-identical by contract (the ``numpy`` kernel replaces the double
+    loop with batched modular arithmetic).  Unlike the deprecated
+    ``evaluate_offsets(backend=...)`` plumbing this parameter is
+    first-class: ``verified_worst_case`` and
+    :meth:`repro.api.Session.worst_case` thread their resolved kernel
+    through it.
     """
-    hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
+    if backend is None:
+        from ..backends.python_loop import enumerate_critical_offsets_reference
 
-    offsets: set[int] = set()
+        return enumerate_critical_offsets_reference(
+            protocol_e, protocol_f, omega, max_count
+        )
+    from ..backends import resolve_backend, SweepParams
 
-    def add_direction(
-        tx: BeaconSchedule | None, rx: ReceptionSchedule | None, sign: int
-    ) -> None:
-        if tx is None or rx is None:
-            return
-        n_beacons = hyper // int(tx.period) * tx.n_beacons
-        beacon_times = tx.beacon_times(n_beacons)
-        window_bounds: list[int] = []
-        n_windows = hyper // int(rx.period)
-        for instance in range(n_windows):
-            base = instance * int(rx.period)
-            for w in rx.windows:
-                window_bounds.append(base + int(w.start))
-                window_bounds.append(base + int(w.end))
-                if omega:
-                    window_bounds.append(base + int(w.start) - omega)
-                    window_bounds.append(base + int(w.end) - omega)
-        if len(beacon_times) * len(window_bounds) > max_count * 4:
-            raise ValueError(
-                f"critical set too large "
-                f"({len(beacon_times)} beacons x {len(window_bounds)} bounds); "
-                f"use a uniform sweep"
-            )
-        for tau in beacon_times:
-            tau = int(tau)
-            for bound in window_bounds:
-                base_offset = (sign * (bound - tau)) % hyper
-                offsets.add(base_offset)
-                offsets.add((base_offset - 1) % hyper)
-                offsets.add((base_offset + 1) % hyper)
-        if len(offsets) > max_count:
-            raise ValueError(
-                f"critical set exceeded {max_count} offsets; "
-                f"use a uniform sweep"
-            )
-
-    # F shifted by +offset: E->F breakpoints at offset = bound - tau of F's
-    # windows vs E's beacons; F->E at offset = tau - bound.
-    add_direction(protocol_e.beacons, protocol_f.reception, +1)
-    add_direction(protocol_f.beacons, protocol_e.reception, -1)
-    return sorted(offsets)
+    params = SweepParams(
+        protocol_e, protocol_f, horizon=0, model=ReceptionModel.POINT
+    )
+    return resolve_backend(backend).enumerate_critical_offsets(
+        params, omega=omega, max_count=max_count
+    )
 
 
 @dataclass(frozen=True)

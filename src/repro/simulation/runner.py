@@ -419,24 +419,31 @@ def _verified_worst_case_impl(
     uniform sweep when the critical set explodes), then replays a handful
     of offsets -- including the worst ones -- through the event-driven
     simulator and checks for exact agreement.  ``sweeper`` is the
-    session's configured :class:`repro.parallel.ParallelSweep`; the
-    report and the verdict are bit-identical for every runtime profile
-    (spot-check offsets are chosen deterministically, each replay is an
-    independent computation, and every kernel is pinned against the
-    exact reference).
+    session's configured :class:`repro.parallel.ParallelSweep`; its
+    resolved kernel runs *both* halves of the setup -- the critical
+    enumeration (`critical_offsets(backend=...)`, vectorized under the
+    numpy kernel since PR 5) and the offset sweep itself.  The report
+    and the verdict are bit-identical for every runtime profile
+    (enumeration and spot-check selection are deterministic, each
+    replay is an independent computation, and every kernel is pinned
+    against the exact reference).
     """
+    if sweeper is None:
+        from ..parallel import ParallelSweep
+
+        sweeper = ParallelSweep(jobs=1)
     try:
         offsets = critical_offsets(
-            protocol_e, protocol_f, omega=omega, max_count=max_critical
+            protocol_e,
+            protocol_f,
+            omega=omega,
+            max_count=max_critical,
+            backend=sweeper._resolve_backend(),
         )
     except ValueError:
         hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
         step = max(1, hyper // fallback_samples)
         offsets = list(range(0, hyper, step))
-    if sweeper is None:
-        from ..parallel import ParallelSweep
-
-        sweeper = ParallelSweep(jobs=1)
     report = sweeper.sweep_offsets(
         protocol_e, protocol_f, offsets, horizon, reception_model, turnaround
     )

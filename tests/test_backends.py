@@ -192,6 +192,99 @@ class TestCustomBackendInstances:
         assert calls == [len(offsets)]
 
 
+class TestEnumerateCriticalOffsets:
+    """Unit tests of the second kernel-dispatched operation (PR 5)."""
+
+    def test_base_default_is_the_reference(self):
+        """A custom kernel that never opts in still enumerates exactly:
+        the abstract base delegates to the python reference."""
+
+        class Minimal(SweepBackend):
+            name = "minimal"
+
+            def evaluate_offsets_batch(self, params, offsets):
+                return []
+
+        from repro.simulation import critical_offsets
+
+        protocol, _, _ = _small_pair()
+        params = SweepParams(protocol, protocol, 0, ReceptionModel.POINT)
+        assert Minimal().enumerate_critical_offsets(
+            params, omega=32
+        ) == critical_offsets(protocol, protocol, omega=32)
+
+    def test_backend_kwarg_resolves_names(self):
+        from repro.simulation import critical_offsets
+
+        protocol, _, _ = _small_pair()
+        reference = critical_offsets(protocol, protocol, omega=32)
+        assert reference  # non-degenerate workload
+        for backend in ("python", "auto", get_backend("python")):
+            assert critical_offsets(
+                protocol, protocol, omega=32, backend=backend
+            ) == reference
+
+    def test_pooled_delegates_in_process_without_booting(self):
+        """Enumeration through a pooled backend runs the inner kernel
+        in the parent -- no worker processes exist afterwards."""
+        from repro.simulation import critical_offsets
+
+        protocol, _, _ = _small_pair()
+        backend = PooledBackend(inner="python", jobs=2)
+        try:
+            params = SweepParams(protocol, protocol, 0, ReceptionModel.POINT)
+            assert backend.enumerate_critical_offsets(
+                params, omega=32
+            ) == critical_offsets(protocol, protocol, omega=32)
+            assert not backend.started
+        finally:
+            backend.close()
+
+    @pytest.mark.skipif(not have_numpy(), reason="NumPy extra not installed")
+    def test_numpy_bit_identical_including_sort_regime(self, monkeypatch):
+        """Both dedup regimes of the vectorized kernel (bitmap scatter
+        and sort-based) return the reference's exact list."""
+        from repro.backends import numpy_kernel
+        from repro.simulation import critical_offsets
+
+        protocol, _, _ = _small_pair()
+        reference = critical_offsets(protocol, protocol, omega=32)
+        assert critical_offsets(
+            protocol, protocol, omega=32, backend="numpy"
+        ) == reference
+        # Force the sort path by shrinking the bitmap threshold.
+        monkeypatch.setattr(numpy_kernel, "_BITMAP_MAX_HYPER", 0)
+        assert critical_offsets(
+            protocol, protocol, omega=32, backend="numpy"
+        ) == reference
+
+    @pytest.mark.skipif(not have_numpy(), reason="NumPy extra not installed")
+    def test_numpy_delegates_beyond_int_headroom(self, monkeypatch):
+        from repro.backends import numpy_kernel
+        from repro.simulation import critical_offsets
+
+        protocol, _, _ = _small_pair()
+        monkeypatch.setattr(numpy_kernel, "_INT_BOUND", 1)
+        assert critical_offsets(
+            protocol, protocol, omega=32, backend="numpy"
+        ) == critical_offsets(protocol, protocol, omega=32)
+
+    def test_verified_worst_case_threads_enumeration_backend(self):
+        """The worst-case pipeline is bit-identical whichever kernel
+        enumerates (and sweeps): python vs auto-detected."""
+        from repro.api import RunSpec, RuntimeProfile, Session
+
+        spec = RunSpec(
+            pair={"kind": "symmetric", "eta": 0.05}, omega=32,
+            des_spot_checks=4,
+        )
+        with Session(RuntimeProfile(backend="python", jobs=1)) as session:
+            reference = session.worst_case(spec)
+        with Session(RuntimeProfile(backend="auto", jobs=1)) as session:
+            detected = session.worst_case(spec)
+        assert detected.raw == reference.raw
+
+
 class TestCostModelCalibration:
     def teardown_method(self):
         use_cost_weights(None)
