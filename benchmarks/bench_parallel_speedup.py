@@ -44,6 +44,14 @@ Since PR 5 two more phases cover the worst-case pipeline setup:
   spawn-context pools, with and without the shared-memory pattern
   arena, so the JSON tracks what the arena saves spawn-start workers
   (the pattern rebuild each worker paid before PR 5).
+
+Since PR 6 a **store** phase runs the checked-in golden campaign twice
+against a fresh content-addressed result store: the cold pass executes
+all sweeps, the warm pass must be 100% fingerprint hits with zero
+re-execution, and the four golden CSVs regenerated from store payloads
+must be byte-identical to the pinned files -- both hard exit gates.
+The JSON records the hit rate and the lookup-vs-sweep per-entry
+timings.
 """
 
 from __future__ import annotations
@@ -346,6 +354,78 @@ def main(argv: list[str] | None = None) -> int:
         f"(beacon={fitted[0]:.3e}, window={fitted[1]:.3e})"
     )
 
+    # Phase: the content-addressed result store on the golden campaign
+    # (PR 6).  Cold run executes all 14 sweeps and writes back; the warm
+    # rerun must be 100% store hits with zero sweep re-execution, and
+    # the four golden CSVs regenerated from store payloads must be
+    # byte-identical to the pinned files -- both are hard exit gates.
+    # The recorded numbers are the lookup-vs-sweep trajectory: what a
+    # fingerprint lookup costs against what the sweep it replaces cost.
+    import shutil
+    import tempfile
+
+    from repro.campaign import (
+        build_golden_campaign,
+        CampaignRunner,
+        regenerate_golden_csvs,
+    )
+    from repro.store import ResultStore
+
+    store_dir = Path(tempfile.mkdtemp(prefix="bench-store-"))
+    try:
+        store = ResultStore(store_dir / "store")
+        campaign = build_golden_campaign()
+        start = time.perf_counter()
+        cold = CampaignRunner(
+            campaign, store, manifest_path=store_dir / "cold.json"
+        ).run()
+        store_cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = CampaignRunner(
+            campaign, store, manifest_path=store_dir / "warm.json"
+        ).run()
+        store_warm_s = time.perf_counter() - start
+        hit_rate = warm["hits"] / warm["total"]
+        store_ok = (
+            cold["complete"] and warm["complete"]
+            and warm["executed"] == 0 and hit_rate >= 0.9
+        )
+        regenerated = regenerate_golden_csvs(store, store_dir / "csv")
+        csv_ok = all(
+            path.read_bytes() == (RESULTS_DIR / path.name).read_bytes()
+            for path in regenerated
+        )
+        identical = identical and store_ok and csv_ok
+        sweep_per_entry = store_cold_s / cold["total"]
+        lookup_per_entry = store_warm_s / warm["total"]
+        print(
+            f"store        : {store_cold_s:.3f} s cold ({cold['executed']} "
+            f"executed), {store_warm_s:.3f} s warm ({warm['hits']} hits, "
+            f"hit rate {hit_rate:.0%}, 0 re-executions: "
+            f"{warm['executed'] == 0})"
+        )
+        print(
+            f"store lookup : {lookup_per_entry * 1e3:.2f} ms/entry vs "
+            f"{sweep_per_entry * 1e3:.2f} ms/entry sweep   "
+            f"golden CSVs byte-identical: {csv_ok}"
+        )
+        store_phase = {
+            "campaign_entries": cold["total"],
+            "cold_seconds": store_cold_s,
+            "warm_seconds": store_warm_s,
+            "warm_hit_rate": hit_rate,
+            "warm_executed": warm["executed"],
+            "lookup_seconds_per_entry": lookup_per_entry,
+            "sweep_seconds_per_entry": sweep_per_entry,
+            "lookup_vs_sweep_speedup": (
+                sweep_per_entry / lookup_per_entry
+                if lookup_per_entry > 0 else float("inf")
+            ),
+            "golden_csvs_bit_identical": csv_ok,
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
     payload = {
         "experiment": "BENCH-PARALLEL",
         "workload": {
@@ -373,6 +453,7 @@ def main(argv: list[str] | None = None) -> int:
             "des_spot_parallel_seconds": spot_parallel_s,
         },
         "backends": backend_timings,
+        "store": store_phase,
         "per_scenario": per_scenario,
         "fitted_cost_weights": {
             "beacon": fitted[0],

@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..core.coverage import CoverageMap
 from ..core.sequences import BeaconSchedule, ReceptionSchedule
 
-__all__ = ["render_coverage_map", "render_schedule"]
+__all__ = ["render_campaign_status", "render_coverage_map", "render_schedule"]
 
 
 def render_coverage_map(
@@ -105,3 +105,36 @@ def render_schedule(
             cells.append(".")
     header = f"0 {'-' * (width - 12)} {span} us"
     return header + "\n" + "".join(cells)
+
+
+def render_campaign_status(manifest: dict, width: int = 64) -> str:
+    """Render a campaign manifest (see
+    :class:`repro.campaign.CampaignRunner`) as an ASCII progress view.
+
+    One character per lattice entry, in expansion order: ``=`` store
+    hit, ``#`` executed, ``X`` failed, ``.`` pending/skipped; long
+    campaigns wrap at ``width`` columns.
+    """
+    entries = manifest.get("entries", [])
+    marks = []
+    for record in entries:
+        status = record.get("status")
+        if status == "failed":
+            marks.append("X")
+        elif status != "done":
+            marks.append(".")
+        elif record.get("source") == "hit":
+            marks.append("=")
+        else:
+            marks.append("#")
+    bar = "".join(marks)
+    lines = [
+        f"campaign {manifest.get('campaign', '?')!r}: "
+        f"{sum(1 for m in marks if m in '#=')}/{len(entries)} done "
+        f"({marks.count('#')} executed, {marks.count('=')} hits, "
+        f"{marks.count('X')} failed)"
+        + ("" if manifest.get("complete") else "  [incomplete]"),
+    ]
+    for start in range(0, len(bar), max(8, width)):
+        lines.append(bar[start:start + max(8, width)])
+    return "\n".join(lines)

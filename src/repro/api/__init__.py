@@ -20,6 +20,12 @@ and one context-managed facade runs them:
   (spec, profile, resolved backend, timings), JSON round-trippable into
   ``results/``.
 
+Sessions optionally attach a content-addressed
+:class:`~repro.store.ResultStore` (``Session(store=...)`` or
+``RuntimeProfile.store``) for read-through/write-back caching keyed by
+spec fingerprint, and :mod:`repro.campaign` orchestrates whole
+parameter lattices of specs resumably on top of that.
+
 The pre-Session entry points (``evaluate_offsets(backend=)``,
 ``verified_worst_case(jobs=)``, ``sweep_network_grid(schedule=)``, ...)
 remain as thin shims over this facade behind the single deprecation

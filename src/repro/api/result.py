@@ -23,7 +23,12 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any
 
-__all__ = ["RunResult", "network_result_payload", "sweep_report_payload"]
+__all__ = [
+    "RunResult",
+    "network_result_payload",
+    "rehydrate_raw",
+    "sweep_report_payload",
+]
 
 
 def sweep_report_payload(report) -> dict:
@@ -56,6 +61,73 @@ def network_result_payload(result) -> dict:
     }
 
 
+def _network_from_payload(payload: dict):
+    """Inverse of :func:`network_result_payload` (derived fields are
+    properties and rebuild themselves)."""
+    from ..simulation.runner import NetworkResult
+
+    def _side(token: str):
+        try:
+            return int(token)
+        except ValueError:
+            return token
+
+    discovery_times = {}
+    for key, value in payload.get("discovery_times", {}).items():
+        receiver, _, sender = key.partition("<-")
+        discovery_times[(_side(receiver), _side(sender))] = value
+    return NetworkResult(
+        n_nodes=payload["n_nodes"],
+        horizon=payload["horizon"],
+        discovery_times=discovery_times,
+        total_transmissions=payload["total_transmissions"],
+        total_collisions=payload["total_collisions"],
+        packets_lost_to_collisions=payload["packets_lost_to_collisions"],
+    )
+
+
+def rehydrate_raw(verb: str, payload: dict):
+    """Best-effort reconstruction of :attr:`RunResult.raw` from a
+    deserialized payload.
+
+    The payloads are lossless projections of the live result objects
+    (``raw`` is only excluded from serialization because an object graph
+    is not provenance), so a store hit can hand consumers the same live
+    types a fresh run would -- a :class:`SweepReport`, a
+    :class:`PairWorstCase`, :class:`NetworkResult` (lists).  Returns
+    ``None`` when the payload shape is not recognized; callers must
+    treat ``raw`` as optional either way.
+    """
+    try:
+        if verb == "sweep":
+            from ..simulation.analytic import SweepReport
+
+            names = {f.name for f in fields(SweepReport)}
+            return SweepReport(
+                **{k: v for k, v in payload.items() if k in names}
+            )
+        if verb == "worst_case":
+            from ..simulation.analytic import SweepReport
+            from ..simulation.runner import PairWorstCase
+
+            return PairWorstCase(
+                analytic=SweepReport(**payload["analytic"]),
+                des_agrees=payload["des_agrees"],
+                offsets_checked=payload["offsets_checked"],
+            )
+        if verb == "simulate":
+            # The simulate payload embeds the network fields directly
+            # (plus scenario/description, which the rebuild ignores).
+            return _network_from_payload(payload)
+        if verb == "grid":
+            return [
+                _network_from_payload(item) for item in payload["results"]
+            ]
+    except (KeyError, TypeError, ValueError, ImportError):
+        return None
+    return None
+
+
 @dataclass
 class RunResult:
     """One session verb's outcome plus its reproduction recipe."""
@@ -75,6 +147,10 @@ class RunResult:
     """The numbers, JSON-shaped (verb-specific layout)."""
     raw: Any = field(default=None, repr=False, compare=False)
     """The live result object(s); not serialized."""
+    store_meta: Any = field(default=None, repr=False, compare=False)
+    """Store provenance when a :class:`~repro.store.ResultStore` was in
+    the loop: ``{"hit": bool, "fingerprint": ..., "lookup_seconds": ...}``.
+    Not serialized (runtime provenance, not experiment identity)."""
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

@@ -102,13 +102,24 @@ class Session:
     profile:
         The :class:`RuntimeProfile` to run under; ``None`` uses
         :meth:`RuntimeProfile.default` (environment-aware).
+    store:
+        Opt-in read-through/write-back result caching: a
+        :class:`~repro.store.ResultStore`, a store directory path, or
+        ``None`` (also settable via ``RuntimeProfile.store``).  With a
+        store attached every verb first looks up the spec's
+        content-addressed fingerprint and only computes on a miss,
+        writing the result back; hits skip *all* computation (including
+        ``auto_calibrate`` refits on :meth:`grid`).  Specs holding live
+        objects have no declarative identity and always compute.
     **overrides:
         Field overrides applied on top of ``profile`` via
         :meth:`RuntimeProfile.replace` -- ``Session(jobs=4)`` is the
         short spelling of a one-field profile tweak.
     """
 
-    def __init__(self, profile: RuntimeProfile | None = None, **overrides):
+    def __init__(
+        self, profile: RuntimeProfile | None = None, store=None, **overrides
+    ):
         if profile is None:
             profile = RuntimeProfile.default()
         elif isinstance(profile, Mapping):
@@ -126,6 +137,7 @@ class Session:
         if overrides:
             profile = profile.replace(**overrides)
         self.profile = profile
+        self.store = self._resolve_store(store)
         self._closed = False
         self._sweeper = None
         self._backend = None
@@ -144,6 +156,61 @@ class Session:
         self._previous_weights = None
         self._previous_cache_cap = None
         self._cache_baseline = None
+
+    def _resolve_store(self, store):
+        """Resolve the session's result store (explicit argument wins
+        over ``profile.store``; ``None`` disables caching)."""
+        if store is None:
+            store = self.profile.store
+        if store is None:
+            return None
+        from ..store import ResultStore
+
+        if isinstance(store, ResultStore):
+            return store
+        if isinstance(store, (str, PurePath)):
+            return ResultStore(store)
+        raise TypeError(
+            f"store must be a ResultStore, a directory path or None, "
+            f"got {store!r}"
+        )
+
+    def _through_store(self, verb: str, spec: RunSpec, compute) -> RunResult:
+        """Read-through/write-back dispatch for one verb call.
+
+        A hit returns the stored result (with ``raw`` rehydrated by the
+        store) and records ``store_meta.lookup_seconds`` -- the stored
+        ``timings`` stay untouched, so they always describe the compute
+        that originally produced the numbers.
+        """
+        store = self.store
+        if store is None:
+            return compute(spec)
+        from .spec import SpecError
+
+        try:
+            fingerprint = store.fingerprint(verb, spec)
+        except SpecError:
+            # Live objects in declarative slots: no stable identity.
+            return compute(spec)
+        t0 = time.perf_counter()
+        cached = store.get(fingerprint)
+        lookup = time.perf_counter() - t0
+        if cached is not None:
+            cached.store_meta = {
+                "hit": True,
+                "fingerprint": fingerprint,
+                "lookup_seconds": lookup,
+            }
+            return cached
+        result = compute(spec)
+        store.put(fingerprint, result)
+        result.store_meta = {
+            "hit": False,
+            "fingerprint": fingerprint,
+            "lookup_seconds": lookup,
+        }
+        return result
 
     def _activate(self) -> None:
         """Install the profile's scoped process-wide knobs (cost
@@ -331,6 +398,7 @@ class Session:
                     omega=spec.omega,
                     max_count=spec.max_critical,
                     backend=self.backend,
+                    turnaround=spec.turnaround,
                 ), "critical"
             except ValueError:
                 # Critical set exceeded max_critical: fall back to a
@@ -362,7 +430,9 @@ class Session:
         ``raw``: the :class:`repro.simulation.SweepReport`; ``payload``
         mirrors its fields plus the offset count.
         """
-        spec = _as_spec(spec)
+        return self._through_store("sweep", _as_spec(spec), self._sweep)
+
+    def _sweep(self, spec: RunSpec) -> RunResult:
         t0 = time.perf_counter()
         protocol_e, protocol_f, offsets, horizon, sampling = (
             self._pair_workload(spec)
@@ -403,11 +473,15 @@ class Session:
         under numpy), the sweep, and (for pooled profiles) the
         spot-check sharding over the arena-warmed persistent pool.
         """
+        return self._through_store(
+            "worst_case", _as_spec(spec), self._worst_case
+        )
+
+    def _worst_case(self, spec: RunSpec) -> RunResult:
         import dataclasses
 
         from ..simulation.runner import _verified_worst_case_impl
 
-        spec = _as_spec(spec)
         t0 = time.perf_counter()
         if spec.pair is None:
             raise ValueError("RunSpec.pair is required for worst_case")
@@ -457,7 +531,9 @@ class Session:
         weights affect only future scheduling order; results are
         seed-stable regardless.
         """
-        spec = _as_spec(spec)
+        return self._through_store("grid", _as_spec(spec), self._grid)
+
+    def _grid(self, spec: RunSpec) -> RunResult:
         t0 = time.perf_counter()
         if spec.grid is None:
             raise ValueError("RunSpec.grid is required for grid")
@@ -519,9 +595,11 @@ class Session:
 
         ``raw``: the :class:`repro.simulation.NetworkResult`.
         """
+        return self._through_store("simulate", _as_spec(spec), self._simulate)
+
+    def _simulate(self, spec: RunSpec) -> RunResult:
         from ..simulation.runner import _run_scenario
 
-        spec = _as_spec(spec)
         t0 = time.perf_counter()
         if spec.scenario is None:
             raise ValueError("RunSpec.scenario is required for simulate")

@@ -236,9 +236,22 @@ def build_pair(pair) -> tuple:
             except (TypeError, ValueError, OverflowError):
                 base = None
         return instance.device(Role.E), instance.device(Role.F), base
+    from ..protocols.registry import pair_kinds, pair_schema
+
+    schema = pair_schema(kind)
+    if schema is not None:
+        # A family registered via repro.protocols.register_pair_schema:
+        # new pair kinds plug in without touching this module.
+        try:
+            return schema.build(spec)
+        except SpecError:
+            raise
+        except (TypeError, ValueError, KeyError) as exc:
+            raise SpecError(
+                f"invalid pair parameters for kind {kind!r}: {exc}"
+            ) from exc
     raise SpecError(
-        f"unknown pair kind {kind!r}; expected symmetric, symmetric-split, "
-        f"asymmetric or zoo"
+        f"unknown pair kind {kind!r}; registered kinds: {pair_kinds()}"
     )
 
 
@@ -444,6 +457,10 @@ class RuntimeProfile(_SerializableConfig):
     """Have :meth:`Session.grid <repro.api.Session.grid>` re-fit
     ``cost_weights`` from its own per-scenario timings and persist them
     into this profile."""
+    store: str | None = None
+    """Result-store directory for read-through/write-back caching of
+    session verbs (:mod:`repro.store`); ``None`` disables the store.
+    A runtime knob: never part of result fingerprints."""
 
     def __post_init__(self) -> None:
         try:
@@ -518,6 +535,47 @@ class RuntimeProfile(_SerializableConfig):
                 return cls.from_toml(text)
         except (json.JSONDecodeError, tomllib.TOMLDecodeError) as exc:
             raise SpecError(f"malformed profile {path}: {exc}") from exc
+
+    def save(self, path) -> Path:
+        """Write the profile to a ``.toml`` or ``.json`` file (extension
+        picks the format; anything else writes TOML) such that
+        :meth:`load` round-trips it exactly.
+
+        This is the persistence half of ``auto_calibrate``: ``repro grid
+        --calibrate --save-profile`` fits cost weights and writes them
+        back to the profile file.  ``None``-valued fields are omitted
+        from TOML output (TOML has no null); :meth:`load` restores them
+        as the field defaults.  The one lossy case is an explicit
+        ``jobs=None`` (CPU count), whose default is ``1`` -- use JSON
+        when that distinction must survive.
+        """
+        path = Path(path)
+        payload = self.to_dict()
+        if path.suffix.lower() == ".json":
+            text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        else:
+            lines = []
+            for key, value in payload.items():
+                if value is None:
+                    continue
+                if isinstance(value, bool):
+                    rendered = "true" if value else "false"
+                elif isinstance(value, (int, float)):
+                    rendered = repr(value)
+                elif isinstance(value, str):
+                    rendered = json.dumps(value)
+                elif isinstance(value, (list, tuple)):
+                    rendered = "[" + ", ".join(repr(v) for v in value) + "]"
+                else:  # pragma: no cover - to_dict only emits plain data
+                    raise SpecError(
+                        f"cannot render profile field {key!r} = {value!r} "
+                        f"as TOML"
+                    )
+                lines.append(f"{key} = {rendered}")
+            text = "\n".join(lines) + "\n"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return path
 
     @classmethod
     def default(cls) -> "RuntimeProfile":

@@ -96,22 +96,28 @@ class SweepBackend(ABC):
 
         The second kernel-dispatched operation (PR 5): the breakpoint
         enumeration that feeds ``verified_worst_case`` and
-        ``sampling="critical"`` sweeps.  Reads only
-        ``params.protocol_e`` / ``params.protocol_f`` (horizon, model
-        and turnaround do not affect where the discovery-time function
-        can change); ``omega`` adds the packet-length shifted window
-        bounds and ``max_count`` is the explosion guard.  The contract
-        mirrors :meth:`evaluate_offsets_batch`: every implementation
-        must return the **bit-identical** sorted offset list -- and
-        raise ``ValueError`` for the same oversized configurations --
-        as the pure-python reference
+        ``sampling="critical"`` sweeps.  Reads ``params.protocol_e`` /
+        ``params.protocol_f`` and ``params.turnaround`` -- a non-zero
+        turnaround adds the receiver self-blocking guard edges to the
+        breakpoint set (horizon and model still do not affect where the
+        discovery-time function can change); ``omega`` adds the
+        packet-length shifted window bounds and ``max_count`` is the
+        explosion guard.  The contract mirrors
+        :meth:`evaluate_offsets_batch`: every implementation must
+        return the **bit-identical** sorted offset list -- and raise
+        ``ValueError`` for the same oversized configurations -- as the
+        pure-python reference
         (:func:`repro.backends.python_loop.enumerate_critical_offsets_reference`),
         which this default delegates to.
         """
         from .python_loop import enumerate_critical_offsets_reference
 
         return enumerate_critical_offsets_reference(
-            params.protocol_e, params.protocol_f, omega, max_count
+            params.protocol_e,
+            params.protocol_f,
+            omega,
+            max_count,
+            params.turnaround,
         )
 
     def close(self) -> None:

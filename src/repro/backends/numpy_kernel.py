@@ -178,8 +178,10 @@ class NumpyBackend(SweepBackend):
         The reference is a double loop over ``beacon_times x
         window_bounds`` with modular arithmetic per cell.  Here the two
         boundary lists are still built by the exact (linear) reference
-        code -- :meth:`BeaconSchedule.beacon_times` and the deduplicated
-        :func:`repro.backends.python_loop.critical_window_bounds` -- so
+        code -- the shared
+        :func:`repro.backends.python_loop.direction_breakpoint_inputs`
+        (beacon times, deduplicated window bounds, and the turnaround
+        guard edges when ``params.turnaround > 0``) -- so
         every input instant is the identical integer, and only the
         quadratic part is batched: one broadcast subtraction of window
         bounds against beacon times mod the hyperperiod per direction,
@@ -199,32 +201,33 @@ class NumpyBackend(SweepBackend):
         if np is None:  # pragma: no cover - registration guards this
             raise BackendUnavailable("NumPy disappeared after registration")
         from .python_loop import (
-            critical_window_bounds,
+            direction_breakpoint_inputs,
             enumerate_critical_offsets_reference,
         )
 
         protocol_e, protocol_f = params.protocol_e, params.protocol_f
+        turnaround = params.turnaround
         hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
         if hyper >= _INT_BOUND or (
             omega is not None and abs(omega) >= _INT_BOUND
         ):
             return enumerate_critical_offsets_reference(
-                protocol_e, protocol_f, omega, max_count
+                protocol_e, protocol_f, omega, max_count, turnaround
             )
 
         mask = None
         merged = None
         # Direction signs as in the reference: E->F breakpoints at
         # offset = tau - bound (sign -1), F->E at bound - tau (+1).
-        for tx, rx, sign in (
-            (protocol_e.beacons, protocol_f.reception, -1),
-            (protocol_f.beacons, protocol_e.reception, +1),
+        for tx, rx_protocol, sign in (
+            (protocol_e.beacons, protocol_f, -1),
+            (protocol_f.beacons, protocol_e, +1),
         ):
-            if tx is None or rx is None:
+            if tx is None or rx_protocol.reception is None:
                 continue
-            n_beacons = hyper // int(tx.period) * tx.n_beacons
-            beacon_times = [int(tau) for tau in tx.beacon_times(n_beacons)]
-            window_bounds = critical_window_bounds(rx, hyper, omega)
+            beacon_times, window_bounds = direction_breakpoint_inputs(
+                tx, rx_protocol, hyper, omega, turnaround
+            )
             if len(beacon_times) * len(window_bounds) > max_count * 4:
                 raise ValueError(
                     f"critical set too large "

@@ -24,8 +24,10 @@ from .base import SweepBackend, SweepParams
 __all__ = [
     "CachedPairEvaluator",
     "critical_window_bounds",
+    "direction_breakpoint_inputs",
     "enumerate_critical_offsets_reference",
     "PythonBackend",
+    "turnaround_guard_bounds",
 ]
 
 
@@ -56,11 +58,84 @@ def critical_window_bounds(
     return list(dict.fromkeys(bounds))
 
 
+def turnaround_guard_bounds(
+    rx_protocol: NDProtocol,
+    hyper: int,
+    omega: int | None,
+    turnaround: int,
+) -> list[int]:
+    """Self-blocking guard edges of the receiver's own transmissions
+    over one hyperperiod (deduplicated, first-occurrence order).
+
+    With ``turnaround > 0`` a half-duplex receiver's effective listening
+    set is its windows minus ``[tx_start - turnaround, tx_end +
+    turnaround)`` around each of its own beacons
+    (:func:`repro.simulation.analytic._subtract_own_tx`), so the
+    discovery-time function can also change where a peer's beacon aligns
+    with a guard edge.  Each own-beacon instance contributes its guarded
+    edges *and* its bare start/end -- the bare start is the activation
+    threshold (a block exists only once ``tx_start >= 0``) -- plus the
+    ``- omega`` shifted twins when a packet length is given, mirroring
+    :func:`critical_window_bounds`.
+    """
+    beacons = rx_protocol.beacons
+    if beacons is None or not turnaround:
+        return []
+    bounds: list[int] = []
+    n_instances = hyper // int(beacons.period)
+    for instance in range(n_instances):
+        base = instance * int(beacons.period)
+        for b in beacons.beacons:
+            for edge in (
+                base + int(b.time) - turnaround,
+                base + int(b.time),
+                base + int(b.end),
+                base + int(b.end) + turnaround,
+            ):
+                bounds.append(edge)
+                if omega:
+                    bounds.append(edge - omega)
+    return list(dict.fromkeys(bounds))
+
+
+def direction_breakpoint_inputs(
+    tx: BeaconSchedule,
+    rx_protocol: NDProtocol,
+    hyper: int,
+    omega: int | None,
+    turnaround: int,
+) -> tuple[list[int], list[int]]:
+    """``(beacon_times, breakpoint_bounds)`` for one enumeration
+    direction -- the single source both kernels draw from, so their
+    size guards and outputs stay bit-identical by construction.
+
+    At ``turnaround == 0`` this reproduces the historical inputs exactly
+    (beacon times over one hyperperiod, window bounds of the receiver).
+    With ``turnaround > 0`` it adds the receiver's self-blocking guard
+    edges (:func:`turnaround_guard_bounds`) plus two virtual anchors
+    that make boot-time effects enumerable: bound ``0`` (a transmitter
+    beacon crossing global time 0 -- candidates before a device boots
+    never went on air) and beacon time ``0`` (pairing every bound with
+    the origin, which captures block-activation flips at
+    ``tx_start = 0``).
+    """
+    n_beacons = hyper // int(tx.period) * tx.n_beacons
+    beacon_times = [int(tau) for tau in tx.beacon_times(n_beacons)]
+    bounds = critical_window_bounds(rx_protocol.reception, hyper, omega)
+    if turnaround:
+        guard = turnaround_guard_bounds(rx_protocol, hyper, omega, turnaround)
+        bounds = list(dict.fromkeys(bounds + guard + [0]))
+        if 0 not in beacon_times:
+            beacon_times = beacon_times + [0]
+    return beacon_times, bounds
+
+
 def enumerate_critical_offsets_reference(
     protocol_e: NDProtocol,
     protocol_f: NDProtocol,
     omega: int | None = None,
     max_count: int = 200_000,
+    turnaround: int = 0,
 ) -> list[int]:
     """The exact pure-python critical-offset enumeration.
 
@@ -73,19 +148,24 @@ def enumerate_critical_offsets_reference(
     runs on the *deduplicated* window-bound count
     (:func:`critical_window_bounds`), so duplicate-heavy schedules whose
     actual critical set is small are no longer rejected.
+
+    ``turnaround > 0`` additionally enumerates the receiver's
+    self-blocking guard edges (:func:`direction_breakpoint_inputs`), so
+    pruned sweeps stay exact under half-duplex turnaround; ``0`` leaves
+    the historical output bit-identical.
     """
     hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
 
     offsets: set[int] = set()
 
     def add_direction(
-        tx: BeaconSchedule | None, rx: ReceptionSchedule | None, sign: int
+        tx: BeaconSchedule | None, rx_protocol: NDProtocol, sign: int
     ) -> None:
-        if tx is None or rx is None:
+        if tx is None or rx_protocol.reception is None:
             return
-        n_beacons = hyper // int(tx.period) * tx.n_beacons
-        beacon_times = tx.beacon_times(n_beacons)
-        window_bounds = critical_window_bounds(rx, hyper, omega)
+        beacon_times, window_bounds = direction_breakpoint_inputs(
+            tx, rx_protocol, hyper, omega, turnaround
+        )
         if len(beacon_times) * len(window_bounds) > max_count * 4:
             raise ValueError(
                 f"critical set too large "
@@ -93,7 +173,6 @@ def enumerate_critical_offsets_reference(
                 f"use a uniform sweep"
             )
         for tau in beacon_times:
-            tau = int(tau)
             for bound in window_bounds:
                 base_offset = (sign * (bound - tau)) % hyper
                 offsets.add(base_offset)
@@ -113,8 +192,8 @@ def enumerate_critical_offsets_reference(
     # for symmetric pairs, whose two directions mirror each other, but
     # missing true breakpoints (and worst cases) for asymmetric ones;
     # caught by the property harness's duplicate-heavy regression pair.
-    add_direction(protocol_e.beacons, protocol_f.reception, -1)
-    add_direction(protocol_f.beacons, protocol_e.reception, +1)
+    add_direction(protocol_e.beacons, protocol_f, -1)
+    add_direction(protocol_f.beacons, protocol_e, +1)
     return sorted(offsets)
 
 

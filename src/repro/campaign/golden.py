@@ -1,0 +1,291 @@
+"""The golden-result CSVs as a checked-in campaign definition.
+
+``campaigns/golden.json`` (kept equal to :func:`build_golden_campaign`
+by ``tests/test_campaign_golden.py``) describes every offset sweep
+behind the pinned validation/ablation CSVs -- VAL-UNI, VAL-PROT and
+ABL-SLOT-empirical -- as declarative RunSpecs.  Running it through a
+:class:`~repro.campaign.CampaignRunner` populates a result store;
+:func:`regenerate_golden_csvs` then rebuilds the four CSVs (the
+ABL-SLOT-analytic table is closed-form and needs no sweeps) from store
+payloads plus recomputed closed-form columns, **byte-identically** to
+the files under ``results/``:
+
+* the sweeps reuse the exact benchmark recipes (same offsets, horizons
+  and reception model), and the store round-trips payload numbers
+  through JSON losslessly (ints stay ints, floats repr-round-trip);
+* rows go through the same :func:`repro.analysis.write_csv`.
+
+A second run of the same campaign against a warm store executes zero
+sweeps -- every fingerprint hits -- which is the regression gate
+``benchmarks/bench_parallel_speedup.py`` records.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .campaign import Campaign
+
+__all__ = [
+    "build_golden_campaign",
+    "golden_rows",
+    "regenerate_golden_csvs",
+    "GOLDEN_CAMPAIGN_PATH",
+]
+
+#: The checked-in serialized form of :func:`build_golden_campaign`.
+GOLDEN_CAMPAIGN_PATH = (
+    Path(__file__).resolve().parents[3] / "campaigns" / "golden.json"
+)
+
+OMEGA = 32
+SLOT = 2_000
+
+#: (window, k, stride) budgets of benchmarks/bench_validation_unidirectional.py
+UNI_CONFIGS = [
+    (320, 10, 11),
+    (100, 7, 8),
+    (64, 5, 7),
+    (500, 4, 9),
+    (64, 16, 33),
+    (200, 20, 21),
+]
+
+#: (display name, zoo class, constructor params) of bench_validation_protocols.py
+ZOO_CONFIGS = [
+    ("Disco", "Disco", {"prime1": 5, "prime2": 7}),
+    ("U-Connect", "UConnect", {"prime": 7}),
+    ("Searchlight-S", "Searchlight", {"period_slots": 8}),
+    ("Diffcodes", "Diffcodes", {"q": 3}),
+]
+
+#: Slot lengths of benchmarks/bench_ablation_slot_length.py (empirical half).
+SIM_SLOTS = [96, 160, 320, 1_280]
+
+#: I/omega ratios of the analytic half (no sweeps -- closed form).
+RATIOS = [2, 3, 4, 8, 16, 64, 256]
+
+
+def _zoo_instance(class_name: str, params: dict):
+    from .. import protocols as zoo
+
+    return getattr(zoo, class_name)(**params, slot_length=SLOT, omega=OMEGA)
+
+
+def _zoo_offsets(instance, n_offsets: int, slot_filter: bool) -> list[int]:
+    """The benchmark offset grids: uniform over one advertiser period,
+    optionally excluding the slot-aligned deadlock measure."""
+    from ..protocols import Role
+
+    period = int(instance.device(Role.E).beacons.period)
+    step = max(1, period // n_offsets)
+    offsets = range(0, period, step)
+    if not slot_filter:
+        return list(offsets)
+    return [
+        off for off in offsets if 2 * OMEGA <= off % SLOT <= SLOT - 2 * OMEGA
+    ]
+
+
+def build_golden_campaign() -> Campaign:
+    """The golden campaign, built from the benchmark recipes."""
+    from .. import protocols as zoo
+    from ..core.optimal import synthesize_unidirectional
+
+    runs = []
+    for window, k, stride in UNI_CONFIGS:
+        design = synthesize_unidirectional(OMEGA, window, k, stride)
+        runs.append({
+            "verb": "sweep",
+            "label": f"val-uni:d={window},k={k},n={stride}",
+            "spec": {
+                "pair": {
+                    "kind": "unidirectional",
+                    "omega": OMEGA,
+                    "window": window,
+                    "k": k,
+                    "stride": stride,
+                },
+                "sampling": "critical",
+                "omega": OMEGA,
+                "horizon": design.worst_case_latency * 2 + 1,
+            },
+        })
+    for display, class_name, params in ZOO_CONFIGS:
+        instance = _zoo_instance(class_name, params)
+        runs.append({
+            "verb": "sweep",
+            "label": f"val-prot:{display}",
+            "spec": {
+                "pair": {
+                    "kind": "zoo",
+                    "protocol": class_name,
+                    "params": dict(params, slot_length=SLOT, omega=OMEGA),
+                },
+                "offsets": _zoo_offsets(instance, 256, slot_filter=True),
+                "horizon": int(instance.predicted_worst_case_latency()) * 3,
+            },
+        })
+    for slot in SIM_SLOTS:
+        instance = zoo.Searchlight(
+            period_slots=8, slot_length=slot, omega=OMEGA
+        )
+        runs.append({
+            "verb": "sweep",
+            "label": f"abl-slot:{slot}",
+            "spec": {
+                "pair": {
+                    "kind": "zoo",
+                    "protocol": "Searchlight",
+                    "params": {
+                        "period_slots": 8,
+                        "slot_length": slot,
+                        "omega": OMEGA,
+                    },
+                },
+                "offsets": _zoo_offsets(instance, 400, slot_filter=False),
+                "horizon": int(instance.predicted_worst_case_latency() * 3),
+            },
+        })
+    return Campaign(
+        name="golden",
+        description=(
+            "Every offset sweep behind the pinned validation/ablation "
+            "CSVs (val-uni, val-prot, abl-slot-empirical), as "
+            "store-addressable RunSpecs."
+        ),
+        runs=runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Store-fed regeneration of the pinned CSVs
+# ----------------------------------------------------------------------
+
+
+def _payloads_by_label(store, campaign: Campaign) -> dict:
+    """label -> stored sweep payload for every campaign entry; raises
+    ``KeyError`` naming the first missing fingerprint (run the campaign
+    first)."""
+    payloads = {}
+    for entry in campaign.expand():
+        fp = store.fingerprint(entry.verb, entry.spec)
+        result = store.get(fp)
+        if result is None:
+            raise KeyError(
+                f"store {store.root} is missing campaign entry "
+                f"{entry.label!r} (fingerprint {fp}); run the golden "
+                f"campaign first"
+            )
+        payloads[entry.label] = result.payload
+    return payloads
+
+
+def golden_rows(store, campaign: Campaign | None = None) -> dict:
+    """Rebuild the four golden tables from a populated store.
+
+    Returns ``{csv stem: (headers, rows)}`` with sweep-derived columns
+    read from store payloads and closed-form columns recomputed -- the
+    exact row recipes of the three benchmarks.
+    """
+    from ..analysis import gap_for_protocol
+    from ..core.bounds import unidirectional_bound
+    from ..core.optimal import synthesize_unidirectional
+    from ..core.slotted_bounds import slot_length_analysis
+    from ..protocols import Role
+
+    campaign = campaign or build_golden_campaign()
+    payloads = _payloads_by_label(store, campaign)
+
+    uni_rows = []
+    for window, k, stride in UNI_CONFIGS:
+        design = synthesize_unidirectional(OMEGA, window, k, stride)
+        payload = payloads[f"val-uni:d={window},k={k},n={stride}"]
+        bound = unidirectional_bound(OMEGA, design.beta, design.gamma)
+        measured_full = payload["worst_one_way"] + design.beacons.period
+        uni_rows.append([
+            f"d={window},k={k},n={stride}",
+            design.beta,
+            design.gamma,
+            bound / 1e6,
+            measured_full / 1e6,
+            payload["failures"],
+            payload["offsets_evaluated"],
+        ])
+
+    prot_rows = []
+    for display, class_name, params in ZOO_CONFIGS:
+        instance = _zoo_instance(class_name, params)
+        payload = payloads[f"val-prot:{display}"]
+        claim = instance.predicted_worst_case_latency()
+        full_latency = (
+            payload["worst_one_way"]
+            + instance.device(Role.E).beacons.max_gap
+        )
+        gap = gap_for_protocol(
+            instance, omega=OMEGA, measured_latency=full_latency
+        )
+        prot_rows.append([
+            display,
+            instance.duty_cycle(),
+            claim / 1e3,
+            payload["worst_one_way"] / 1e3,
+            payload["failures"],
+            gap.ratio_constrained,
+        ])
+
+    analytic_rows = [
+        [
+            r,
+            slot_length_analysis(float(r)).overlap_success_fraction,
+            slot_length_analysis(float(r)).latency_penalty,
+        ]
+        for r in RATIOS
+    ]
+
+    empirical_rows = []
+    for slot in SIM_SLOTS:
+        payload = payloads[f"abl-slot:{slot}"]
+        empirical_rows.append([
+            slot,
+            slot / OMEGA,
+            payload["failures"] / payload["offsets_evaluated"],
+        ])
+
+    return {
+        "val-uni": (
+            [
+                "design", "beta", "gamma", "bound [s]", "measured worst [s]",
+                "failures", "offsets",
+            ],
+            uni_rows,
+        ),
+        "val-prot": (
+            [
+                "protocol", "eta", "claimed worst [ms]", "measured worst [ms]",
+                "failures", "x util-bound",
+            ],
+            prot_rows,
+        ),
+        "abl-slot-analytic": (
+            ["I/omega", "success fraction", "latency penalty"],
+            analytic_rows,
+        ),
+        "abl-slot-empirical": (
+            ["slot [us]", "I/omega", "failure fraction"],
+            empirical_rows,
+        ),
+    }
+
+
+def regenerate_golden_csvs(store, results_dir, campaign: Campaign | None = None) -> list[Path]:
+    """Write the four golden CSVs under ``results_dir`` from a populated
+    store; returns the written paths.  With the store fed by the golden
+    campaign these files are byte-identical to the pinned ones."""
+    from ..analysis import write_csv
+
+    results_dir = Path(results_dir)
+    written = []
+    for stem, (headers, rows) in golden_rows(store, campaign).items():
+        written.append(write_csv(results_dir / f"{stem}.csv", headers, rows))
+    return written

@@ -1,0 +1,193 @@
+"""Resumable campaign execution over a content-addressed result store.
+
+:class:`CampaignRunner` expands a :class:`~repro.campaign.Campaign`
+into its lattice of RunSpecs and drives each one through a
+store-backed :class:`~repro.api.Session`.  Entries whose fingerprint
+is already in the store are satisfied by a lookup; only missing
+fingerprints execute.  A JSON **manifest** is atomically rewritten
+after every entry, so an interrupted campaign (Ctrl-C, OOM, machine
+loss) resumes by simply re-running the same command: completed
+entries hit the store and are skipped, and the manifest converges to
+``complete: true``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from ..api.session import Session
+from ..store import ResultStore
+from .campaign import Campaign
+
+__all__ = ["CampaignRunner", "MANIFEST_FORMAT"]
+
+#: Manifest schema version.
+MANIFEST_FORMAT = 1
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CampaignRunner:
+    """Execute a campaign against a result store (see module docstring).
+
+    Parameters
+    ----------
+    campaign:
+        A :class:`Campaign` (use :meth:`Campaign.from_file` for files).
+    store:
+        A :class:`~repro.store.ResultStore` or a path for one.
+    profile:
+        Optional :class:`~repro.api.RuntimeProfile` for the owned
+        Session.  Runtime-only: it never affects fingerprints, so a
+        campaign resumed under a different profile still hits the
+        same entries.
+    manifest_path:
+        Where to write the manifest; defaults to
+        ``results/campaigns/<name>.json``.
+    """
+
+    def __init__(self, campaign: Campaign, store, profile=None, manifest_path=None):
+        self.campaign = campaign
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.profile = profile
+        self.manifest_path = (
+            Path(manifest_path)
+            if manifest_path is not None
+            else Path("results") / "campaigns" / f"{campaign.name}.json"
+        )
+
+    # ------------------------------------------------------------------
+    def _fingerprints(self, entries):
+        return [
+            ResultStore.fingerprint(entry.verb, entry.spec) for entry in entries
+        ]
+
+    def _manifest_skeleton(self, entries, fingerprints) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "campaign": self.campaign.name,
+            "store": str(self.store.root),
+            "total": len(entries),
+            "executed": 0,
+            "hits": 0,
+            "failed": 0,
+            "complete": False,
+            "entries": [
+                {
+                    "index": entry.index,
+                    "label": entry.label,
+                    "verb": entry.verb,
+                    "fingerprint": fp,
+                    "status": "pending",
+                }
+                for entry, fp in zip(entries, fingerprints)
+            ],
+        }
+
+    @staticmethod
+    def _summarize(manifest: dict) -> None:
+        records = manifest["entries"]
+        manifest["executed"] = sum(
+            1 for r in records if r.get("source") == "executed"
+        )
+        manifest["hits"] = sum(1 for r in records if r.get("source") == "hit")
+        manifest["failed"] = sum(1 for r in records if r["status"] == "failed")
+        manifest["complete"] = all(r["status"] == "done" for r in records)
+
+    # ------------------------------------------------------------------
+    def run(self, max_runs: int | None = None, session: Session | None = None) -> dict:
+        """Run the campaign; returns the final manifest dict.
+
+        ``max_runs`` caps how many entries may *execute* (store
+        misses); store hits are always processed, so a capped rerun
+        still makes forward progress through the remaining lattice.
+        A per-entry exception marks that entry ``failed`` and moves
+        on; KeyboardInterrupt propagates (the manifest on disk is
+        already current up to the interrupted entry).
+        """
+        entries = self.campaign.expand()
+        fingerprints = self._fingerprints(entries)
+        manifest = self._manifest_skeleton(entries, fingerprints)
+        _atomic_write_json(self.manifest_path, manifest)
+
+        own_session = session is None
+        if own_session:
+            session = Session(self.profile, store=self.store)
+        executed = 0
+        try:
+            for entry, fp, record in zip(
+                entries, fingerprints, manifest["entries"]
+            ):
+                will_execute = fp not in self.store
+                if (
+                    will_execute
+                    and max_runs is not None
+                    and executed >= max_runs
+                ):
+                    record["status"] = "skipped"
+                    self._summarize(manifest)
+                    _atomic_write_json(self.manifest_path, manifest)
+                    continue
+                start = time.perf_counter()
+                try:
+                    result = getattr(session, entry.verb)(entry.spec)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    record["status"] = "failed"
+                    record["error"] = f"{type(exc).__name__}: {exc}"
+                    record["seconds"] = time.perf_counter() - start
+                else:
+                    meta = result.store_meta or {}
+                    hit = bool(meta.get("hit"))
+                    if not hit:
+                        executed += 1
+                    record["status"] = "done"
+                    record["source"] = "hit" if hit else "executed"
+                    record["seconds"] = time.perf_counter() - start
+                self._summarize(manifest)
+                _atomic_write_json(self.manifest_path, manifest)
+        finally:
+            if own_session:
+                session.close()
+        return manifest
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """Store-membership view of the campaign without executing
+        anything: which fingerprints are present, which are missing."""
+        entries = self.campaign.expand()
+        fingerprints = self._fingerprints(entries)
+        missing = [
+            {"index": entry.index, "label": entry.label, "fingerprint": fp}
+            for entry, fp in zip(entries, fingerprints)
+            if fp not in self.store
+        ]
+        return {
+            "campaign": self.campaign.name,
+            "store": str(self.store.root),
+            "total": len(entries),
+            "stored": len(entries) - len(missing),
+            "missing": missing,
+            "complete": not missing,
+            "manifest": str(self.manifest_path),
+            "manifest_exists": self.manifest_path.exists(),
+        }

@@ -9,6 +9,9 @@ Installed as ``repro-nd``.  Subcommands::
     repro-nd validate --eta 0.01 --jobs 4           # analytic + DES cross-check
     repro-nd grid --devices 3,5,10 --jobs 4         # scenario-grid batch run
     repro-nd protocols --duty-cycle 0.05            # protocol-zoo comparison
+    repro-nd campaign run campaigns/golden.json     # resumable campaign
+    repro-nd campaign status campaigns/golden.json  # store-membership view
+    repro-nd campaign gc --ttl 604800               # store eviction
 
 Every runtime-using subcommand (``simulate``, ``sweep``, ``validate``,
 ``grid``) runs on one :class:`repro.api.Session` built from a single
@@ -251,7 +254,11 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     profile = _profile_from_args(args)
-    if args.calibrate:
+    if args.save_profile and not args.profile:
+        from .api import SpecError
+
+        raise SpecError("--save-profile needs --profile PATH to write back to")
+    if args.calibrate or args.save_profile:
         profile = profile.replace(auto_calibrate=True)
     with Session(profile) as session:
         result = session.grid(spec)
@@ -283,6 +290,89 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             f"window={w_window:.3e} (from {calibration['samples']} "
             f"scenario timings)"
         )
+    if args.save_profile:
+        from .api import RuntimeProfile
+
+        # Persist only the fitted weights into the *file* profile, not
+        # this invocation's one-shot flag overrides.
+        original = RuntimeProfile.load(args.profile)
+        path = original.replace(
+            cost_weights=session.profile.cost_weights
+        ).save(args.profile)
+        print(f"calibrated cost weights saved to {path}")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import Campaign, CampaignRunner
+    from .store import ResultStore
+
+    campaign = Campaign.from_file(args.file)
+    runner = CampaignRunner(
+        campaign,
+        ResultStore(args.store),
+        profile=_profile_from_args(args),
+        manifest_path=args.manifest,
+    )
+    manifest = runner.run(max_runs=args.max_runs)
+    print(
+        f"campaign {manifest['campaign']!r}: {manifest['total']} entries -- "
+        f"{manifest['executed']} executed, {manifest['hits']} store hits, "
+        f"{manifest['failed']} failed"
+    )
+    print(f"manifest: {runner.manifest_path}")
+    if manifest["failed"]:
+        for record in manifest["entries"]:
+            if record["status"] == "failed":
+                print(f"  FAILED {record['label']}: {record.get('error')}")
+        return 1
+    if not manifest["complete"]:
+        # --max-runs left work behind: re-run the same command to resume.
+        remaining = sum(
+            1 for r in manifest["entries"] if r["status"] != "done"
+        )
+        print(f"incomplete: {remaining} entries remaining (re-run to resume)")
+        return 3
+    print("complete")
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign import Campaign, CampaignRunner
+    from .store import ResultStore
+
+    campaign = Campaign.from_file(args.file)
+    runner = CampaignRunner(
+        campaign, ResultStore(args.store), manifest_path=args.manifest
+    )
+    status = runner.status()
+    if args.json:
+        import json
+
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(
+            f"campaign {status['campaign']!r}: {status['stored']}"
+            f"/{status['total']} stored in {status['store']}"
+        )
+        for item in status["missing"]:
+            print(f"  missing {item['label']}")
+    return 0 if status["complete"] else 3
+
+
+def _cmd_campaign_gc(args: argparse.Namespace) -> int:
+    from .store import ResultStore
+
+    report = ResultStore(args.store).gc(
+        max_entries=args.max_entries,
+        ttl_seconds=args.ttl,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if report["dry_run"] else "removed"
+    print(
+        f"store {args.store}: scanned {report['scanned']}, {verb} "
+        f"{len(report['removed'])}, kept {report['kept']}"
+    )
     return 0
 
 
@@ -519,7 +609,68 @@ def main(argv: list[str] | None = None) -> int:
             "own per-scenario timings (auto-calibration)"
         ),
     )
+    p_grid.add_argument(
+        "--save-profile", action="store_true",
+        help=(
+            "write the calibrated cost weights back into the --profile "
+            "file (implies --calibrate; requires --profile)"
+        ),
+    )
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run/inspect resumable experiment campaigns over a result store",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    c_run = camp_sub.add_parser(
+        "run", parents=[runtime],
+        help=(
+            "execute a campaign file; entries already in the store are "
+            "skipped, so re-running resumes an interrupted campaign"
+        ),
+    )
+    c_run.add_argument("file", help="campaign definition (TOML or JSON)")
+    c_run.add_argument(
+        "--store", default="results/store",
+        help="result-store directory (default: results/store)",
+    )
+    c_run.add_argument(
+        "--manifest", default=None,
+        help="manifest path (default: results/campaigns/<name>.json)",
+    )
+    c_run.add_argument(
+        "--max-runs", type=_positive_int, default=None,
+        help="cap on *executed* (non-hit) entries this invocation",
+    )
+    c_run.set_defaults(func=_cmd_campaign_run)
+
+    c_status = camp_sub.add_parser(
+        "status", help="store-membership status of a campaign (no execution)"
+    )
+    c_status.add_argument("file", help="campaign definition (TOML or JSON)")
+    c_status.add_argument("--store", default="results/store")
+    c_status.add_argument("--manifest", default=None)
+    c_status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    c_status.set_defaults(func=_cmd_campaign_status)
+
+    c_gc = camp_sub.add_parser(
+        "gc", help="evict stale result-store entries (TTL and/or LRU cap)"
+    )
+    c_gc.add_argument("--store", default="results/store")
+    c_gc.add_argument(
+        "--max-entries", type=_positive_int, default=None,
+        help="keep at most N newest entries",
+    )
+    c_gc.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="evict entries older than SECONDS",
+    )
+    c_gc.add_argument("--dry-run", action="store_true")
+    c_gc.set_defaults(func=_cmd_campaign_gc)
 
     p_zoo = sub.add_parser("protocols", help="compare the protocol zoo")
     p_zoo.add_argument("--slot-length", type=int, default=10_000)

@@ -40,12 +40,21 @@ from .pi_latency import (
     PILatencyReport,
     pi_worst_case_latency,
 )
+from .registry import (
+    build_registered_pair,
+    canonical_pair,
+    pair_kinds,
+    pair_schema,
+    PairSchema,
+    register_pair_schema,
+)
 from .searchlight import Searchlight
 from .slotted import SlotPattern, SlotTiming
 from .uconnect import UConnect, uconnect_prime_for_duty_cycle
 
 __all__ = [
     "PairProtocol",
+    "PairSchema",
     "ProtocolInfo",
     "Role",
     "SlotPattern",
@@ -62,6 +71,12 @@ __all__ = [
     "PeriodicInterval",
     "Searchlight",
     "UConnect",
+    # registry
+    "build_registered_pair",
+    "canonical_pair",
+    "pair_kinds",
+    "pair_schema",
+    "register_pair_schema",
     # helpers
     "PERFECT_DIFFERENCE_SETS",
     "PILatencyReport",

@@ -279,6 +279,7 @@ def critical_offsets(
     omega: int | None = None,
     max_count: int = 200_000,
     backend=None,
+    turnaround: int = 0,
 ) -> list[int]:
     """Phase offsets at which the discovery-time function can change.
 
@@ -288,6 +289,13 @@ def critical_offsets(
     one interior point per piece makes an offset sweep *exact*.  Points
     one microsecond on each side of every breakpoint are included (the
     integer-grid equivalent of one-sided limits).
+
+    A non-zero half-duplex ``turnaround`` shifts the receivers'
+    self-blocking guard edges off the window grid; passing it here adds
+    those edges (and the boot-time activation anchors) to the
+    enumeration, so pruned sweeps stay exact for ``turnaround > 0``
+    too.  ``0`` (the default) reproduces the historical breakpoint set
+    bit-identically.
 
     Considers both directions (E's beacons vs F's windows and vice
     versa).  Raises ``ValueError`` if the critical set would exceed
@@ -315,12 +323,16 @@ def critical_offsets(
         from ..backends.python_loop import enumerate_critical_offsets_reference
 
         return enumerate_critical_offsets_reference(
-            protocol_e, protocol_f, omega, max_count
+            protocol_e, protocol_f, omega, max_count, turnaround
         )
     from ..backends import resolve_backend, SweepParams
 
     params = SweepParams(
-        protocol_e, protocol_f, horizon=0, model=ReceptionModel.POINT
+        protocol_e,
+        protocol_f,
+        horizon=0,
+        model=ReceptionModel.POINT,
+        turnaround=turnaround,
     )
     return resolve_backend(backend).enumerate_critical_offsets(
         params, omega=omega, max_count=max_count

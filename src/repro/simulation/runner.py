@@ -439,6 +439,7 @@ def _verified_worst_case_impl(
             omega=omega,
             max_count=max_critical,
             backend=sweeper._resolve_backend(),
+            turnaround=turnaround,
         )
     except ValueError:
         hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())

@@ -1,0 +1,56 @@
+"""Content-addressed result store: fingerprint -> :class:`RunResult`.
+
+The paper's tables and figures are one large parameter lattice; this
+package converts repeat queries over that lattice from O(sweep) to
+O(lookup).  A **fingerprint** addresses one ``(verb, RunSpec)``
+experiment; the **store** persists the corresponding
+:class:`~repro.api.RunResult` durably and serves it back.
+
+Fingerprint contract
+--------------------
+``run_fingerprint(verb, spec)`` is sha256 over the compact key-sorted
+JSON of ``{"format": 1, "verb": ..., "spec": ...}`` where the spec
+payload is ``RunSpec.to_dict()`` with the declarative ``pair``
+description replaced by its schema-canonical form
+(:func:`repro.protocols.canonical_pair`).  Invariants:
+
+* :class:`~repro.api.RuntimeProfile` runtime knobs (backend, jobs,
+  schedule, mp_context, ...) never enter the hash -- results are
+  bit-identical across them per the kernel-equivalence gates, so one
+  entry serves every runtime.
+* JSON round-trips of the same spec hash identically (tuples normalize
+  to lists before hashing).
+* Pair descriptions hash by constructor schema with defaults filled
+  in, not by import path or call-site spelling.
+* Specs holding live objects raise :class:`~repro.api.SpecError`; the
+  session treats such specs as unstorable and computes directly.
+
+On-disk layout (default root ``results/store/``)
+------------------------------------------------
+::
+
+    <root>/objects/<fp[:2]>/<fp>.json   # envelope: format, fingerprint,
+                                        #   saved_unix, result (RunResult.to_dict)
+    <root>/quarantine/<fp>.json         # corrupt entries, moved aside
+
+Writes are write-then-``os.replace`` (atomic on POSIX), so concurrent
+writers and crash-interrupted writes can never tear an entry; a corrupt
+or mismatched entry loads as a *miss* and is quarantined, never raised.
+Reads refresh the entry's mtime, so :meth:`ResultStore.gc`'s TTL/LRU
+eviction tracks last use.
+"""
+
+from .fingerprint import (
+    canonical_run_payload,
+    FINGERPRINT_FORMAT,
+    run_fingerprint,
+)
+from .store import DEFAULT_STORE_ROOT, ResultStore
+
+__all__ = [
+    "DEFAULT_STORE_ROOT",
+    "FINGERPRINT_FORMAT",
+    "ResultStore",
+    "canonical_run_payload",
+    "run_fingerprint",
+]

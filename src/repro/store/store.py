@@ -1,0 +1,235 @@
+"""The content-addressed :class:`ResultStore`.
+
+See :mod:`repro.store` for the layout and fingerprint contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+from ..api.result import RunResult, rehydrate_raw
+from .fingerprint import FINGERPRINT_FORMAT, run_fingerprint
+
+__all__ = ["ResultStore", "DEFAULT_STORE_ROOT"]
+
+#: The repository-conventional store location (next to the pinned CSVs).
+DEFAULT_STORE_ROOT = "results/store"
+
+
+class ResultStore:
+    """Content-addressed, crash-tolerant persistence for
+    :class:`~repro.api.RunResult`.
+
+    * **Atomic writes** -- entries are written to a temp file in the
+      destination directory and ``os.replace``d into place, so a reader
+      (or a concurrent writer) never observes a torn entry; last writer
+      wins with identical content, since the key is content-addressed.
+    * **In-process LRU** -- the hottest ``memory_entries`` results are
+      served without touching disk.
+    * **On-disk eviction** -- :meth:`gc` applies TTL (age since last
+      access) then LRU (keep the ``max_entries`` most recently used);
+      reads ``touch`` their entry so recency tracks use, not creation.
+    * **Corruption tolerance** -- an unreadable or mismatched entry is
+      moved to ``quarantine/`` and reported as a miss, never raised.
+    """
+
+    def __init__(
+        self,
+        root=DEFAULT_STORE_ROOT,
+        memory_entries: int = 128,
+        max_entries: int | None = None,
+        ttl_seconds: float | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.memory_entries = int(memory_entries)
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._memory: OrderedDict[str, RunResult] = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(verb: str, spec) -> str:
+        """Delegates to :func:`repro.store.run_fingerprint`."""
+        return run_fingerprint(verb, spec)
+
+    def _object_path(self, fingerprint: str) -> Path:
+        return self.root / "objects" / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> RunResult | None:
+        """The stored result for ``fingerprint``, or ``None`` on miss."""
+        cached = self._memory.get(fingerprint)
+        if cached is not None:
+            self._memory.move_to_end(fingerprint)
+            self.stats["hits"] += 1
+            return cached
+        path = self._object_path(fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("format") != FINGERPRINT_FORMAT:
+                raise ValueError(f"unknown entry format {payload.get('format')!r}")
+            if payload.get("fingerprint") != fingerprint:
+                raise ValueError("entry fingerprint does not match its path")
+            result = RunResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except OSError:
+            self.stats["misses"] += 1
+            return None
+        except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self.stats["misses"] += 1
+            return None
+        result.raw = rehydrate_raw(result.verb, result.payload)
+        try:
+            os.utime(path)  # recency for the on-disk LRU
+        except OSError:
+            pass
+        self._remember(fingerprint, result)
+        self.stats["hits"] += 1
+        return result
+
+    def put(self, fingerprint: str, result: RunResult) -> Path:
+        """Persist ``result`` under ``fingerprint`` atomically."""
+        path = self._object_path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "format": FINGERPRINT_FORMAT,
+            "fingerprint": fingerprint,
+            "saved_unix": time.time(),
+            "result": result.to_dict(),
+        }
+        blob = json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{fingerprint[:12]}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(blob)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self._remember(fingerprint, result)
+        self.stats["writes"] += 1
+        return path
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return (
+            fingerprint in self._memory
+            or self._object_path(fingerprint).exists()
+        )
+
+    def known_fingerprints(self) -> set[str]:
+        """Every fingerprint currently persisted on disk."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return set()
+        return {path.stem for path in objects.glob("*/*.json")}
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        max_entries: int | None = None,
+        ttl_seconds: float | None = None,
+        dry_run: bool = False,
+    ) -> dict:
+        """Apply TTL then LRU eviction to the on-disk store.
+
+        Arguments default to the limits configured at construction; both
+        ``None`` means the scan is a no-op beyond reporting.  Recency is
+        file mtime, which :meth:`get` refreshes on every disk read.
+        """
+        if max_entries is None:
+            max_entries = self.max_entries
+        if ttl_seconds is None:
+            ttl_seconds = self.ttl_seconds
+        objects = self.root / "objects"
+        entries = []
+        if objects.is_dir():
+            for path in objects.glob("*/*.json"):
+                try:
+                    entries.append((path.stat().st_mtime, path))
+                except OSError:
+                    continue
+        entries.sort()  # oldest first
+        now = time.time()
+        doomed = []
+        if ttl_seconds is not None:
+            fresh = []
+            for mtime, path in entries:
+                if now - mtime > ttl_seconds:
+                    doomed.append(path)
+                else:
+                    fresh.append((mtime, path))
+            entries = fresh
+        if max_entries is not None and len(entries) > max_entries:
+            excess = len(entries) - max_entries
+            doomed.extend(path for _, path in entries[:excess])
+            entries = entries[excess:]
+        removed = []
+        for path in doomed:
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                self._memory.pop(path.stem, None)
+            removed.append(path.stem)
+        return {
+            "scanned": len(removed) + len(entries),
+            "removed": removed,
+            "kept": len(entries),
+            "dry_run": dry_run,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _remember(self, fingerprint: str, result: RunResult) -> None:
+        if self.memory_entries <= 0:
+            return
+        self._memory[fingerprint] = result
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is diagnosable but inert."""
+        self.stats["corrupt"] += 1
+        target = self.root / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore(root={str(self.root)!r}, "
+            f"memory_entries={self.memory_entries})"
+        )

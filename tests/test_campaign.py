@@ -1,0 +1,253 @@
+"""Campaign definitions, lattice expansion and resumable execution."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import SpecError
+from repro.campaign import Campaign, CampaignRunner
+from repro.store import ResultStore
+
+BASE_SPEC = {
+    "pair": {"kind": "symmetric", "eta": 0.01},
+    "sampling": "uniform",
+    "samples": 8,
+    "horizon_multiple": 1,
+}
+
+
+def tiny_campaign(n_etas=3) -> Campaign:
+    return Campaign(
+        name="tiny",
+        runs=[{
+            "verb": "sweep",
+            "label": "sym",
+            "spec": BASE_SPEC,
+            "axes": {"pair.eta": [0.01 + 0.01 * i for i in range(n_etas)]},
+        }],
+    )
+
+
+# ----------------------------------------------------------------------
+# Definition + expansion
+# ----------------------------------------------------------------------
+
+
+class TestCampaignDefinition:
+    def test_json_and_toml_load_identically(self, tmp_path):
+        payload = tiny_campaign().to_dict()
+        json_path = tmp_path / "c.json"
+        json_path.write_text(json.dumps(payload))
+        toml_path = tmp_path / "c.toml"
+        toml_path.write_text(
+            'name = "tiny"\n'
+            "[[runs]]\n"
+            'verb = "sweep"\n'
+            'label = "sym"\n'
+            "[runs.spec]\n"
+            'sampling = "uniform"\n'
+            "samples = 8\n"
+            "horizon_multiple = 1\n"
+            "[runs.spec.pair]\n"
+            'kind = "symmetric"\n'
+            "eta = 0.01\n"
+            "[runs.axes]\n"
+            '"pair.eta" = [0.01, 0.02, 0.03]\n'
+        )
+        from_json = Campaign.from_file(json_path)
+        from_toml = Campaign.from_file(toml_path)
+        assert from_json.to_dict() == from_toml.to_dict() == payload
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="unknown campaign key"):
+            Campaign.from_dict({"name": "x", "runs": [], "exta": 1})
+        with pytest.raises(SpecError, match="unknown campaign run key"):
+            Campaign(name="x", runs=[{"verb": "sweep", "sepc": {}}])
+
+    def test_bad_verb_and_axes_rejected(self):
+        with pytest.raises(SpecError, match="verb"):
+            Campaign(name="x", runs=[{"verb": "explode"}])
+        with pytest.raises(SpecError, match="non-empty list"):
+            Campaign(name="x", runs=[{"verb": "sweep",
+                                      "axes": {"pair.eta": []}}])
+
+    def test_malformed_file_is_spec_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ nope")
+        with pytest.raises(SpecError, match="malformed campaign"):
+            Campaign.from_file(bad)
+
+    def test_expansion_row_major_last_axis_fastest(self):
+        campaign = Campaign(
+            name="grid",
+            runs=[{
+                "verb": "sweep",
+                "spec": BASE_SPEC,
+                "axes": {"samples": [8, 16], "pair.eta": [0.01, 0.02]},
+            }],
+        )
+        entries = campaign.expand()
+        assert [e.index for e in entries] == [0, 1, 2, 3]
+        assert [(e.spec.samples, e.spec.pair["eta"]) for e in entries] == [
+            (8, 0.01), (8, 0.02), (16, 0.01), (16, 0.02),
+        ]
+        assert entries[0].label == "sweep[samples=8,pair.eta=0.01]"
+
+    def test_dotted_paths_create_intermediates(self):
+        campaign = Campaign(
+            name="deep",
+            runs=[{
+                "verb": "simulate",
+                "spec": {"scenario": {"factory": "symmetric_pair"}},
+                "axes": {"scenario.params.eta": [0.02]},
+            }],
+        )
+        entry = campaign.expand()[0]
+        assert entry.spec.scenario["params"]["eta"] == 0.02
+
+    def test_invalid_lattice_point_fails_before_execution(self):
+        campaign = Campaign(
+            name="broken",
+            runs=[{"verb": "sweep", "spec": BASE_SPEC,
+                   "axes": {"samples": [8, 0]}}],
+        )
+        with pytest.raises(SpecError, match=r"runs\[0\]"):
+            campaign.expand()
+
+
+# ----------------------------------------------------------------------
+# Execution, resume, interrupt
+# ----------------------------------------------------------------------
+
+
+class TestCampaignRunner:
+    def test_cold_then_warm(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+        manifest = runner.run()
+        assert manifest["complete"]
+        assert manifest["executed"] == 3 and manifest["hits"] == 0
+        assert all(r["status"] == "done" for r in manifest["entries"])
+        assert all(r["seconds"] >= 0 for r in manifest["entries"])
+
+        # Manifest on disk matches the returned one.
+        on_disk = json.loads((tmp_path / "m.json").read_text())
+        assert on_disk == manifest
+
+        again = runner.run()
+        assert again["complete"]
+        assert again["executed"] == 0 and again["hits"] == 3
+
+    def test_max_runs_caps_executions_then_resumes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+        partial = runner.run(max_runs=1)
+        assert not partial["complete"]
+        assert partial["executed"] == 1
+        statuses = [r["status"] for r in partial["entries"]]
+        assert statuses == ["done", "skipped", "skipped"]
+
+        # Resume: the stored entry hits, ONLY the missing ones execute.
+        resumed = runner.run()
+        assert resumed["complete"]
+        assert resumed["hits"] == 1 and resumed["executed"] == 2
+
+    def test_interrupted_campaign_resumes_missing_only(self, tmp_path):
+        # Simulate a mid-lattice crash: a session whose second sweep
+        # dies.  The manifest checkpoint and the store survive, so the
+        # rerun executes exactly the entries the crash lost.
+        store = ResultStore(tmp_path / "store")
+        campaign = tiny_campaign()
+        runner = CampaignRunner(
+            campaign, store, manifest_path=tmp_path / "m.json"
+        )
+
+        from repro.api import Session
+
+        real = Session(store=store)
+        calls = {"n": 0}
+
+        def dying_sweep(spec):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise KeyboardInterrupt
+            return real.sweep(spec)
+
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                runner.run(session=SimpleNamespace(sweep=dying_sweep))
+        finally:
+            real.close()
+
+        checkpoint = json.loads((tmp_path / "m.json").read_text())
+        assert not checkpoint["complete"]
+        assert [r["status"] for r in checkpoint["entries"]] == [
+            "done", "pending", "pending",
+        ]
+
+        resumed = runner.run()
+        assert resumed["complete"]
+        assert resumed["hits"] == 1 and resumed["executed"] == 2
+
+    def test_per_entry_failure_recorded_and_continues(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+
+        from repro.api import Session
+
+        real = Session(store=store)
+        calls = {"n": 0}
+
+        def flaky_sweep(spec):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("worker lost")
+            return real.sweep(spec)
+
+        try:
+            manifest = runner.run(session=SimpleNamespace(sweep=flaky_sweep))
+        finally:
+            real.close()
+        assert manifest["failed"] == 1 and not manifest["complete"]
+        failed = manifest["entries"][1]
+        assert failed["status"] == "failed"
+        assert "RuntimeError: worker lost" in failed["error"]
+        # The other two completed despite the failure in the middle.
+        assert manifest["executed"] == 2
+
+    def test_status_reports_store_membership(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+        before = runner.status()
+        assert before["total"] == 3 and before["stored"] == 0
+        assert len(before["missing"]) == 3 and not before["complete"]
+
+        runner.run(max_runs=2)
+        middle = runner.status()
+        assert middle["stored"] == 2 and len(middle["missing"]) == 1
+
+        runner.run()
+        after = runner.status()
+        assert after["complete"] and after["missing"] == []
+
+    def test_fingerprints_shared_across_campaign_loads(self, tmp_path):
+        # A campaign reloaded from disk addresses the same store slots.
+        store = ResultStore(tmp_path / "store")
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(tiny_campaign().to_dict()))
+        CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m1.json"
+        ).run()
+        reloaded = CampaignRunner(
+            Campaign.from_file(path), store, manifest_path=tmp_path / "m2.json"
+        ).run()
+        assert reloaded["hits"] == 3 and reloaded["executed"] == 0

@@ -1,0 +1,74 @@
+"""The golden campaign: the pinned CSVs regenerate byte-identically
+through the content-addressed store, and a warm store re-executes
+nothing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    build_golden_campaign,
+    CampaignRunner,
+    GOLDEN_CAMPAIGN_PATH,
+    golden_rows,
+    regenerate_golden_csvs,
+)
+from repro.store import ResultStore
+
+RESULTS = Path(__file__).resolve().parents[1] / "results"
+PINNED = ["val-uni.csv", "val-prot.csv", "abl-slot-analytic.csv",
+          "abl-slot-empirical.csv"]
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory):
+    """A store populated by one cold golden-campaign run."""
+    tmp = tmp_path_factory.mktemp("golden")
+    store = ResultStore(tmp / "store")
+    manifest = CampaignRunner(
+        build_golden_campaign(), store, manifest_path=tmp / "manifest.json"
+    ).run()
+    assert manifest["complete"], manifest
+    assert manifest["executed"] == manifest["total"]
+    return store
+
+
+def test_checked_in_definition_matches_builder():
+    # campaigns/golden.json IS build_golden_campaign(): the campaign
+    # file is the reviewable source of truth for what the pinned CSVs
+    # mean, so drift between the two is an error.
+    checked_in = json.loads(GOLDEN_CAMPAIGN_PATH.read_text())
+    assert checked_in == build_golden_campaign().to_dict()
+
+
+def test_regenerates_pinned_csvs_bit_identically(warm_store, tmp_path):
+    written = regenerate_golden_csvs(warm_store, tmp_path)
+    assert sorted(p.name for p in written) == sorted(PINNED)
+    for path in written:
+        pinned = (RESULTS / path.name).read_bytes()
+        assert path.read_bytes() == pinned, (
+            f"{path.name} diverged from the pinned golden CSV"
+        )
+
+
+def test_warm_rerun_hits_everything(warm_store, tmp_path):
+    manifest = CampaignRunner(
+        build_golden_campaign(), warm_store,
+        manifest_path=tmp_path / "manifest.json",
+    ).run()
+    assert manifest["complete"]
+    assert manifest["executed"] == 0  # zero sweep re-execution
+    assert manifest["hits"] == manifest["total"]
+
+
+def test_rows_come_from_store_payloads(warm_store):
+    tables = golden_rows(warm_store)
+    headers, rows = tables["val-uni"]
+    assert headers[0] == "design" and len(rows) == 6
+    assert all(row[5] == 0 for row in rows)  # zero failures, from store
+
+
+def test_missing_fingerprint_is_loud(tmp_path):
+    with pytest.raises(KeyError, match="missing campaign entry"):
+        golden_rows(ResultStore(tmp_path / "empty"))

@@ -13,10 +13,11 @@ random omega, random turnaround):
    bitmap-dedup and sort-dedup regimes of the vectorized kernel.
 2. **Exactness** -- on small hyperperiods, sweeping only the enumerated
    offsets finds exactly the dense sweep's worst one-way and two-way
-   latencies (POINT model, turnaround 0 -- the regime the
-   piecewise-constance argument covers; non-zero turnaround shifts
-   self-blocking edges off the enumerated grid, a documented limitation
-   exercised only through the kernel-parity property).
+   latencies (POINT model) **at the drawn turnaround**: the enumeration
+   takes ``turnaround`` and adds the receiver self-blocking guard edges
+   plus the boot-time activation anchors, closing what used to be a
+   documented limitation (non-zero turnaround shifted self-blocking
+   edges off the enumerated grid).
 
 The harness runs under hypothesis when installed (the CI property lane)
 and falls back to a deterministic seeded loop otherwise, so tier-1
@@ -147,7 +148,9 @@ def _check_family(family: str, seed: int) -> None:
     turnaround = rng.choice([0, rng.randrange(1, 12)])
 
     try:
-        reference = critical_offsets(protocol_e, protocol_f, omega=omega)
+        reference = critical_offsets(
+            protocol_e, protocol_f, omega=omega, turnaround=turnaround
+        )
     except ValueError as exc:
         # This draw's critical set explodes past the default max_count:
         # the property left to check is that the vectorized kernel
@@ -155,9 +158,10 @@ def _check_family(family: str, seed: int) -> None:
         if HAVE_NUMPY:
             with pytest.raises(ValueError) as excinfo:
                 critical_offsets(
-                    protocol_e, protocol_f, omega=omega, backend="numpy"
+                    protocol_e, protocol_f, omega=omega, backend="numpy",
+                    turnaround=turnaround,
                 )
-            assert str(excinfo.value) == str(exc), (family, omega)
+            assert str(excinfo.value) == str(exc), (family, omega, turnaround)
         return
     hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
     assert reference == sorted(set(reference))
@@ -165,10 +169,11 @@ def _check_family(family: str, seed: int) -> None:
 
     if HAVE_NUMPY:
         vectorized = critical_offsets(
-            protocol_e, protocol_f, omega=omega, backend="numpy"
+            protocol_e, protocol_f, omega=omega, backend="numpy",
+            turnaround=turnaround,
         )
         # Exact list equality -- values, order, and python-int types.
-        assert vectorized == reference, (family, omega)
+        assert vectorized == reference, (family, omega, turnaround)
         assert all(type(offset) is int for offset in vectorized[:16])
         if len(reference) > 1:
             # Guard parity: an undersized max_count must raise the same
@@ -180,6 +185,7 @@ def _check_family(family: str, seed: int) -> None:
                     critical_offsets(
                         protocol_e, protocol_f, omega=omega,
                         max_count=undersized, backend=backend,
+                        turnaround=turnaround,
                     )
                 messages.append(str(excinfo.value))
             assert messages[0] == messages[1], (family, omega, messages)
@@ -188,16 +194,24 @@ def _check_family(family: str, seed: int) -> None:
         horizon = hyper * 3
         engine = ParallelSweep(jobs=1, backend="python")
         dense = engine.sweep_offsets(
-            protocol_e, protocol_f, list(range(hyper)), horizon
+            protocol_e, protocol_f, list(range(hyper)), horizon,
+            turnaround=turnaround,
         )
         pruned = engine.sweep_offsets(
-            protocol_e, protocol_f, reference, horizon
+            protocol_e, protocol_f, reference, horizon,
+            turnaround=turnaround,
         )
         # Exactness: the enumerated breakpoints (plus one-sided-limit
         # neighbours) see every piece of the piecewise-constant
-        # discovery function, so the worst cases agree exactly.
-        assert pruned.worst_one_way == dense.worst_one_way, (family, omega)
-        assert pruned.worst_two_way == dense.worst_two_way, (family, omega)
+        # discovery function -- including the self-blocking guard edges
+        # under the drawn turnaround -- so the worst cases agree
+        # exactly.
+        assert pruned.worst_one_way == dense.worst_one_way, (
+            family, omega, turnaround,
+        )
+        assert pruned.worst_two_way == dense.worst_two_way, (
+            family, omega, turnaround,
+        )
         if HAVE_NUMPY:
             # Kernel parity on the pruned evaluation itself, under the
             # drawn turnaround: enumeration and sweep both dispatch.

@@ -1,0 +1,307 @@
+"""The content-addressed result store: fingerprint contract and
+ResultStore edge cases (atomicity, eviction, corruption tolerance)."""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunResult, RunSpec, RuntimeProfile, Session, SpecError
+from repro.store import (
+    canonical_run_payload,
+    FINGERPRINT_FORMAT,
+    ResultStore,
+    run_fingerprint,
+)
+
+SPEC = RunSpec(
+    pair={"kind": "symmetric", "eta": 0.01},
+    sampling="uniform",
+    samples=16,
+    horizon_multiple=1,
+)
+
+
+def _result(payload=None) -> RunResult:
+    return RunResult(
+        verb="sweep",
+        spec=SPEC.describe(),
+        profile=RuntimeProfile().describe(),
+        backend="python",
+        timings={"total": 0.0},
+        payload=payload or {"worst_one_way": 123, "failures": 0},
+        raw=None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fingerprint contract
+# ----------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_json_round_trip_invariance(self):
+        direct = run_fingerprint("sweep", SPEC)
+        rehydrated = RunSpec.from_dict(json.loads(SPEC.to_json()))
+        assert run_fingerprint("sweep", rehydrated) == direct
+
+    def test_verb_distinguishes(self):
+        assert run_fingerprint("sweep", SPEC) != run_fingerprint(
+            "worst_case", SPEC
+        )
+
+    def test_schema_defaults_canonicalized(self):
+        # Omitting registered defaults must not change identity.
+        sparse = SPEC
+        explicit = dataclasses.replace(SPEC, 
+            pair={"kind": "symmetric", "eta": 0.01, "omega": 32, "alpha": 1.0}
+        )
+        assert run_fingerprint("sweep", sparse) == run_fingerprint(
+            "sweep", explicit
+        )
+
+    def test_result_affecting_knob_changes_fingerprint(self):
+        assert run_fingerprint("sweep", SPEC) != run_fingerprint(
+            "sweep", dataclasses.replace(SPEC, samples=17)
+        )
+
+    def test_live_objects_have_no_identity(self):
+        from repro.core.optimal import synthesize_symmetric
+
+        protocol, _ = synthesize_symmetric(32, 0.01, 1.0)
+        with pytest.raises(SpecError):
+            run_fingerprint("sweep", RunSpec(pair=(protocol, protocol)))
+
+    def test_payload_shape(self):
+        payload = canonical_run_payload("sweep", SPEC)
+        assert payload["format"] == FINGERPRINT_FORMAT
+        assert payload["verb"] == "sweep"
+        assert payload["spec"]["pair"]["omega"] == 32  # default filled in
+
+    def test_stable_across_process_restart(self):
+        # Guards against accidental dependence on dict iteration order /
+        # hash randomization: a fresh interpreter with a different
+        # PYTHONHASHSEED must derive the identical digest.
+        code = (
+            "from repro.api import RunSpec\n"
+            "from repro.store import run_fingerprint\n"
+            "spec = RunSpec(pair={'kind': 'symmetric', 'eta': 0.01},"
+            " sampling='uniform', samples=16, horizon_multiple=1)\n"
+            "print(run_fingerprint('sweep', spec))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        src = Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = str(src)
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == run_fingerprint("sweep", SPEC)
+
+
+# ----------------------------------------------------------------------
+# ResultStore
+# ----------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fp = store.fingerprint("sweep", SPEC)
+        assert store.get(fp) is None
+        assert fp not in store
+        store.put(fp, _result())
+        assert fp in store
+        loaded = store.get(fp)
+        assert loaded == _result()
+        assert store.known_fingerprints() == {fp}
+
+    def test_disk_round_trip_bypassing_memory(self, tmp_path):
+        store = ResultStore(tmp_path / "store", memory_entries=0)
+        fp = store.fingerprint("sweep", SPEC)
+        store.put(fp, _result())
+        loaded = store.get(fp)
+        assert loaded == _result()
+        assert store.stats == {
+            "hits": 1, "misses": 0, "writes": 1, "corrupt": 0,
+        }
+
+    def test_corrupt_entry_quarantined_not_raised(self, tmp_path):
+        store = ResultStore(tmp_path / "store", memory_entries=0)
+        fp = store.fingerprint("sweep", SPEC)
+        path = store.put(fp, _result())
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get(fp) is None  # miss, no exception
+        assert not path.exists()
+        assert (tmp_path / "store" / "quarantine" / path.name).exists()
+        assert store.stats["corrupt"] == 1
+        # The slot is reusable after quarantine.
+        store.put(fp, _result())
+        assert store.get(fp) == _result()
+
+    def test_mismatched_fingerprint_is_corruption(self, tmp_path):
+        store = ResultStore(tmp_path / "store", memory_entries=0)
+        fp = store.fingerprint("sweep", SPEC)
+        other = store.fingerprint("worst_case", SPEC)
+        path = store.put(fp, _result())
+        # Copy the valid entry under the wrong address.
+        wrong = store._object_path(other)
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_bytes(path.read_bytes())
+        assert store.get(other) is None
+        assert store.stats["corrupt"] == 1
+
+    def test_concurrent_writers_atomic(self, tmp_path):
+        store = ResultStore(tmp_path / "store", memory_entries=0)
+        fp = store.fingerprint("sweep", SPEC)
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(20):
+                    store.put(fp, _result())
+                    assert store.get(fp) == _result()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.get(fp) == _result()
+        # No stray temp files survive the race.
+        leftovers = [
+            p for p in (tmp_path / "store" / "objects").rglob("*")
+            if p.is_file() and p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+    def test_memory_lru_bounded(self, tmp_path):
+        store = ResultStore(tmp_path / "store", memory_entries=2)
+        fps = [
+            store.fingerprint("sweep", dataclasses.replace(SPEC, samples=16 + i))
+            for i in range(3)
+        ]
+        for fp in fps:
+            store.put(fp, _result())
+        assert len(store._memory) == 2
+        assert fps[0] not in store._memory  # oldest evicted from memory...
+        assert store.get(fps[0]) == _result()  # ...but still on disk
+
+    def test_gc_ttl_then_lru(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fps = [
+            store.fingerprint("sweep", dataclasses.replace(SPEC, samples=16 + i))
+            for i in range(4)
+        ]
+        now = 1_700_000_000
+        for i, fp in enumerate(fps):
+            path = store.put(fp, _result())
+            os.utime(path, (now + i, now + i))  # explicit recency order
+
+        # Dry run reports without removing.
+        report = store.gc(max_entries=1, dry_run=True)
+        assert len(report["removed"]) == 3 and report["dry_run"]
+        assert store.known_fingerprints() == set(fps)
+
+        # LRU keeps the newest N; oldest go first.
+        report = store.gc(max_entries=2)
+        assert report["removed"] == [fps[0], fps[1]]
+        assert store.known_fingerprints() == {fps[2], fps[3]}
+
+        # TTL: everything is far older than now -> all evicted.
+        report = store.gc(ttl_seconds=60.0)
+        assert set(report["removed"]) == {fps[2], fps[3]}
+        assert store.known_fingerprints() == set()
+
+    def test_gc_defaults_from_constructor(self, tmp_path):
+        store = ResultStore(tmp_path / "store", max_entries=1)
+        fps = [
+            store.fingerprint("sweep", dataclasses.replace(SPEC, samples=16 + i))
+            for i in range(3)
+        ]
+        now = 1_700_000_000
+        for i, fp in enumerate(fps):
+            os.utime(store.put(fp, _result()), (now + i, now + i))
+        report = store.gc()
+        assert report["kept"] == 1
+        assert store.known_fingerprints() == {fps[2]}
+
+
+# ----------------------------------------------------------------------
+# Session integration: read-through / write-back, runtime invariance
+# ----------------------------------------------------------------------
+
+
+class TestSessionStore:
+    def test_write_back_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with Session(store=store) as session:
+            first = session.sweep(SPEC)
+        assert first.store_meta == {
+            "hit": False,
+            "fingerprint": store.fingerprint("sweep", SPEC),
+            "lookup_seconds": first.store_meta["lookup_seconds"],
+        }
+        with Session(store=store) as session:
+            second = session.sweep(SPEC)
+        assert second.store_meta["hit"] is True
+        assert second.payload == first.payload
+        assert second.timings == first.timings  # the stored recipe
+
+    def test_hits_invariant_across_runtime_profiles(self, tmp_path):
+        # The acceptance property: RuntimeProfile knobs (backend/jobs/
+        # schedule) never change identity, so a store warmed under one
+        # profile serves every other profile.
+        store = ResultStore(tmp_path / "store")
+        with Session(RuntimeProfile(backend="python"), store=store) as s:
+            cold = s.sweep(SPEC)
+        assert cold.store_meta["hit"] is False
+        for profile in (
+            RuntimeProfile(backend="auto"),
+            RuntimeProfile(jobs=2, schedule="chunk"),
+        ):
+            with Session(profile, store=store) as s:
+                warm = s.sweep(SPEC)
+            assert warm.store_meta["hit"] is True
+            assert warm.payload == cold.payload
+
+    def test_raw_rehydrated_on_disk_hit(self, tmp_path):
+        from repro.simulation import SweepReport
+
+        store = ResultStore(tmp_path / "store", memory_entries=0)
+        with Session(store=store) as session:
+            session.sweep(SPEC)
+        with Session(store=store) as session:
+            hit = session.sweep(SPEC)
+        assert hit.store_meta["hit"] is True
+        assert isinstance(hit.raw, SweepReport)
+        assert hit.raw.worst_one_way == hit.payload["worst_one_way"]
+
+    def test_profile_store_field_resolves(self, tmp_path):
+        profile = RuntimeProfile(store=str(tmp_path / "store"))
+        with Session(profile) as session:
+            assert isinstance(session.store, ResultStore)
+            session.sweep(SPEC)
+        assert ResultStore(tmp_path / "store").known_fingerprints()
+
+    def test_live_object_specs_always_compute(self, tmp_path):
+        from repro.core.optimal import synthesize_symmetric
+
+        protocol, _ = synthesize_symmetric(32, 0.01, 1.0)
+        spec = RunSpec(
+            pair=(protocol, protocol), sampling="uniform", samples=8,
+            horizon_multiple=1,
+        )
+        store = ResultStore(tmp_path / "store")
+        with Session(store=store) as session:
+            result = session.sweep(spec)
+        assert result.store_meta is None  # no identity, no store traffic
+        assert store.known_fingerprints() == set()
