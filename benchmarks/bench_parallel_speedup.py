@@ -52,6 +52,14 @@ re-execution, and the four golden CSVs regenerated from store payloads
 must be byte-identical to the pinned files -- both hard exit gates.
 The JSON records the hit rate and the lookup-vs-sweep per-entry
 timings.
+
+Since PR 7 a **campaign** phase runs the same golden lattice cold a
+second time under ``--entry-jobs`` work-stealing campaign workers
+(longest estimated entry first) into a fresh store.  Content
+equivalence with the serial cold pass -- same fingerprint set,
+byte-identical payloads, same done/failed partition -- is a hard exit
+gate; the serial-vs-parallel lattice wall-clock is the recorded
+trajectory.
 """
 
 from __future__ import annotations
@@ -423,6 +431,51 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "golden_csvs_bit_identical": csv_ok,
         }
+
+        # Phase: parallel campaign execution (PR 7).  The same golden
+        # lattice, cold, under --entry-jobs work-stealing workers into a
+        # fresh store; the serial cold pass above is the reference.
+        # Content equivalence is a hard exit gate: same fingerprint set,
+        # byte-identical payloads, same done/failed partition.  The
+        # wall-clock pair is the recorded serial-vs-parallel trajectory.
+        par_store = ResultStore(store_dir / "pstore")
+        start = time.perf_counter()
+        par = CampaignRunner(
+            campaign, par_store, manifest_path=store_dir / "par.json"
+        ).run(entry_jobs=args.jobs)
+        campaign_parallel_s = time.perf_counter() - start
+        same_fps = (
+            par_store.known_fingerprints() == store.known_fingerprints()
+        )
+        same_payloads = same_fps and all(
+            json.dumps(par_store.get(fp).payload, sort_keys=True)
+            == json.dumps(store.get(fp).payload, sort_keys=True)
+            for fp in store.known_fingerprints()
+        )
+        same_partition = [
+            (r["status"], r.get("source")) for r in par["entries"]
+        ] == [(r["status"], r.get("source")) for r in cold["entries"]]
+        campaign_ok = (
+            par["complete"] and same_fps and same_payloads and same_partition
+        )
+        identical = identical and campaign_ok
+        campaign_speedup = (
+            store_cold_s / campaign_parallel_s
+            if campaign_parallel_s > 0 else float("inf")
+        )
+        print(
+            f"campaign     : {store_cold_s:.3f} s serial lattice, "
+            f"{campaign_parallel_s:.3f} s parallel({args.jobs}) "
+            f"[{campaign_speedup:.2f}x]   content-equivalent: {campaign_ok}"
+        )
+        campaign_phase = {
+            "entries": par["total"],
+            "entry_jobs": args.jobs,
+            "serial_seconds": store_cold_s,
+            "parallel_seconds": campaign_parallel_s,
+            "speedup": campaign_speedup,
+            "content_equivalent": campaign_ok,
+        }
     finally:
         shutil.rmtree(store_dir, ignore_errors=True)
 
@@ -454,6 +507,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "backends": backend_timings,
         "store": store_phase,
+        "campaign": campaign_phase,
         "per_scenario": per_scenario,
         "fitted_cost_weights": {
             "beacon": fitted[0],

@@ -17,6 +17,7 @@ equal to the one that was saved.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import json
 from dataclasses import dataclass, field, fields
@@ -153,6 +154,29 @@ class RunResult:
     Not serialized (runtime provenance, not experiment identity)."""
 
     # ------------------------------------------------------------------
+    def clone(self) -> "RunResult":
+        """A detached deep copy of the *serialized* identity.
+
+        The compare fields (spec/profile/timings/payload snapshots) are
+        deep-copied so mutating the clone -- or the original -- cannot
+        leak through; the runtime-only fields ``raw`` and ``store_meta``
+        reset to ``None`` (they belong to one call site, not to the
+        result's identity).  This is the isolation primitive behind
+        :class:`~repro.store.ResultStore`'s copy semantics: the store
+        remembers clones and hands out clones, so no two callers ever
+        share a mutable result.
+        """
+        return RunResult(
+            verb=self.verb,
+            spec=copy.deepcopy(self.spec),
+            profile=copy.deepcopy(self.profile),
+            backend=self.backend,
+            timings=copy.deepcopy(self.timings),
+            payload=copy.deepcopy(self.payload),
+            raw=None,
+            store_meta=None,
+        )
+
     def to_dict(self) -> dict:
         return {
             f.name: getattr(self, f.name) for f in fields(self) if f.compare

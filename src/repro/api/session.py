@@ -182,6 +182,13 @@ class Session:
         store) and records ``store_meta.lookup_seconds`` -- the stored
         ``timings`` stay untouched, so they always describe the compute
         that originally produced the numbers.
+
+        ``store_meta`` is strictly **per call**: the store's copy
+        semantics guarantee ``get`` hands back a private
+        :class:`RunResult` and ``put`` remembers a detached snapshot,
+        so attaching provenance here -- or any caller mutating the
+        result afterwards -- can never leak into another call's result
+        or the persisted entry.
         """
         store = self.store
         if store is None:
@@ -254,6 +261,28 @@ class Session:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def worker(self) -> "Session":
+        """A sibling session for a worker thread: same profile, same
+        *shared* store instance, independent runtime state.
+
+        A :class:`Session` is not thread-safe -- backend resolution,
+        the cached sweeper and the scoped-knob bookkeeping all assume
+        one caller -- so concurrent entry execution (the parallel
+        :class:`~repro.campaign.CampaignRunner`) gives every worker
+        thread its own session via this method.  Workers share:
+
+        * the **store instance** (not merely the root path), so they
+          also share its lock-protected in-process LRU and stats;
+        * the **profile object**, so a pooled backend resolves to the
+          same refcounted pool (shutdown when the last worker closes).
+
+        Each worker must be closed like any other session; closing a
+        worker never tears down state the parent still uses.
+        """
+        if self._closed:
+            raise RuntimeError("Session is closed; create a new one")
+        return Session(self.profile, store=self.store)
 
     def close(self) -> None:
         """Release everything this session created (idempotent).

@@ -314,7 +314,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         profile=_profile_from_args(args),
         manifest_path=args.manifest,
     )
-    manifest = runner.run(max_runs=args.max_runs)
+    manifest = runner.run(max_runs=args.max_runs, entry_jobs=args.entry_jobs)
     print(
         f"campaign {manifest['campaign']!r}: {manifest['total']} entries -- "
         f"{manifest['executed']} executed, {manifest['hits']} store hits, "
@@ -643,6 +643,13 @@ def main(argv: list[str] | None = None) -> int:
     c_run.add_argument(
         "--max-runs", type=_positive_int, default=None,
         help="cap on *executed* (non-hit) entries this invocation",
+    )
+    c_run.add_argument(
+        "--entry-jobs", type=_positive_int, default=None,
+        help=(
+            "execute lattice entries over this many work-stealing worker "
+            "threads (longest estimated entry first); default serial"
+        ),
     )
     c_run.set_defaults(func=_cmd_campaign_run)
 

@@ -70,6 +70,7 @@ size limit).  The invalidation contract:
 from __future__ import annotations
 
 import hashlib
+import threading
 from bisect import bisect_right
 
 from ..core.sequences import NDProtocol
@@ -123,6 +124,11 @@ _REGISTRY: dict[str, "ListeningCache"] = {}
 _DEFAULT_REGISTRY_CAP = 64
 _REGISTRY_CAP = _DEFAULT_REGISTRY_CAP
 _STATS = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+# Guards _REGISTRY/_STATS/_REGISTRY_CAP: concurrent store-backed worker
+# sessions (repro.campaign's parallel entry execution) share this
+# registry from many threads.  Pattern *builds* stay outside the lock
+# -- a lost race costs one redundant build, never a torn registry.
+_REGISTRY_LOCK = threading.RLock()
 
 
 def protocol_fingerprint(
@@ -173,12 +179,15 @@ def get_listening_cache(
     docstring for the invalidation contract.
     """
     fingerprint = protocol_fingerprint(receiver, turnaround, max_segments)
-    cache = _REGISTRY.pop(fingerprint, None)
-    if cache is not None:
-        _STATS["hits"] += 1
-        _REGISTRY[fingerprint] = cache  # re-insert: LRU recency order
-        return cache
-    _STATS["misses"] += 1
+    with _REGISTRY_LOCK:
+        cache = _REGISTRY.pop(fingerprint, None)
+        if cache is not None:
+            _STATS["hits"] += 1
+            _REGISTRY[fingerprint] = cache  # re-insert: LRU recency order
+            return cache
+        _STATS["misses"] += 1
+    # Build outside the lock: derivation can take seconds, and a losing
+    # racer merely registers an equivalent pattern over the winner's.
     cache = ListeningCache(receiver, turnaround, max_segments)
     register_listening_cache(fingerprint, cache)
     return cache
@@ -194,11 +203,12 @@ def register_listening_cache(
     with segment-backed patterns; it also replaces any fork-inherited
     private copy so explicitly-requested shared memory actually wins.
     """
-    _REGISTRY.pop(fingerprint, None)
-    _REGISTRY[fingerprint] = cache
-    while len(_REGISTRY) > _REGISTRY_CAP:
-        _REGISTRY.pop(next(iter(_REGISTRY)))
-        _STATS["evictions"] += 1
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(fingerprint, None)
+        _REGISTRY[fingerprint] = cache
+        while len(_REGISTRY) > _REGISTRY_CAP:
+            _REGISTRY.pop(next(iter(_REGISTRY)))
+            _STATS["evictions"] += 1
 
 
 def invalidate_listening_caches(fingerprint: str | None = None) -> int:
@@ -208,18 +218,20 @@ def invalidate_listening_caches(fingerprint: str | None = None) -> int:
     memory or force cold rebuilds -- protocols are immutable, so stale
     entries cannot exist (module docstring has the full contract).
     """
-    if fingerprint is None:
-        removed = len(_REGISTRY)
-        _REGISTRY.clear()
-    else:
-        removed = 1 if _REGISTRY.pop(fingerprint, None) is not None else 0
-    _STATS["invalidations"] += removed
-    return removed
+    with _REGISTRY_LOCK:
+        if fingerprint is None:
+            removed = len(_REGISTRY)
+            _REGISTRY.clear()
+        else:
+            removed = 1 if _REGISTRY.pop(fingerprint, None) is not None else 0
+        _STATS["invalidations"] += removed
+        return removed
 
 
 def listening_cache_stats() -> dict:
     """Registry counters (hits/misses/evictions/invalidations) + size."""
-    return dict(_STATS, size=len(_REGISTRY))
+    with _REGISTRY_LOCK:
+        return dict(_STATS, size=len(_REGISTRY))
 
 
 def listening_cache_fingerprints() -> set[str]:
@@ -235,7 +247,8 @@ def listening_cache_fingerprints() -> set[str]:
     only ever costs a cold rebuild; prefer ``cache_policy="retain"``
     when concurrent sessions share a zoo.
     """
-    return set(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return set(_REGISTRY)
 
 
 def set_listening_cache_cap(cap: int | None = None) -> int:
@@ -246,17 +259,18 @@ def set_listening_cache_cap(cap: int | None = None) -> int:
     evicts LRU entries immediately.
     """
     global _REGISTRY_CAP
-    previous = _REGISTRY_CAP
     if cap is None:
         cap = _DEFAULT_REGISTRY_CAP
     cap = int(cap)
     if cap < 1:
         raise ValueError(f"cache cap must be positive, got {cap}")
-    _REGISTRY_CAP = cap
-    while len(_REGISTRY) > _REGISTRY_CAP:
-        _REGISTRY.pop(next(iter(_REGISTRY)))
-        _STATS["evictions"] += 1
-    return previous
+    with _REGISTRY_LOCK:
+        previous = _REGISTRY_CAP
+        _REGISTRY_CAP = cap
+        while len(_REGISTRY) > _REGISTRY_CAP:
+            _REGISTRY.pop(next(iter(_REGISTRY)))
+            _STATS["evictions"] += 1
+        return previous
 
 
 class ListeningCache:

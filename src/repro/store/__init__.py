@@ -38,6 +38,30 @@ writers and crash-interrupted writes can never tear an entry; a corrupt
 or mismatched entry loads as a *miss* and is quarantined, never raised.
 Reads refresh the entry's mtime, so :meth:`ResultStore.gc`'s TTL/LRU
 eviction tracks last use.
+
+Concurrency and copy semantics
+------------------------------
+One :class:`ResultStore` instance may be shared by concurrent sessions
+-- threads in one process (the parallel
+:class:`~repro.campaign.CampaignRunner`'s worker sessions) and
+unrelated processes over one root directory:
+
+* ``get`` returns a **private copy on every call**: memory-LRU hits
+  clone the stored snapshot (``raw`` rehydrated from the cloned
+  payload), disk hits are freshly parsed.  Mutating a returned result
+  -- its ``payload``, the per-call ``store_meta`` the session attaches
+  -- never reaches another caller, the LRU, or the on-disk entry.
+* ``put`` remembers a **detached snapshot**, never the caller's live
+  :class:`~repro.api.RunResult`; the caller keeps exclusive ownership
+  of what it passed in.
+* The in-process LRU and the ``stats`` counters are lock-protected, so
+  mixed get/put traffic from many threads cannot tear them and the LRU
+  stays bounded.
+* Concurrent ``put`` under one fingerprint is **last-writer-wins**,
+  which is safe by construction: the key is content-addressed, so
+  every writer carries the same numbers and either ``os.replace``
+  order leaves a consistent entry (only runtime provenance such as
+  timings may differ).
 """
 
 from .fingerprint import (

@@ -8,6 +8,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
@@ -36,6 +37,20 @@ class ResultStore:
       reads ``touch`` their entry so recency tracks use, not creation.
     * **Corruption tolerance** -- an unreadable or mismatched entry is
       moved to ``quarantine/`` and reported as a miss, never raised.
+    * **Copy semantics** -- :meth:`get` returns a *private*
+      :class:`RunResult` on every call (memory hits are detached deep
+      copies, never the LRU's own object) and :meth:`put` remembers a
+      detached snapshot, never the caller's live result.  Mutating a
+      returned result -- its ``payload``, its ``store_meta`` -- can
+      therefore never contaminate another caller or the persisted
+      entry.
+    * **Thread safety** -- one store instance may be shared across
+      threads (the parallel :class:`~repro.campaign.CampaignRunner`
+      does exactly that): the in-process LRU and the ``stats`` counters
+      are lock-protected, writes are atomic at the filesystem level,
+      and concurrent ``put`` under one fingerprint is last-writer-wins
+      -- harmless by construction, since the key is content-addressed
+      and both writers carry the same numbers.
     """
 
     def __init__(
@@ -50,6 +65,7 @@ class ResultStore:
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
         self._memory: OrderedDict[str, RunResult] = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
 
     # ------------------------------------------------------------------
@@ -67,12 +83,25 @@ class ResultStore:
     # Read / write
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> RunResult | None:
-        """The stored result for ``fingerprint``, or ``None`` on miss."""
-        cached = self._memory.get(fingerprint)
+        """The stored result for ``fingerprint``, or ``None`` on miss.
+
+        Every hit returns a **private copy**: memory hits clone the
+        LRU's detached snapshot (and rehydrate ``raw`` from the cloned
+        payload), disk hits are freshly parsed.  Callers may freely
+        mutate the returned result -- attach ``store_meta``, edit the
+        payload -- without contaminating other callers or the store.
+        """
+        with self._lock:
+            cached = self._memory.get(fingerprint)
+            if cached is not None:
+                self._memory.move_to_end(fingerprint)
+                self.stats["hits"] += 1
         if cached is not None:
-            self._memory.move_to_end(fingerprint)
-            self.stats["hits"] += 1
-            return cached
+            # Clone outside the lock: snapshots in the LRU are never
+            # mutated after insertion, so the deep copy needs no guard.
+            result = cached.clone()
+            result.raw = rehydrate_raw(result.verb, result.payload)
+            return result
         path = self._object_path(fingerprint)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -82,26 +111,40 @@ class ResultStore:
                 raise ValueError("entry fingerprint does not match its path")
             result = RunResult.from_dict(payload["result"])
         except FileNotFoundError:
-            self.stats["misses"] += 1
+            with self._lock:
+                self.stats["misses"] += 1
             return None
         except OSError:
-            self.stats["misses"] += 1
+            with self._lock:
+                self.stats["misses"] += 1
             return None
         except (json.JSONDecodeError, ValueError, KeyError, TypeError):
             self._quarantine(path)
-            self.stats["misses"] += 1
+            with self._lock:
+                self.stats["misses"] += 1
             return None
         result.raw = rehydrate_raw(result.verb, result.payload)
         try:
             os.utime(path)  # recency for the on-disk LRU
         except OSError:
             pass
-        self._remember(fingerprint, result)
-        self.stats["hits"] += 1
+        with self._lock:
+            self._remember(fingerprint, result.clone())
+            self.stats["hits"] += 1
         return result
 
     def put(self, fingerprint: str, result: RunResult) -> Path:
-        """Persist ``result`` under ``fingerprint`` atomically."""
+        """Persist ``result`` under ``fingerprint`` atomically.
+
+        The in-process LRU remembers a **detached snapshot**, so the
+        caller keeps exclusive ownership of ``result`` -- mutating it
+        afterwards (the session attaches ``store_meta``, consumers may
+        edit payloads in place) never reaches the store.  Concurrent
+        ``put`` under one fingerprint is last-writer-wins: both the
+        ``os.replace`` and the LRU insert are atomic, and a
+        content-addressed key means both writers carry the same
+        numbers, so either order leaves a consistent entry.
+        """
         path = self._object_path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {
@@ -129,15 +172,16 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self._remember(fingerprint, result)
-        self.stats["writes"] += 1
+        with self._lock:
+            self._remember(fingerprint, result.clone())
+            self.stats["writes"] += 1
         return path
 
     def __contains__(self, fingerprint: str) -> bool:
-        return (
-            fingerprint in self._memory
-            or self._object_path(fingerprint).exists()
-        )
+        with self._lock:
+            if fingerprint in self._memory:
+                return True
+        return self._object_path(fingerprint).exists()
 
     def known_fingerprints(self) -> set[str]:
         """Every fingerprint currently persisted on disk."""
@@ -160,6 +204,14 @@ class ResultStore:
         Arguments default to the limits configured at construction; both
         ``None`` means the scan is a no-op beyond reporting.  Recency is
         file mtime, which :meth:`get` refreshes on every disk read.
+
+        The report accounts for every entry exactly once: ``scanned``
+        is the number of entries enumerated, ``removed`` the doomed
+        entries actually unlinked, ``failed`` the doomed entries whose
+        unlink raised (they stay on disk, but are dropped from the
+        in-process LRU either way -- a doomed entry must not keep being
+        served from memory), and ``kept`` the survivors, with
+        ``scanned == len(removed) + len(failed) + kept``.
         """
         if max_entries is None:
             max_entries = self.max_entries
@@ -174,6 +226,7 @@ class ResultStore:
                 except OSError:
                     continue
         entries.sort()  # oldest first
+        scanned = len(entries)
         now = time.time()
         doomed = []
         if ttl_seconds is not None:
@@ -189,17 +242,26 @@ class ResultStore:
             doomed.extend(path for _, path in entries[:excess])
             entries = entries[excess:]
         removed = []
+        failed = []
         for path in doomed:
-            if not dry_run:
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
+            if dry_run:
+                removed.append(path.stem)
+                continue
+            # Doomed entries leave the memory LRU whether or not the
+            # unlink below succeeds: an entry past its TTL/LRU budget
+            # must not keep being served from memory.
+            with self._lock:
                 self._memory.pop(path.stem, None)
+            try:
+                path.unlink()
+            except OSError:
+                failed.append(path.stem)
+                continue
             removed.append(path.stem)
         return {
-            "scanned": len(removed) + len(entries),
+            "scanned": scanned,
             "removed": removed,
+            "failed": failed,
             "kept": len(entries),
             "dry_run": dry_run,
         }
@@ -208,6 +270,10 @@ class ResultStore:
     # Internals
     # ------------------------------------------------------------------
     def _remember(self, fingerprint: str, result: RunResult) -> None:
+        """Insert a *detached* snapshot into the LRU (caller holds
+        ``_lock`` and has already cloned; snapshots are never mutated
+        after insertion, which is what makes lock-free reads of a
+        popped snapshot safe)."""
         if self.memory_entries <= 0:
             return
         self._memory[fingerprint] = result
@@ -217,7 +283,8 @@ class ResultStore:
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside so it is diagnosable but inert."""
-        self.stats["corrupt"] += 1
+        with self._lock:
+            self.stats["corrupt"] += 1
         target = self.root / "quarantine" / path.name
         try:
             target.parent.mkdir(parents=True, exist_ok=True)

@@ -104,6 +104,33 @@ class TestSessionBasics:
 
         assert RunResult.from_json(result.to_json()) == result
 
+    def test_worker_shares_profile_and_store(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        with Session(RuntimeProfile(jobs=1), store=store) as session:
+            worker = session.worker()
+            try:
+                assert worker is not session
+                assert worker.profile is session.profile
+                assert worker.store is session.store
+                result = worker.sweep(_sweep_spec())
+                assert result.store_meta["hit"] is False
+            finally:
+                worker.close()
+            # The parent sees the worker's write-back through the
+            # shared store instance.
+            hit = session.sweep(_sweep_spec())
+            assert hit.store_meta["hit"] is True
+            # Closing the worker did not close the parent.
+            assert not session.closed
+
+    def test_worker_of_closed_session_raises(self):
+        session = Session(RuntimeProfile(jobs=1))
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.worker()
+
 
 class TestSessionPoolLifecycle:
     def setup_method(self):

@@ -1,6 +1,7 @@
 """Campaign definitions, lattice expansion and resumable execution."""
 
 import json
+import threading
 from types import SimpleNamespace
 
 import pytest
@@ -239,6 +240,60 @@ class TestCampaignRunner:
         after = runner.status()
         assert after["complete"] and after["missing"] == []
 
+    def test_manifest_merges_prior_records_on_resume(self, tmp_path):
+        # Satellite: the skeleton used to be rewritten from scratch on
+        # every invocation, discarding prior statuses, seconds and
+        # error strings.  It now merges with the existing manifest.
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+        partial = runner.run(max_runs=1)
+        done = partial["entries"][0]
+        assert done["status"] == "done" and done["source"] == "executed"
+
+        entries = runner.campaign.expand()
+        skeleton = runner._manifest_skeleton(
+            entries, runner._fingerprints(entries)
+        )
+        carried = skeleton["entries"][0]
+        assert carried["status"] == "done"
+        assert carried["source"] == "executed"
+        assert carried["seconds"] == done["seconds"]
+
+    def test_capped_rerun_preserves_failed_error(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+
+        from repro.api import Session
+
+        real = Session(store=store)
+
+        def flaky_sweep(spec):
+            if spec.pair["eta"] == 0.02:  # the middle lattice point
+                raise RuntimeError("worker lost")
+            return real.sweep(spec)
+
+        try:
+            first = runner.run(session=SimpleNamespace(sweep=flaky_sweep))
+        finally:
+            real.close()
+        assert first["entries"][1]["status"] == "failed"
+
+        # A rerun that cannot execute anything (max_runs=0) must not
+        # flatten the failed record into a bare "skipped": the error
+        # string is the evidence a later reader needs.
+        capped = runner.run(max_runs=0)
+        record = capped["entries"][1]
+        assert record["status"] == "failed"
+        assert "RuntimeError: worker lost" in record["error"]
+        # The two stored entries still hit and stay done.
+        assert [r["status"] for r in capped["entries"]] == [
+            "done", "failed", "done",
+        ]
+
     def test_fingerprints_shared_across_campaign_loads(self, tmp_path):
         # A campaign reloaded from disk addresses the same store slots.
         store = ResultStore(tmp_path / "store")
@@ -251,3 +306,204 @@ class TestCampaignRunner:
             Campaign.from_file(path), store, manifest_path=tmp_path / "m2.json"
         ).run()
         assert reloaded["hits"] == 3 and reloaded["executed"] == 0
+
+
+# ----------------------------------------------------------------------
+# Entry cost hints
+# ----------------------------------------------------------------------
+
+
+class TestEntryCostHints:
+    def test_cost_hints_positive_and_schedulable(self):
+        from repro.parallel.schedule import plan_longest_first
+
+        entries = tiny_campaign().expand()
+        costs = [entry.cost_hint() for entry in entries]
+        assert all(cost >= 1.0 for cost in costs)
+        order = plan_longest_first(entries)
+        assert sorted(order) == list(range(len(entries)))
+
+    def test_worst_case_prices_above_its_sweep(self):
+        sweep, worst = Campaign(
+            name="pair",
+            runs=[
+                {"verb": "sweep", "spec": BASE_SPEC},
+                {"verb": "worst_case", "spec": BASE_SPEC},
+            ],
+        ).expand()
+        assert worst.cost_hint() == pytest.approx(2.0 * sweep.cost_hint())
+
+    def test_more_samples_cost_more(self):
+        small, big = tiny_campaign(1).expand()[0], Campaign(
+            name="big",
+            runs=[{"verb": "sweep", "spec": dict(BASE_SPEC, samples=64)}],
+        ).expand()[0]
+        assert big.cost_hint() > small.cost_hint()
+
+    def test_unestimable_spec_ranks_neutrally(self):
+        from repro.api import RunSpec
+        from repro.campaign.campaign import CampaignEntry
+
+        entry = CampaignEntry(
+            index=0, run_index=0, verb="sweep", label="x", spec=RunSpec()
+        )
+        assert entry.cost_hint() == 1.0
+
+
+# ----------------------------------------------------------------------
+# Parallel entry execution
+# ----------------------------------------------------------------------
+
+
+class TestParallelRunner:
+    def test_parallel_matches_serial(self, tmp_path):
+        campaign = tiny_campaign()
+        serial_store = ResultStore(tmp_path / "serial")
+        serial = CampaignRunner(
+            campaign, serial_store, manifest_path=tmp_path / "ms.json"
+        ).run()
+        parallel_store = ResultStore(tmp_path / "parallel")
+        parallel = CampaignRunner(
+            campaign, parallel_store, manifest_path=tmp_path / "mp.json"
+        ).run(entry_jobs=2)
+
+        assert parallel["complete"] and parallel["executed"] == 3
+        assert (
+            serial_store.known_fingerprints()
+            == parallel_store.known_fingerprints()
+        )
+        for fp in serial_store.known_fingerprints():
+            assert serial_store.get(fp).payload == parallel_store.get(fp).payload
+        assert [
+            (r["status"], r["source"]) for r in serial["entries"]
+        ] == [(r["status"], r["source"]) for r in parallel["entries"]]
+
+    def test_entry_jobs_one_is_serial(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+        manifest = runner.run(entry_jobs=1)
+        assert manifest["complete"] and manifest["executed"] == 3
+
+    def test_parallel_max_runs_caps_in_lattice_order(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+        partial = runner.run(max_runs=1, entry_jobs=2)
+        assert not partial["complete"]
+        assert partial["executed"] == 1
+        # Same cap choice as the serial loop: first miss in lattice
+        # order executes, later misses are capped.
+        assert [r["status"] for r in partial["entries"]] == [
+            "done", "skipped", "skipped",
+        ]
+        resumed = runner.run(entry_jobs=2)
+        assert resumed["complete"]
+        assert resumed["hits"] == 1 and resumed["executed"] == 2
+
+    def test_parallel_per_entry_failure_isolated(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+
+        from repro.api import Session
+
+        real = Session(store=store)
+        lock = threading.Lock()
+
+        def flaky_sweep(spec):
+            if spec.pair["eta"] == 0.02:
+                raise RuntimeError("worker lost")
+            with lock:  # the shared real session is not thread-safe
+                return real.sweep(spec)
+
+        try:
+            manifest = runner.run(
+                session=SimpleNamespace(sweep=flaky_sweep), entry_jobs=2
+            )
+        finally:
+            real.close()
+        assert manifest["failed"] == 1 and manifest["executed"] == 2
+        failed = manifest["entries"][1]
+        assert failed["status"] == "failed"
+        assert "RuntimeError: worker lost" in failed["error"]
+
+    def test_parallel_interrupt_checkpoints_then_resumes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+
+        from repro.api import Session
+
+        real = Session(store=store)
+        lock = threading.Lock()
+
+        def dying_sweep(spec):
+            if spec.pair["eta"] == 0.03:
+                raise KeyboardInterrupt
+            with lock:
+                return real.sweep(spec)
+
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                runner.run(
+                    session=SimpleNamespace(sweep=dying_sweep), entry_jobs=2
+                )
+        finally:
+            real.close()
+
+        # The checkpoint on disk is a valid manifest with every record
+        # accounted for -- no record loss, no torn statuses.
+        checkpoint = json.loads((tmp_path / "m.json").read_text())
+        assert checkpoint["campaign"] == "tiny"
+        assert len(checkpoint["entries"]) == 3
+        assert all(
+            r["status"] in ("pending", "done") for r in checkpoint["entries"]
+        )
+        assert not checkpoint["complete"]
+
+        resumed = runner.run(entry_jobs=2)
+        assert resumed["complete"]
+        assert all(r["status"] == "done" for r in resumed["entries"])
+
+    def test_parallel_uses_worker_sessions(self, tmp_path):
+        # An injected object exposing .worker() contributes one sibling
+        # per worker thread (the Session protocol); the doubles record
+        # which entries they served and every worker gets closed.
+        calls = []
+        closed = []
+
+        class FakeWorker:
+            def __init__(self, parent):
+                self.parent = parent
+
+            def sweep(self, spec):
+                calls.append((id(self), spec.pair["eta"]))
+                return SimpleNamespace(store_meta={"hit": False})
+
+            def close(self):
+                closed.append(id(self))
+
+        class FakeSession:
+            def __init__(self):
+                self.workers = []
+
+            def worker(self):
+                worker = FakeWorker(self)
+                self.workers.append(worker)
+                return worker
+
+        parent = FakeSession()
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            tiny_campaign(), store, manifest_path=tmp_path / "m.json"
+        )
+        manifest = runner.run(session=parent, entry_jobs=2)
+        assert manifest["executed"] == 3
+        assert sorted(eta for _, eta in calls) == [0.01, 0.02, 0.03]
+        assert 1 <= len(parent.workers) <= 2
+        assert sorted(closed) == sorted(id(w) for w in parent.workers)

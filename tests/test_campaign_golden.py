@@ -72,3 +72,31 @@ def test_rows_come_from_store_payloads(warm_store):
 def test_missing_fingerprint_is_loud(tmp_path):
     with pytest.raises(KeyError, match="missing campaign entry"):
         golden_rows(ResultStore(tmp_path / "empty"))
+
+
+def test_parallel_run_content_equivalent_to_serial(warm_store, tmp_path):
+    # The parallel runner's hard gate: a cold golden run under
+    # --entry-jobs produces the same fingerprints with byte-identical
+    # payloads as the serial reference, the same done/executed
+    # partition, and regenerates the pinned CSVs byte-identically.
+    store = ResultStore(tmp_path / "store")
+    manifest = CampaignRunner(
+        build_golden_campaign(), store, manifest_path=tmp_path / "m.json"
+    ).run(entry_jobs=4)
+    assert manifest["complete"], manifest
+    assert manifest["executed"] == manifest["total"]
+    assert all(
+        (r["status"], r["source"]) == ("done", "executed")
+        for r in manifest["entries"]
+    )
+
+    serial_fps = warm_store.known_fingerprints()
+    assert store.known_fingerprints() == serial_fps
+    for fp in serial_fps:
+        assert store.get(fp).payload == warm_store.get(fp).payload
+
+    written = regenerate_golden_csvs(store, tmp_path / "csv")
+    for path in written:
+        assert path.read_bytes() == (RESULTS / path.name).read_bytes(), (
+            f"{path.name} diverged under parallel campaign execution"
+        )

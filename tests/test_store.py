@@ -234,6 +234,147 @@ class TestResultStore:
         assert report["kept"] == 1
         assert store.known_fingerprints() == {fps[2]}
 
+    def test_gc_accounts_for_unremovable_entries(self, tmp_path, monkeypatch):
+        # An entry whose unlink fails must show up as *failed* -- not
+        # silently vanish from both removed and kept -- and must still
+        # leave the in-process LRU (a doomed entry may not keep being
+        # served from memory).  unlink is monkeypatched rather than
+        # permission-blocked because tests may run as root, where
+        # directory write bits do not stop unlink.
+        store = ResultStore(tmp_path / "store")
+        fps = [
+            store.fingerprint("sweep", dataclasses.replace(SPEC, samples=16 + i))
+            for i in range(4)
+        ]
+        now = 1_700_000_000
+        for i, fp in enumerate(fps):
+            os.utime(store.put(fp, _result()), (now + i, now + i))
+
+        stubborn = fps[0]
+        real_unlink = Path.unlink
+
+        def unlink(self, *args, **kwargs):
+            if self.stem == stubborn:
+                raise OSError("simulated unremovable entry")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", unlink)
+        report = store.gc(max_entries=2)
+        assert report["scanned"] == 4
+        assert report["failed"] == [stubborn]
+        assert report["removed"] == [fps[1]]
+        assert report["kept"] == 2
+        assert report["scanned"] == (
+            len(report["removed"]) + len(report["failed"]) + report["kept"]
+        )
+        # The stubborn file is still on disk, but out of the memory LRU.
+        assert stubborn in store.known_fingerprints()
+        assert stubborn not in store._memory
+
+
+# ----------------------------------------------------------------------
+# Copy semantics and thread safety
+# ----------------------------------------------------------------------
+
+
+class TestStoreCopySemantics:
+    def test_memory_hits_are_defensive_copies(self, tmp_path):
+        # The PR-motivating aliasing bug: two memory-LRU hits used to
+        # share one live RunResult, so mutating the first (payload edits,
+        # the session's per-call store_meta) bled into the second and --
+        # via a later rewrite -- could reach disk.
+        store = ResultStore(tmp_path / "store")
+        fp = store.fingerprint("sweep", SPEC)
+        path = store.put(fp, _result())
+        on_disk = path.read_bytes()
+
+        first = store.get(fp)
+        second = store.get(fp)
+        assert first is not second
+        assert first.payload is not second.payload
+
+        first.payload["worst_one_way"] = -777
+        first.timings["total"] = 999.0
+        first.store_meta = {"hit": True, "fingerprint": "contaminated"}
+
+        assert second.payload["worst_one_way"] == 123
+        assert second.timings["total"] == 0.0
+        assert second.store_meta is None
+        assert store.get(fp).payload["worst_one_way"] == 123
+        assert path.read_bytes() == on_disk
+
+    def test_put_remembers_detached_snapshot(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fp = store.fingerprint("sweep", SPEC)
+        live = _result()
+        store.put(fp, live)
+        live.payload["worst_one_way"] = -1  # caller keeps ownership
+        live.store_meta = {"hit": False}
+        assert store.get(fp).payload["worst_one_way"] == 123
+        assert store.get(fp).store_meta is None
+
+    def test_memory_hit_rehydrates_raw_per_call(self, tmp_path):
+        from repro.simulation import SweepReport
+
+        store = ResultStore(tmp_path / "store")
+        fp = store.fingerprint("sweep", SPEC)
+        with Session(store=store) as session:
+            session.sweep(SPEC)
+        a = store.get(fp)
+        b = store.get(fp)
+        assert isinstance(a.raw, SweepReport)
+        assert isinstance(b.raw, SweepReport)
+        assert a.raw is not b.raw
+
+    def test_concurrent_mixed_get_put_stays_consistent(self, tmp_path):
+        # Two threads hammer overlapping fingerprints with mixed
+        # get/put: stats must not tear, returned results must never
+        # show another spec's payload, and the LRU stays bounded.
+        store = ResultStore(tmp_path / "store", memory_entries=4)
+        specs = [dataclasses.replace(SPEC, samples=16 + i) for i in range(8)]
+        fps = [store.fingerprint("sweep", spec) for spec in specs]
+        payloads = {
+            fp: {"worst_one_way": 1000 + i, "failures": 0}
+            for i, fp in enumerate(fps)
+        }
+        rounds = 25
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def hammer(order):
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    for fp in order:
+                        store.put(fp, _result(dict(payloads[fp])))
+                        got = store.get(fp)
+                        assert got is not None
+                        assert got.payload == payloads[fp]
+                        got.payload["worst_one_way"] = -1  # must not leak
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(fps,)),
+            threading.Thread(target=hammer, args=(fps[::-1],)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(store._memory) <= 4
+        for fp in fps:
+            assert store.get(fp).payload == payloads[fp]
+        stats = store.stats
+        # Every put and every successful get was counted exactly once:
+        # 2 threads x rounds x 8 fps writes, and one extra write+hit
+        # per fp from the verification loop above... the loop gets are
+        # hits too, so hits == writes' paired gets + the final sweep.
+        assert stats["writes"] == 2 * rounds * len(fps)
+        assert stats["hits"] == 2 * rounds * len(fps) + len(fps)
+        assert stats["corrupt"] == 0
+
 
 # ----------------------------------------------------------------------
 # Session integration: read-through / write-back, runtime invariance
