@@ -53,13 +53,36 @@ must be byte-identical to the pinned files -- both hard exit gates.
 The JSON records the hit rate and the lookup-vs-sweep per-entry
 timings.
 
-Since PR 7 a **campaign** phase runs the same golden lattice cold a
-second time under ``--entry-jobs`` work-stealing campaign workers
-(longest estimated entry first) into a fresh store.  Content
-equivalence with the serial cold pass -- same fingerprint set,
-byte-identical payloads, same done/failed partition -- is a hard exit
-gate; the serial-vs-parallel lattice wall-clock is the recorded
-trajectory.
+Since PR 7 a **campaign** phase runs a lattice cold under
+``--entry-jobs`` work-stealing campaign workers (longest estimated
+entry first) into a fresh store.  Content equivalence with a serial
+cold pass -- same fingerprint set, byte-identical payloads, same
+done/failed partition -- is a hard exit gate; the serial-vs-parallel
+lattice wall-clock is the recorded trajectory.  PR 8 swapped the
+measured lattice: the golden campaign's entries are millisecond sweeps,
+so its serial-vs-parallel pair timed thread overhead (~1.0x); the phase
+now times a dedicated compute-bound Searchlight slot-length lattice
+(the golden lattice keeps gating content equivalence in the store
+phase).
+
+Since PR 8 the kernel shoot-out also covers the two new tiers:
+
+* the **incremental cross-offset engine** (the fixed sweep's offsets
+  are an arithmetic progression, so the default numpy kernel takes the
+  strided fast path) against the wholesale batch kernel it replaces
+  (``NumpyBackend(use_incremental=False)``), bit-identity hard-gated,
+  with ``incremental_speedup_over_batch`` as the acceptance row;
+* the **native (numba) kernel**, JIT-warmed before timing, against the
+  python reference, recording ``native_seconds`` and
+  ``kernel_speedup_native_over_python`` next to its >= 20x target --
+  with native == python bit-identity folded into the hard exit gate.
+  Skipped cleanly (no rows, no gate) when numba is not importable.
+
+PR 8 also adds **perf floors**: the run fails if the numpy kernel
+speedup over python drops below 3x, or the native kernel speedup below
+15x, when the respective kernels are available.  ``--no-perf-floors``
+disables the assertion (shared/overloaded runners) while keeping the
+recorded rows.
 """
 
 from __future__ import annotations
@@ -73,7 +96,9 @@ from pathlib import Path
 from repro.backends import (
     available_backends,
     default_backend_name,
+    numba_version,
     numpy_version,
+    NumpyBackend,
     SweepParams,
 )
 from repro.backends.pooled import PooledBackend, shutdown_pooled_backends
@@ -128,6 +153,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", default=str(RESULTS_DIR / "BENCH_parallel.json")
     )
+    parser.add_argument(
+        "--no-perf-floors",
+        action="store_true",
+        help="record kernel speedups without asserting the 3x numpy / "
+        "15x native floors (for shared or overloaded runners)",
+    )
     args = parser.parse_args(argv)
 
     protocol, offsets, horizon = build_workload()
@@ -168,10 +199,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"speedup      : {speedup:.2f}x   bit-identical: {identical}")
 
     # Phase: single-worker kernel shoot-out (backend, not pool, speedup).
-    # The numpy == python assert is the CI smoke gate for the vectorized
-    # kernel; the speedup is recorded as the PR-3 acceptance evidence
-    # (>= 3x on the reference machine) but not asserted -- wall-clock
-    # ratios flake on shared CI runners, correctness must not.
+    # The numpy == python (and native == python) asserts are the CI
+    # smoke gates for the fast kernels; the speedups are recorded as
+    # acceptance evidence and, since PR 8, guarded by coarse floors
+    # (3x numpy / 15x native, --no-perf-floors to disable) chosen well
+    # below the reference-machine numbers so shared-runner jitter does
+    # not flake the gate.
     backend_timings: dict = {}
     python_s, python_report = best_of(
         args.repeats,
@@ -199,6 +232,56 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"kernel numpy : {numpy_s:.3f} s   {kernel_speedup:.2f}x over "
             f"python   bit-identical: {kernel_identical}"
+        )
+        # Incremental vs wholesale batch on the same strided sweep.  The
+        # fixed offsets are an arithmetic progression, so the default
+        # numpy timing above already took the incremental cross-offset
+        # path; forcing use_incremental=False times the batch kernel it
+        # has to beat (PR 8 acceptance row).  Bit-identity between the
+        # two formulations stays a hard exit gate.
+        batch_s, batch_report = best_of(
+            args.repeats,
+            lambda: ParallelSweep(
+                jobs=1, backend=NumpyBackend(use_incremental=False)
+            ).sweep_offsets(protocol, protocol, offsets, horizon),
+        )
+        batch_identical = batch_report == numpy_report == serial_report
+        identical = identical and batch_identical
+        incremental_speedup = (
+            batch_s / numpy_s if numpy_s > 0 else float("inf")
+        )
+        backend_timings["numpy_batch_seconds"] = batch_s
+        backend_timings["numpy_incremental_seconds"] = numpy_s
+        backend_timings["incremental_speedup_over_batch"] = (
+            incremental_speedup
+        )
+        print(
+            f"kernel incr  : {numpy_s:.3f} s incremental vs {batch_s:.3f} s "
+            f"batch   {incremental_speedup:.2f}x   "
+            f"bit-identical: {batch_identical}"
+        )
+    native_speedup = None
+    if "native" in available_backends():
+        native_sweep = ParallelSweep(jobs=1, backend="native")
+        # Warm-up sweep: the first call pays the one-time numba JIT
+        # compile (cache=True persists it across processes, but never
+        # assume a warm cache); timing starts after it.
+        native_sweep.sweep_offsets(protocol, protocol, offsets, horizon)
+        native_s, native_report = best_of(
+            args.repeats,
+            lambda: native_sweep.sweep_offsets(
+                protocol, protocol, offsets, horizon
+            ),
+        )
+        native_identical = native_report == python_report == serial_report
+        identical = identical and native_identical
+        native_speedup = python_s / native_s if native_s > 0 else float("inf")
+        backend_timings["native_seconds"] = native_s
+        backend_timings["kernel_speedup_native_over_python"] = native_speedup
+        backend_timings["native_target_speedup_over_python"] = 20.0
+        print(
+            f"kernel native: {native_s:.3f} s   {native_speedup:.2f}x over "
+            f"python (target >= 20x)   bit-identical: {native_identical}"
         )
     # Persistent pool: first sweep pays pool startup, the second reuses
     # warm workers -- the gap is what per-sweep pools charged every time.
@@ -374,6 +457,7 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.campaign import (
         build_golden_campaign,
+        Campaign,
         CampaignRunner,
         regenerate_golden_csvs,
     )
@@ -432,46 +516,90 @@ def main(argv: list[str] | None = None) -> int:
             "golden_csvs_bit_identical": csv_ok,
         }
 
-        # Phase: parallel campaign execution (PR 7).  The same golden
-        # lattice, cold, under --entry-jobs work-stealing workers into a
-        # fresh store; the serial cold pass above is the reference.
-        # Content equivalence is a hard exit gate: same fingerprint set,
-        # byte-identical payloads, same done/failed partition.  The
-        # wall-clock pair is the recorded serial-vs-parallel trajectory.
+        # Phase: parallel campaign execution (PR 7, reworked PR 8).
+        # The golden lattice's entries are millisecond sweeps, so its
+        # serial-vs-parallel pair measured per-entry thread overhead
+        # (~1.0x), not entry-level parallelism.  Time a dedicated
+        # compute-bound lattice instead: one Searchlight run with a
+        # slot-length axis, each entry a dense uniform sweep costing
+        # real kernel time (~100 ms, two orders of magnitude over the
+        # per-entry store/manifest overhead).  Serial cold pass first,
+        # then the same lattice cold under --entry-jobs work-stealing
+        # workers into a fresh store.  Content equivalence is a hard
+        # exit gate: same fingerprint set, byte-identical payloads,
+        # same done/failed partition.  The wall-clock pair is the
+        # recorded trajectory (~1.0x on a single-core reference
+        # machine, where no entry-level overlap is possible).
+        compute_campaign = Campaign(
+            name="bench-compute",
+            description=(
+                "compute-bound lattice for the entry-parallelism bench"
+            ),
+            runs=[
+                {
+                    "verb": "sweep",
+                    "label": "searchlight-slots",
+                    "spec": {
+                        "pair": {
+                            "kind": "zoo",
+                            "protocol": "Searchlight",
+                            "params": {"period_slots": 8, "omega": 32},
+                        },
+                        "sampling": "uniform",
+                        "samples": 10000,
+                    },
+                    "axes": {
+                        "pair.params.slot_length": [
+                            607, 641, 673, 709, 743, 769, 809, 839,
+                        ],
+                    },
+                },
+            ],
+        )
+        ser_store = ResultStore(store_dir / "cstore")
+        start = time.perf_counter()
+        cser = CampaignRunner(
+            compute_campaign, ser_store,
+            manifest_path=store_dir / "cser.json",
+        ).run()
+        campaign_serial_s = time.perf_counter() - start
         par_store = ResultStore(store_dir / "pstore")
         start = time.perf_counter()
         par = CampaignRunner(
-            campaign, par_store, manifest_path=store_dir / "par.json"
+            compute_campaign, par_store,
+            manifest_path=store_dir / "par.json",
         ).run(entry_jobs=args.jobs)
         campaign_parallel_s = time.perf_counter() - start
         same_fps = (
-            par_store.known_fingerprints() == store.known_fingerprints()
+            par_store.known_fingerprints() == ser_store.known_fingerprints()
         )
         same_payloads = same_fps and all(
             json.dumps(par_store.get(fp).payload, sort_keys=True)
-            == json.dumps(store.get(fp).payload, sort_keys=True)
-            for fp in store.known_fingerprints()
+            == json.dumps(ser_store.get(fp).payload, sort_keys=True)
+            for fp in ser_store.known_fingerprints()
         )
         same_partition = [
             (r["status"], r.get("source")) for r in par["entries"]
-        ] == [(r["status"], r.get("source")) for r in cold["entries"]]
+        ] == [(r["status"], r.get("source")) for r in cser["entries"]]
         campaign_ok = (
-            par["complete"] and same_fps and same_payloads and same_partition
+            cser["complete"] and par["complete"]
+            and same_fps and same_payloads and same_partition
         )
         identical = identical and campaign_ok
         campaign_speedup = (
-            store_cold_s / campaign_parallel_s
+            campaign_serial_s / campaign_parallel_s
             if campaign_parallel_s > 0 else float("inf")
         )
         print(
-            f"campaign     : {store_cold_s:.3f} s serial lattice, "
+            f"campaign     : {campaign_serial_s:.3f} s serial lattice, "
             f"{campaign_parallel_s:.3f} s parallel({args.jobs}) "
             f"[{campaign_speedup:.2f}x]   content-equivalent: {campaign_ok}"
         )
         campaign_phase = {
+            "lattice": "bench-compute (Searchlight slot-length axis)",
             "entries": par["total"],
             "entry_jobs": args.jobs,
-            "serial_seconds": store_cold_s,
+            "serial_seconds": campaign_serial_s,
             "parallel_seconds": campaign_parallel_s,
             "speedup": campaign_speedup,
             "content_equivalent": campaign_ok,
@@ -493,6 +621,7 @@ def main(argv: list[str] | None = None) -> int:
         "repeats": args.repeats,
         "backend": default_backend_name(),
         "numpy_version": numpy_version(),
+        "numba_version": numba_version(),
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
         "speedup": speedup,
@@ -516,6 +645,28 @@ def main(argv: list[str] | None = None) -> int:
         "worst_one_way": serial_report.worst_one_way,
         "worst_two_way": serial_report.worst_two_way,
     }
+    # Perf floors (PR 8): wall-clock ratios flake on shared runners, so
+    # the floors sit far below the reference-machine numbers (>= 3x
+    # recorded as ~6-9x numpy, >= 15x for the >= 20x native target) and
+    # --no-perf-floors turns them into recorded-only rows.
+    floor_failures = []
+    if not args.no_perf_floors:
+        if kernel_speedup is not None and kernel_speedup < 3.0:
+            floor_failures.append(
+                f"numpy kernel speedup {kernel_speedup:.2f}x over python "
+                f"fell below the 3x floor"
+            )
+        if native_speedup is not None and native_speedup < 15.0:
+            floor_failures.append(
+                f"native kernel speedup {native_speedup:.2f}x over python "
+                f"fell below the 15x floor"
+            )
+    payload["perf_floors"] = {
+        "numpy_over_python": 3.0,
+        "native_over_python": 15.0,
+        "enforced": not args.no_perf_floors,
+        "failures": floor_failures,
+    }
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -523,6 +674,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if not identical:
         print("FAIL: parallel results diverged from the serial reference")
+        return 1
+    if floor_failures:
+        for failure in floor_failures:
+            print(f"FAIL: {failure}")
         return 1
     return 0
 

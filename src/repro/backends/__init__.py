@@ -27,14 +27,22 @@ Backend-selection contract
   (``pip install repro-nd[fast]``), never a hard dependency --
   :mod:`repro.backends._np` is the one import-guard shim every
   vectorizing module goes through.
+* ``"native"`` -- the compiled kernel
+  (:mod:`repro.backends.native_kernel`): the whole per-lane discovery
+  loop jitted with ``numba.njit(cache=True)`` over the same int64
+  arrays, zero per-candidate dispatch.  Available only when Numba
+  (and NumPy, for the array plumbing) are importable --
+  :mod:`repro.backends._numba` is the matching import-guard shim --
+  and likewise an optional extra (``pip install repro-nd[native]``).
 * ``"pooled"`` -- a lazily created, explicitly shut-down persistent
   ``ProcessPoolExecutor`` wrapping any inner kernel
   (:mod:`repro.backends.pooled`), so many-small-sweep workloads stop
   paying per-sweep pool startup.
 * ``"auto"`` (or ``None``) -- :func:`default_backend_name`:
-  ``numpy`` when importable, ``python`` fallback.  All defaults route
-  through auto-detection, so installing the extra is the only step a
-  deployment needs to get the vectorized kernel everywhere.
+  ``native`` when Numba is importable, else ``numpy`` when NumPy is,
+  ``python`` fallback.  All defaults route through auto-detection, so
+  installing an extra is the only step a deployment needs to get the
+  fastest kernel everywhere.
 
 Whatever the selection, results are **bit-identical** by contract: the
 same ``DiscoveryOutcome`` sequence in the same order for every protocol
@@ -42,6 +50,30 @@ pair, reception model and turnaround guard.  Backends that cannot
 vectorize a batch (non-integer schedules, disabled pattern caches,
 oversized values) silently delegate to the ``python`` reference rather
 than approximate.
+
+The incremental cross-offset fast path
+--------------------------------------
+
+Sweep batches are almost always arithmetic progressions of offsets (the
+shape every uniform sweep and the grid scheduler emit), and successive
+beacon candidates shift every offset's decode position by the *same*
+delta.  :mod:`repro.backends.incremental` exploits this: compute the
+first evaluated candidate's decode positions once, then advance each
+``(residue, segment-index)`` pair by the shared stride delta,
+re-resolving only the windows whose segment index changed -- amortized
+O(changed windows) per offset instead of O(log pattern) per candidate.
+Both the ``numpy`` and ``native`` kernels use it as an internal fast
+path, gated on these preconditions (any miss falls back to the plain
+batch kernel, never to approximation):
+
+* the offset batch is an arithmetic progression of at least
+  ``incremental.MIN_LANES`` offsets with non-zero stride;
+* the receiver's listening pattern is precomputed and non-empty;
+* every beacon duration fits within the pattern hyperperiod.
+
+``NumpyBackend(use_incremental=False)`` /
+``NativeBackend(use_incremental=False)`` are the benching escape
+hatches that force the plain batch formulation.
 
 The ``enumerate_critical_offsets`` operation (PR 5)
 ---------------------------------------------------
@@ -113,6 +145,8 @@ from .base import (
     SweepParams,
 )
 from ._np import have_numpy, numpy_version
+from ._numba import have_numba, numba_version
+from .native_kernel import NativeBackend
 from .numpy_kernel import NumpyBackend
 from .pooled import (
     get_pooled_backend,
@@ -123,6 +157,7 @@ from .python_loop import CachedPairEvaluator, PythonBackend
 
 register_backend("python", PythonBackend)
 register_backend("numpy", NumpyBackend)
+register_backend("native", NativeBackend)
 register_backend("pooled", get_pooled_backend)
 
 __all__ = [
@@ -132,7 +167,10 @@ __all__ = [
     "default_backend_name",
     "get_backend",
     "get_pooled_backend",
+    "have_numba",
     "have_numpy",
+    "NativeBackend",
+    "numba_version",
     "numpy_version",
     "NumpyBackend",
     "PooledBackend",

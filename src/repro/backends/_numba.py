@@ -1,0 +1,52 @@
+"""Import-guard shim for the *optional* Numba dependency.
+
+Numba powers the ``native`` compiled kernel tier and, like NumPy
+(:mod:`repro.backends._np`), is an extra -- never a hard requirement.
+Consumers must read ``_numba.numba`` **at call time** (not bind it at
+import time) so tests can simulate Numba-less environments by
+monkeypatching this module, keeping the fallback resolution order
+(``native`` -> ``numpy`` -> ``python``) honest on machines that do have
+Numba installed.
+
+:func:`jit_or_pyfunc` is the one decoration path the native kernel
+goes through: with Numba present it compiles the function with
+``numba.njit(cache=True)`` (on-disk compilation cache, so repeated
+processes skip the JIT warm-up); without it the *plain python function
+is returned unchanged*.  Kernel functions are therefore written in the
+nopython-compatible subset of Python over int64 NumPy arrays, and the
+un-jitted originals stay callable -- which is how the equivalence
+tests pin the native kernel's exact arithmetic even in environments
+where Numba (or the JIT itself) is unavailable.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numba
+except ImportError:  # pragma: no cover - the no-numba CI leg
+    numba = None  # type: ignore[assignment]
+
+
+def have_numba() -> bool:
+    """Is Numba importable right now (honours monkeypatched ``numba``)?"""
+    return numba is not None
+
+
+def numba_version() -> str | None:
+    """The installed Numba version, or ``None`` without Numba."""
+    return None if numba is None else str(numba.__version__)
+
+
+def jit_or_pyfunc(func):
+    """``numba.njit(cache=True)`` when Numba is importable, identity
+    otherwise.
+
+    Applied once at module import (not per call): the native kernel
+    module decorates its kernels through this shim, so a Numba-less
+    interpreter still imports cleanly and exposes the exact same
+    functions as plain Python -- only :class:`NativeBackend.available`
+    gates on Numba, never the import.
+    """
+    if numba is None:
+        return func
+    return numba.njit(cache=True)(func)

@@ -20,7 +20,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from . import _np
+from . import _np, _numba
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.sequences import NDProtocol
@@ -164,7 +164,10 @@ def available_backends() -> list[str]:
 
 
 def default_backend_name() -> str:
-    """Auto-detection: ``numpy`` when importable, ``python`` fallback."""
+    """Auto-detection: ``native`` when Numba (and NumPy) are importable,
+    else ``numpy`` when NumPy is, ``python`` fallback."""
+    if _numba.numba is not None and _np.np is not None:
+        return "native"
     return "numpy" if _np.np is not None else "python"
 
 
@@ -185,14 +188,19 @@ def get_backend(name: str) -> SweepBackend:
             f"{sorted(_FACTORIES)}"
         ) from None
     if not getattr(factory, "available", lambda: True)():
-        raise BackendUnavailable(
-            f"backend {name!r} is not available in this environment"
-            + (
+        hint = ""
+        if name == "numpy":
+            hint = (
                 " (NumPy not importable; `pip install repro-nd[fast]`"
                 " or select backend='python')"
-                if name == "numpy"
-                else ""
             )
+        elif name == "native":
+            hint = (
+                " (Numba not importable; `pip install repro-nd[native]`"
+                " or select backend='numpy'/'python')"
+            )
+        raise BackendUnavailable(
+            f"backend {name!r} is not available in this environment" + hint
         )
     if getattr(factory, "self_managed", False):
         # Factories that keep their own instance map (the pooled

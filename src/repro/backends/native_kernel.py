@@ -1,0 +1,431 @@
+"""Native compiled sweep kernel: Numba-jitted per-lane discovery loops.
+
+The fourth kernel tier (``auto`` resolution order: ``native`` ->
+``numpy`` -> ``python``).  Where the numpy kernel batches one beacon
+candidate across all unresolved offsets per step -- paying vector
+dispatch on arrays that shrink as offsets resolve -- this backend
+compiles the whole per-lane discovery loop with ``numba.njit
+(cache=True)`` over the *same* int64 pattern/schedule arrays the
+shared-memory wire format already provides, so each lane runs the
+reference enumeration at C speed with zero per-candidate dispatch.
+
+Bit-identity to the ``python`` reference is preserved by splitting each
+lane at its *boot-safe instance*: the smallest beacon instance from
+which every candidate satisfies ``t >= threshold`` (the boot threshold
+below which the periodic pattern is not translation-invariant).
+Candidates before it -- a handful of instances at most, since the
+threshold is one beacon length plus the turnaround -- run through the
+exact :meth:`repro.parallel.cache.ListeningCache.packet_heard` scalar
+path in the driver, exactly like the reference; everything at or after
+it is pattern-decidable and runs inside the compiled kernel.  The
+kernel replicates the reference's candidate order, the ``0 <= t <
+horizon`` validity window, the ``base >= horizon`` termination test and
+the three reception-model predicates verbatim.
+
+Inside the compiled loop the kernel applies the incremental
+cross-offset formulation of :mod:`repro.backends.incremental` serially
+per lane: the decode residue advances by the candidate delta shared
+across the pattern, the segment index walks forward past crossed
+boundaries (amortized O(1) per candidate), and only residues that wrap
+the hyperperiod re-bisect.  ``NativeBackend(use_incremental=False)`` is
+the escape hatch that re-bisects every candidate instead, for benching
+the incremental formulation against plain binary search.
+
+Batches that miss the vectorization preconditions delegate to the
+``python`` reference wholesale (same gate as the numpy kernel);
+directions the compiled kernel cannot take (empty pattern, packets
+longer than the hyperperiod) fall back to the numpy batch kernel,
+which handles them per element.  Without Numba the module still
+imports -- :func:`repro.backends._numba.jit_or_pyfunc` leaves the
+kernels as plain Python functions, so the equivalence tests can pin the
+exact arithmetic anywhere -- but :class:`NativeBackend` itself reports
+unavailable and ``auto`` resolves to ``numpy``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.sequences import NDProtocol
+from ..parallel.cache import get_listening_cache, ListeningCache
+from ..simulation.analytic import DiscoveryOutcome, ReceptionModel
+from . import _np, _numba
+from .base import BackendUnavailable, get_backend, SweepBackend, SweepParams
+from .numpy_kernel import (
+    _BITMAP_MAX_HYPER,
+    _direction_vectorizable,
+    _INT_BOUND,
+    NumpyBackend,
+)
+
+__all__ = ["NativeBackend", "first_discovery_native"]
+
+_MODEL_CODES = {
+    ReceptionModel.POINT: 0,
+    ReceptionModel.ANY_OVERLAP: 1,
+    ReceptionModel.CONTAINMENT: 2,
+}
+
+
+@_numba.jit_or_pyfunc
+def _first_discovery_lanes(
+    reduced,
+    rx_phases,
+    start_instance,
+    taus,
+    durations,
+    period,
+    starts,
+    ends,
+    hyper,
+    horizon,
+    model_code,
+    use_incremental,
+    result,
+):
+    """Per-lane discovery from each lane's boot-safe instance onward.
+
+    Lanes already resolved by the driver's exact boot scan (``result !=
+    -2``) are skipped.  Every candidate seen here satisfies ``t >=
+    threshold`` by construction of ``start_instance``, so the periodic
+    pattern answers every decode query.
+    """
+    n_segments = starts.shape[0]
+    n_taus = taus.shape[0]
+    for k in range(reduced.shape[0]):
+        if result[k] != -2:
+            continue
+        reduced_k = reduced[k]
+        delta_k = reduced_k - rx_phases[k]
+        instance = start_instance[k]
+        res = -2
+        have_state = False
+        lo = 0
+        idx = -1
+        c_last = 0
+        while res == -2:
+            base = reduced_k + instance * period
+            if base >= horizon:
+                res = -1
+                break
+            for j in range(n_taus):
+                t = base + taus[j]
+                if t < 0 or t >= horizon:
+                    continue
+                c = instance * period + taus[j]
+                if use_incremental and have_state:
+                    d_c = (c - c_last) % hyper
+                    lo += d_c
+                    if lo >= hyper:
+                        # Wrapped past the hyperperiod: re-bisect.
+                        lo -= hyper
+                        a = 0
+                        b = n_segments
+                        while a < b:
+                            m = (a + b) // 2
+                            if starts[m] <= lo:
+                                a = m + 1
+                            else:
+                                b = m
+                        idx = a - 1
+                    else:
+                        # Walk past the boundaries the delta crossed --
+                        # usually none or one.
+                        while idx + 1 < n_segments and starts[idx + 1] <= lo:
+                            idx += 1
+                else:
+                    lo = (c + delta_k) % hyper
+                    a = 0
+                    b = n_segments
+                    while a < b:
+                        m = (a + b) // 2
+                        if starts[m] <= lo:
+                            a = m + 1
+                        else:
+                            b = m
+                    idx = a - 1
+                    have_state = True
+                c_last = c
+                duration = durations[j]
+                covers_lo = idx >= 0 and ends[idx] > lo
+                if model_code == 0:  # POINT
+                    heard = covers_lo
+                elif model_code == 1:  # ANY_OVERLAP
+                    heard = covers_lo or (
+                        idx + 1 < n_segments and starts[idx + 1] < lo + duration
+                    )
+                else:  # CONTAINMENT: one segment spans the packet
+                    heard = idx >= 0 and ends[idx] >= lo + duration
+                if heard:
+                    res = t
+                    break
+            instance += 1
+        result[k] = res
+
+
+@_numba.jit_or_pyfunc
+def _scatter_critical(mask, taus, bounds, sign, hyper):
+    """Scatter every breakpoint and its one-sided-limit neighbours onto
+    the hyperperiod dedup mask (the reference's double loop, compiled)."""
+    n_taus = taus.shape[0]
+    for bi in range(bounds.shape[0]):
+        bound = bounds[bi]
+        for ti in range(n_taus):
+            base = (sign * (bound - taus[ti])) % hyper
+            mask[base] = True
+            prev = base - 1
+            if prev < 0:
+                prev += hyper
+            mask[prev] = True
+            nxt = base + 1
+            if nxt >= hyper:
+                nxt -= hyper
+            mask[nxt] = True
+
+
+def first_discovery_native(
+    transmitter: NDProtocol,
+    cache: ListeningCache,
+    tx_phases,
+    rx_phases,
+    horizon: int,
+    model: ReceptionModel,
+    use_incremental: bool = True,
+):
+    """First-discovery times for every phase pair (``-1``: none), or
+    ``None`` when the compiled kernel cannot take this direction (empty
+    pattern, or packets longer than the hyperperiod).
+
+    Drop-in for the numpy kernel's ``_first_discovery_batch``: same
+    int64 inputs, same candidate order, bit-identical output array.
+    Runs un-jitted (plain Python) when Numba is absent, so equivalence
+    tests can exercise the exact kernel arithmetic anywhere.
+    """
+    np = _np.np
+    schedule = transmitter.beacons
+    period = schedule.period
+    pattern = [(int(b.time), int(b.duration)) for b in schedule.beacons]
+    starts, ends = cache.pattern_arrays()
+    n_segments = int(starts.size)
+    hyper = cache.hyper
+    if n_segments == 0 or any(d > hyper for _, d in pattern):
+        return None
+    threshold = cache.threshold
+    taus = np.asarray([t for t, _ in pattern], dtype=np.int64)
+    durations = np.asarray([d for _, d in pattern], dtype=np.int64)
+    min_tau = int(taus.min())
+    max_tau = int(taus.max())
+
+    result = np.full(int(tx_phases.size), -2, dtype=np.int64)
+    reduced = tx_phases % period
+    # Boot-safe instance per lane: smallest i with
+    # reduced + i*period + min_tau >= threshold (ceil division), never
+    # below the reference's starting instance -1.  From there on every
+    # candidate is pattern-decidable.
+    start_instance = np.maximum(
+        -((reduced - (threshold - min_tau)) // period), -1
+    )
+    # Lanes whose pre-boot instances contain at least one candidate in
+    # [0, horizon) need the exact scalar scan first; the rest start the
+    # compiled loop directly (instance -1 is all-negative for them).
+    needs_exact = (start_instance > 0) | (
+        (start_instance == 0) & (reduced - period + max_tau >= 0)
+    )
+    if bool(needs_exact.any()):
+        heard_exact = cache.packet_heard
+        for k in np.flatnonzero(needs_exact):
+            reduced_k = int(reduced[k])
+            rx_k = int(rx_phases[k])
+            stop = int(start_instance[k])
+            res = -2
+            instance = -1
+            while instance < stop and res == -2:
+                base = reduced_k + instance * period
+                if base >= horizon:
+                    res = -1
+                    break
+                for tau, duration in pattern:
+                    t = base + tau
+                    if 0 <= t < horizon and heard_exact(
+                        rx_k, t, t + duration, model
+                    ):
+                        res = t
+                        break
+                instance += 1
+            if res != -2:
+                result[k] = res
+    _first_discovery_lanes(
+        reduced,
+        rx_phases,
+        start_instance,
+        taus,
+        durations,
+        period,
+        starts,
+        ends,
+        hyper,
+        horizon,
+        _MODEL_CODES[model],
+        use_incremental,
+        result,
+    )
+    return result
+
+
+class NativeBackend(SweepBackend):
+    """The compiled kernel behind ``backend="native"``."""
+
+    name = "native"
+
+    def __init__(self, use_incremental: bool = True) -> None:
+        if _numba.numba is None or _np.np is None:
+            raise BackendUnavailable(
+                "Numba is not importable; install the [native] extra or "
+                "select backend='numpy'/'python'"
+            )
+        # Escape hatch mirroring NumpyBackend's: False re-bisects every
+        # candidate instead of advancing the incremental decode state.
+        self.use_incremental = use_incremental
+        self._numpy = NumpyBackend(use_incremental=use_incremental)
+
+    @classmethod
+    def available(cls) -> bool:
+        # NumPy is load-bearing (array plumbing), so simulated
+        # NumPy-less environments disable the native tier too.
+        return _numba.numba is not None and _np.np is not None
+
+    def evaluate_offsets_batch(
+        self, params: SweepParams, offsets: Sequence[int]
+    ) -> list[DiscoveryOutcome]:
+        np = _np.np
+        if np is None:  # pragma: no cover - registration guards this
+            raise BackendUnavailable("NumPy disappeared after registration")
+        offsets = list(offsets)
+        if not offsets:
+            return []
+        protocol_e, protocol_f = params.protocol_e, params.protocol_f
+        cache_e = get_listening_cache(protocol_e, params.turnaround)
+        cache_f = get_listening_cache(protocol_f, params.turnaround)
+        vectorizable = (
+            type(params.horizon) is int
+            and params.horizon < _INT_BOUND
+            and all(
+                type(o) is int and -_INT_BOUND < o < _INT_BOUND
+                for o in offsets
+            )
+            and _direction_vectorizable(protocol_e, protocol_f, cache_f)
+            and _direction_vectorizable(protocol_f, protocol_e, cache_e)
+        )
+        if not vectorizable:
+            return get_backend("python").evaluate_offsets_batch(
+                params, offsets
+            )
+        offset_vec = np.asarray(offsets, dtype=np.int64)
+        zero_vec = np.zeros(len(offsets), dtype=np.int64)
+        e_by_f = None
+        if protocol_e.beacons is not None and protocol_f.reception is not None:
+            vec = first_discovery_native(
+                protocol_e, cache_f, zero_vec, offset_vec,
+                params.horizon, params.model, self.use_incremental,
+            )
+            if vec is None:
+                vec = self._numpy._first_discovery_batch(
+                    protocol_e, cache_f, zero_vec, offset_vec,
+                    params.horizon, params.model,
+                )
+            e_by_f = vec.tolist()
+        f_by_e = None
+        if protocol_f.beacons is not None and protocol_e.reception is not None:
+            vec = first_discovery_native(
+                protocol_f, cache_e, offset_vec, zero_vec,
+                params.horizon, params.model, self.use_incremental,
+            )
+            if vec is None:
+                vec = self._numpy._first_discovery_batch(
+                    protocol_f, cache_e, offset_vec, zero_vec,
+                    params.horizon, params.model,
+                )
+            f_by_e = vec.tolist()
+        outcomes = []
+        for k, offset in enumerate(offsets):
+            a = e_by_f[k] if e_by_f is not None else -1
+            b = f_by_e[k] if f_by_e is not None else -1
+            outcomes.append(
+                DiscoveryOutcome(
+                    offset=offset,
+                    e_discovered_by_f=a if a >= 0 else None,
+                    f_discovered_by_e=b if b >= 0 else None,
+                )
+            )
+        return outcomes
+
+    def enumerate_critical_offsets(
+        self,
+        params: SweepParams,
+        omega: int | None = None,
+        max_count: int = 200_000,
+    ) -> list[int]:
+        """Compiled critical-offset enumeration, bit-identical to the
+        reference.
+
+        The boundary lists come from the exact reference code
+        (:func:`repro.backends.python_loop.direction_breakpoint_inputs`,
+        same as the numpy kernel); the quadratic scatter of breakpoints
+        and their ``+-1`` neighbours onto the hyperperiod dedup mask is
+        the compiled part.  Guards fire at the same points with the
+        same messages.  Beyond the bitmap regime (or the int64
+        headroom) this delegates to the numpy kernel, whose sort-based
+        path (and reference fallback) covers the rest of the space with
+        identical guards.
+        """
+        np = _np.np
+        if np is None:  # pragma: no cover - registration guards this
+            raise BackendUnavailable("NumPy disappeared after registration")
+        from .python_loop import direction_breakpoint_inputs
+
+        protocol_e, protocol_f = params.protocol_e, params.protocol_f
+        hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
+        if (
+            hyper >= _INT_BOUND
+            or hyper > _BITMAP_MAX_HYPER
+            or (omega is not None and abs(omega) >= _INT_BOUND)
+        ):
+            return self._numpy.enumerate_critical_offsets(
+                params, omega, max_count
+            )
+        mask = None
+        for tx, rx_protocol, sign in (
+            (protocol_e.beacons, protocol_f, -1),
+            (protocol_f.beacons, protocol_e, +1),
+        ):
+            if tx is None or rx_protocol.reception is None:
+                continue
+            beacon_times, window_bounds = direction_breakpoint_inputs(
+                tx, rx_protocol, hyper, omega, params.turnaround
+            )
+            if len(beacon_times) * len(window_bounds) > max_count * 4:
+                raise ValueError(
+                    f"critical set too large "
+                    f"({len(beacon_times)} beacons x "
+                    f"{len(window_bounds)} bounds); "
+                    f"use a uniform sweep"
+                )
+            if mask is None:
+                mask = np.zeros(hyper, dtype=bool)
+            _scatter_critical(
+                mask,
+                np.asarray(beacon_times, dtype=np.int64),
+                np.asarray(window_bounds, dtype=np.int64),
+                sign,
+                hyper,
+            )
+            count = int(np.count_nonzero(mask))
+            if count > max_count:
+                raise ValueError(
+                    f"critical set exceeded {max_count} offsets; "
+                    f"use a uniform sweep"
+                )
+        if mask is None:
+            return []
+        return np.flatnonzero(mask).tolist()

@@ -40,6 +40,7 @@ from ..parallel.cache import get_listening_cache, ListeningCache
 from ..simulation.analytic import DiscoveryOutcome, ReceptionModel
 from . import _np
 from .base import BackendUnavailable, get_backend, SweepBackend, SweepParams
+from .incremental import arithmetic_stride, first_discovery_incremental
 
 __all__ = ["NumpyBackend"]
 
@@ -54,23 +55,6 @@ _INT_BOUND = 1 << 60
 # to sort-based dedup, which costs O(B*W log B*W) but no per-microsecond
 # memory.
 _BITMAP_MAX_HYPER = 1 << 26
-
-
-def _pattern_arrays(cache: ListeningCache):
-    """The cache's pattern as int64 arrays, built once per cache object.
-
-    Always copies (also out of shared-memory memoryviews): the arrays
-    must outlive any zero-copy segment view a worker releases at exit.
-    """
-    arrays = getattr(cache, "_np_pattern", None)
-    if arrays is None:
-        np = _np.np
-        arrays = (
-            np.array(cache._starts, dtype=np.int64),
-            np.array(cache._ends, dtype=np.int64),
-        )
-        cache._np_pattern = arrays
-    return arrays
 
 
 def _direction_vectorizable(
@@ -102,12 +86,16 @@ class NumpyBackend(SweepBackend):
 
     name = "numpy"
 
-    def __init__(self) -> None:
+    def __init__(self, use_incremental: bool = True) -> None:
         if _np.np is None:
             raise BackendUnavailable(
                 "NumPy is not importable; install the [fast] extra or "
                 "select backend='python'"
             )
+        # Escape hatch for benching the incremental strided-sweep engine
+        # (:mod:`repro.backends.incremental`) against the plain batch
+        # kernel; both are bit-identical to the reference.
+        self.use_incremental = use_incremental
 
     @classmethod
     def available(cls) -> bool:
@@ -141,18 +129,40 @@ class NumpyBackend(SweepBackend):
             )
         offset_vec = np.asarray(offsets, dtype=np.int64)
         zero_vec = np.zeros(len(offsets), dtype=np.int64)
+        # Arithmetic-progression batches (every uniform sweep chunk)
+        # qualify for the incremental engine; it may still decline a
+        # direction (preconditions) and fall back to the batch kernel.
+        incremental = (
+            self.use_incremental and arithmetic_stride(offset_vec) is not None
+        )
         e_by_f = None
         if protocol_e.beacons is not None and protocol_f.reception is not None:
-            e_by_f = self._first_discovery_batch(
-                protocol_e, cache_f, zero_vec, offset_vec,
-                params.horizon, params.model,
-            ).tolist()
+            vec = None
+            if incremental:
+                vec = first_discovery_incremental(
+                    protocol_e, cache_f, zero_vec, offset_vec,
+                    params.horizon, params.model,
+                )
+            if vec is None:
+                vec = self._first_discovery_batch(
+                    protocol_e, cache_f, zero_vec, offset_vec,
+                    params.horizon, params.model,
+                )
+            e_by_f = vec.tolist()
         f_by_e = None
         if protocol_f.beacons is not None and protocol_e.reception is not None:
-            f_by_e = self._first_discovery_batch(
-                protocol_f, cache_e, offset_vec, zero_vec,
-                params.horizon, params.model,
-            ).tolist()
+            vec = None
+            if incremental:
+                vec = first_discovery_incremental(
+                    protocol_f, cache_e, offset_vec, zero_vec,
+                    params.horizon, params.model,
+                )
+            if vec is None:
+                vec = self._first_discovery_batch(
+                    protocol_f, cache_e, offset_vec, zero_vec,
+                    params.horizon, params.model,
+                )
+            f_by_e = vec.tolist()
         outcomes = []
         for k, offset in enumerate(offsets):
             a = e_by_f[k] if e_by_f is not None else -1
@@ -290,7 +300,7 @@ class NumpyBackend(SweepBackend):
         schedule = transmitter.beacons
         period = schedule.period
         pattern = [(int(b.time), int(b.duration)) for b in schedule.beacons]
-        starts, ends = _pattern_arrays(cache)
+        starts, ends = cache.pattern_arrays()
         n_segments = int(starts.size)
         hyper = cache.hyper
         threshold = cache.threshold

@@ -4,7 +4,8 @@ Many workloads -- protocol-zoo tables, grid cells, repeated
 ``verified_worst_case`` calls -- run *many small sweeps*, and PR 1-2's
 per-sweep ``ProcessPoolExecutor`` charged each one tens of milliseconds
 of fork/spawn startup.  :class:`PooledBackend` wraps any inner kernel
-(``python`` or ``numpy``, by registry name) in a **lazily created,
+(``python``, ``numpy`` or ``native``, by registry name) in a **lazily
+created,
 explicitly shut-down** persistent pool:
 
 * **Lazy creation** -- no processes exist until the first batch large

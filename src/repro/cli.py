@@ -21,7 +21,7 @@ runtime flags instead of per-subcommand plumbing:
 * ``--profile PATH`` loads a profile from TOML or JSON (the deployment
   story: describe the runtime once, reuse it across every command and
   machine);
-* ``--jobs N``, ``--backend {auto,python,numpy,pooled}``,
+* ``--jobs N``, ``--backend {auto,python,numpy,native,pooled}``,
   ``--schedule {steal,chunk}`` and ``--mp-context`` override individual
   profile fields for one invocation.
 
@@ -507,14 +507,15 @@ def _runtime_flags() -> argparse.ArgumentParser:
     )
     group.add_argument(
         "--backend",
-        choices=["auto", "python", "numpy", "pooled"],
+        choices=["auto", "python", "numpy", "native", "pooled"],
         default=None,
         help=(
             "sweep + critical-offset-enumeration kernel: auto = "
-            "NumPy-vectorized when NumPy is importable (python "
-            "fallback); pooled = persistent worker pool (with its "
-            "shared-memory pattern arena) owned by the command's "
-            "session; results are bit-identical"
+            "Numba-compiled native kernel when Numba is importable, "
+            "else NumPy-vectorized when NumPy is (python fallback); "
+            "pooled = persistent worker pool (with its shared-memory "
+            "pattern arena) owned by the command's session; results "
+            "are bit-identical"
         ),
     )
     group.add_argument(

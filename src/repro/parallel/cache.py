@@ -298,6 +298,7 @@ class ListeningCache:
         self._ends: list[int] = []
         self._memo_point: dict[int, bool] = {}
         self._memo_span: dict[tuple, bool] = {}
+        self._np_pattern = None
         self.enabled = self._analyze(max_segments)
         if self.enabled:
             base = -(-self.threshold // self.hyper) * self.hyper
@@ -337,6 +338,7 @@ class ListeningCache:
         cache._ends = ends
         cache._memo_point = {}
         cache._memo_span = {}
+        cache._np_pattern = None
         cache.enabled = True
         cache._use_memo = len(starts) >= _MEMO_MIN_SEGMENTS
         return cache
@@ -444,6 +446,43 @@ class ListeningCache:
     def pattern_segments(self) -> int:
         """Number of precomputed segments (0 when disabled)."""
         return len(self._starts)
+
+    def pattern_arrays(self):
+        """The pattern as ``(starts, ends)`` int64 NumPy arrays.
+
+        The one sanctioned path every array-consuming kernel (``numpy``,
+        ``native``, the incremental strided engine) resolves patterns
+        through -- built once per cache object, on first use, and owned
+        by the cache so its lifetime *is* the invalidation contract:
+        caches are immutable after construction (fingerprint-keyed, see
+        the module docstring), so the arrays can never go stale while
+        the cache lives, and dropping the cache (registry LRU eviction,
+        :func:`invalidate_listening_caches`) drops them with it.
+
+        Always copies -- also out of the shared-memory memoryviews a
+        :meth:`from_pattern` cache wraps -- because the arrays must
+        outlive any zero-copy segment view a worker releases at exit.
+        Requires NumPy; raises ``BackendUnavailable`` without it (only
+        vectorizing kernels, which already guard on NumPy, call this).
+        """
+        arrays = self._np_pattern
+        if arrays is None:
+            from ..backends import _np
+
+            np = _np.np
+            if np is None:
+                from ..backends.base import BackendUnavailable
+
+                raise BackendUnavailable(
+                    "pattern_arrays() needs NumPy; install the [fast] "
+                    "extra or use the list-backed pattern directly"
+                )
+            arrays = (
+                np.array(self._starts, dtype=np.int64),
+                np.array(self._ends, dtype=np.int64),
+            )
+            self._np_pattern = arrays
+        return arrays
 
 
 def __getattr__(name: str):

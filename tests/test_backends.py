@@ -1,13 +1,18 @@
 """Unit tests of the pluggable sweep-backend layer.
 
 Registry semantics (names, auto-detection, unavailability errors), the
-NumPy import-guard shim (including a simulated NumPy-less environment,
-so the pure-python fallback path cannot rot on machines that do have
-NumPy), kernel fallback behaviour on non-vectorizable inputs, the
-cost-model calibration helpers, and CLI threading of ``--backend``.
+NumPy and Numba import-guard shims (including simulated dependency-less
+environments, so every fallback path is exercised on machines that do
+have the extras), kernel fallback behaviour on non-vectorizable inputs,
+the native compiled kernel's exact arithmetic (its kernels run un-jitted
+as plain Python without Numba, so bit-identity is pinned here in every
+environment), the incremental strided-sweep engine and its gates, the
+``ListeningCache.pattern_arrays()`` accessor, the cost-model calibration
+helpers, and CLI threading of ``--backend``.
 """
 
 import math
+import types
 
 import pytest
 
@@ -16,7 +21,10 @@ from repro.backends import (
     BackendUnavailable,
     default_backend_name,
     get_backend,
+    have_numba,
     have_numpy,
+    NativeBackend,
+    numba_version,
     numpy_version,
     NumpyBackend,
     PooledBackend,
@@ -25,7 +33,7 @@ from repro.backends import (
     SweepBackend,
     SweepParams,
 )
-from repro.backends import _np
+from repro.backends import _np, _numba
 from repro.core.optimal import synthesize_symmetric
 from repro.core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
 from repro.parallel import ParallelSweep
@@ -52,6 +60,7 @@ class TestRegistry:
         assert "python" in names
         assert "pooled" in names
         assert ("numpy" in names) == have_numpy()
+        assert ("native" in names) == (have_numba() and have_numpy())
 
     def test_get_backend_returns_shared_instances(self):
         assert get_backend("python") is get_backend("python")
@@ -86,8 +95,11 @@ class TestRegistry:
 
 
 class TestNumpyGuard:
-    def test_auto_detection_prefers_numpy_when_present(self):
-        if have_numpy():
+    def test_auto_detection_prefers_fastest_available(self):
+        if have_numba() and have_numpy():
+            assert default_backend_name() == "native"
+            assert numba_version()
+        elif have_numpy():
             assert default_backend_name() == "numpy"
             assert numpy_version()
         else:
@@ -170,6 +182,286 @@ class TestNumpyKernelFallbacks:
         protocol, offsets, horizon = _small_pair()
         for model in ReceptionModel:
             self._check(protocol, protocol, offsets[:16], horizon, model=model)
+
+
+def _fake_numba(monkeypatch):
+    """Simulate an importable Numba without compiling anything.
+
+    ``jit_or_pyfunc`` ran at import time, so the native kernels are
+    already plain Python here; a stand-in module object is enough to
+    flip every availability gate to the native tier.
+    """
+    monkeypatch.setattr(
+        _numba, "numba", types.SimpleNamespace(__version__="0.0-stub")
+    )
+
+
+def _pyfunc_native(use_incremental=True):
+    """A NativeBackend running its kernels un-jitted, constructible
+    without Numba (bypasses the availability check only)."""
+    backend = NativeBackend.__new__(NativeBackend)
+    backend.use_incremental = use_incremental
+    backend._numpy = NumpyBackend(use_incremental=use_incremental)
+    return backend
+
+
+class TestNumbaGuard:
+    def test_simulated_numba_absence_falls_back(self, monkeypatch):
+        monkeypatch.setattr(_numba, "numba", None)
+        assert not have_numba()
+        assert numba_version() is None
+        assert "native" not in available_backends()
+        assert default_backend_name() == (
+            "numpy" if have_numpy() else "python"
+        )
+        with pytest.raises(BackendUnavailable, match="native"):
+            get_backend("native")
+
+    @pytest.mark.skipif(not have_numpy(), reason="NumPy extra not installed")
+    def test_simulated_numba_presence_resolves_native(self, monkeypatch):
+        _fake_numba(monkeypatch)
+        assert have_numba()
+        assert numba_version() == "0.0-stub"
+        assert "native" in available_backends()
+        assert default_backend_name() == "native"
+        resolved = resolve_backend("auto")
+        assert isinstance(resolved, NativeBackend)
+        # The whole stack runs (un-jitted) and stays bit-identical.
+        protocol, offsets, horizon = _small_pair()
+        serial = evaluate_offsets(protocol, protocol, offsets, horizon)
+        assert evaluate_offsets(
+            protocol, protocol, offsets, horizon, backend="auto"
+        ) == serial
+
+    @pytest.mark.skipif(not have_numpy(), reason="NumPy extra not installed")
+    def test_pooled_inner_kernel_tracks_numba_availability(self, monkeypatch):
+        _fake_numba(monkeypatch)
+        assert get_backend("pooled").inner == "native"
+
+    def test_numpy_less_environment_disables_native_too(self, monkeypatch):
+        """Simulated NumPy absence must disable the native tier (its
+        array plumbing is NumPy) even when Numba is importable."""
+        _fake_numba(monkeypatch)
+        monkeypatch.setattr(_np, "np", None)
+        assert "native" not in available_backends()
+        assert default_backend_name() == "python"
+        assert not NativeBackend.available()
+
+
+@pytest.mark.skipif(not have_numpy(), reason="NumPy extra not installed")
+class TestNativeKernel:
+    """Exact-arithmetic pinning of the native kernel, runnable without
+    Numba: ``jit_or_pyfunc`` leaves the kernels as plain Python, so the
+    same code the JIT compiles is checked bit-for-bit here (the CI
+    numba lane runs the full zoo with the compiled version)."""
+
+    def _check(self, protocol_e, protocol_f, offsets, horizon, **kwargs):
+        serial = evaluate_offsets(
+            protocol_e, protocol_f, offsets, horizon, **kwargs
+        )
+        for use_incremental in (True, False):
+            backend = _pyfunc_native(use_incremental)
+            params = SweepParams(
+                protocol_e, protocol_f, horizon,
+                kwargs.get("model", ReceptionModel.POINT),
+                kwargs.get("turnaround", 0),
+            )
+            got = backend.evaluate_offsets_batch(params, offsets)
+            assert got == serial, use_incremental
+
+    def test_bit_identical_all_models(self):
+        protocol, offsets, horizon = _small_pair()
+        for model in ReceptionModel:
+            self._check(protocol, protocol, offsets, horizon, model=model)
+
+    def test_boot_threshold_split_with_turnaround(self):
+        """Below-threshold candidates run the exact scalar scan; the
+        compiled loop starts at each lane's boot-safe instance."""
+        protocol, offsets, horizon = _small_pair()
+        self._check(protocol, protocol, offsets, horizon, turnaround=9)
+
+    def test_negative_and_scattered_offsets(self):
+        protocol, _, horizon = _small_pair()
+        offsets = [-7919, -13, 0, 4, 991, 65537, 3, 3]
+        self._check(protocol, protocol, offsets, horizon)
+
+    def test_non_vectorizable_delegates_to_reference(self):
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 100.5, 2),
+            reception=ReceptionSchedule.single_window(25, 600),
+        )
+        scan = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 150, 3),
+            reception=ReceptionSchedule.single_window(40, 350),
+        )
+        self._check(adv, scan, list(range(0, 600, 7)), 4_000)
+
+    def test_oversized_duration_falls_back_to_numpy_batch(self):
+        """A beacon longer than the receiver's hyperperiod fails the
+        compiled kernel's precondition; the direction must fall back
+        (to the numpy batch kernel) and stay exact."""
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 5_000, 700),
+            reception=ReceptionSchedule.single_window(25, 600),
+        )
+        scan = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 150, 3),
+            reception=ReceptionSchedule.single_window(40, 350),
+        )
+        assert adv.beacons.beacons[0].duration > scan.reception.period
+        self._check(adv, scan, list(range(0, 600, 11)), 20_000)
+
+    def test_enumeration_bit_identical_with_guard_parity(self):
+        from repro.simulation import critical_offsets
+
+        protocol, _, _ = _small_pair()
+        reference = critical_offsets(protocol, protocol, omega=32)
+        assert reference
+        backend = _pyfunc_native()
+        params = SweepParams(protocol, protocol, 0, ReceptionModel.POINT)
+        assert backend.enumerate_critical_offsets(
+            params, omega=32
+        ) == reference
+        undersized = max(1, len(reference) // 4)
+        with pytest.raises(ValueError) as native_err:
+            backend.enumerate_critical_offsets(
+                params, omega=32, max_count=undersized
+            )
+        with pytest.raises(ValueError) as ref_err:
+            critical_offsets(
+                protocol, protocol, omega=32, max_count=undersized
+            )
+        assert str(native_err.value) == str(ref_err.value)
+
+    def test_enumeration_delegates_beyond_bitmap_regime(self, monkeypatch):
+        from repro.backends import native_kernel
+        from repro.simulation import critical_offsets
+
+        protocol, _, _ = _small_pair()
+        reference = critical_offsets(protocol, protocol, omega=32)
+        monkeypatch.setattr(native_kernel, "_BITMAP_MAX_HYPER", 0)
+        assert _pyfunc_native().enumerate_critical_offsets(
+            SweepParams(protocol, protocol, 0, ReceptionModel.POINT),
+            omega=32,
+        ) == reference
+
+
+@pytest.mark.skipif(not have_numpy(), reason="NumPy extra not installed")
+class TestIncrementalEngine:
+    """The incremental strided-sweep formulation and its gates."""
+
+    def test_arithmetic_stride_detection(self):
+        import numpy as np
+
+        from repro.backends.incremental import arithmetic_stride, MIN_LANES
+
+        vec = lambda xs: np.asarray(xs, dtype=np.int64)
+        ap = [5 + 3 * i for i in range(MIN_LANES)]
+        assert arithmetic_stride(vec(ap)) == 3
+        negative = [100 - 7 * i for i in range(MIN_LANES)]
+        assert arithmetic_stride(vec(negative)) == -7
+        assert arithmetic_stride(vec(ap[:-1])) is None  # too short
+        assert arithmetic_stride(vec([2] * MIN_LANES)) is None  # zero
+        broken = list(ap)
+        broken[-1] += 1
+        assert arithmetic_stride(vec(broken)) is None  # not an AP
+
+    def test_escape_hatch_and_bit_identity(self):
+        """use_incremental=False forces the plain batch kernel; both
+        formulations are bit-identical to the reference on strided
+        batches under every model."""
+        protocol, _, horizon = _small_pair()
+        offsets = list(range(-4_000, 40_000, 1_111))
+        for model in ReceptionModel:
+            serial = evaluate_offsets(
+                protocol, protocol, offsets, horizon, model=model
+            )
+            params = SweepParams(protocol, protocol, horizon, model)
+            for use_incremental in (True, False):
+                backend = NumpyBackend(use_incremental=use_incremental)
+                assert backend.evaluate_offsets_batch(
+                    params, offsets
+                ) == serial, (model, use_incremental)
+
+    def test_non_progression_batches_take_the_batch_kernel(self):
+        """Scattered offsets miss the AP gate but stay exact."""
+        protocol, _, horizon = _small_pair()
+        offsets = [0, 17, 4, 9_001, 23, 1 << 40, 55, 55, -3]
+        serial = evaluate_offsets(protocol, protocol, offsets, horizon)
+        params = SweepParams(
+            protocol, protocol, horizon, ReceptionModel.POINT
+        )
+        assert NumpyBackend().evaluate_offsets_batch(
+            params, offsets
+        ) == serial
+
+    def test_engine_declines_oversized_durations(self):
+        """Durations beyond the receiver hyperperiod fail the engine's
+        precondition (returns None); the kernel output stays exact."""
+        import numpy as np
+
+        from repro.backends.incremental import first_discovery_incremental
+        from repro.parallel import get_listening_cache
+
+        adv = NDProtocol(
+            beacons=BeaconSchedule.uniform(1, 5_000, 700),
+            reception=None,
+        )
+        scan = NDProtocol(
+            beacons=None,
+            reception=ReceptionSchedule.single_window(25, 600),
+        )
+        cache = get_listening_cache(scan, 0)
+        offsets = np.arange(0, 16 * 37, 37, dtype=np.int64)
+        assert first_discovery_incremental(
+            adv, cache, np.zeros(16, dtype=np.int64), offsets,
+            20_000, ReceptionModel.POINT,
+        ) is None
+
+    def test_turnaround_and_boot_threshold(self):
+        protocol, _, horizon = _small_pair()
+        offsets = list(range(0, 9_000, 13))
+        serial = evaluate_offsets(
+            protocol, protocol, offsets, horizon, turnaround=7
+        )
+        params = SweepParams(
+            protocol, protocol, horizon, ReceptionModel.POINT, 7
+        )
+        assert NumpyBackend(use_incremental=True).evaluate_offsets_batch(
+            params, offsets
+        ) == serial
+
+
+@pytest.mark.skipif(not have_numpy(), reason="NumPy extra not installed")
+class TestPatternArraysAccessor:
+    """ListeningCache.pattern_arrays(): the one sanctioned path to the
+    int64 pattern arrays (PR 8 satellite -- previously kernels poked a
+    private attribute onto foreign cache objects)."""
+
+    def test_matches_pattern_and_is_memoized(self):
+        import numpy as np
+
+        from repro.parallel import get_listening_cache
+
+        protocol, _, _ = _small_pair()
+        cache = get_listening_cache(protocol, 0)
+        assert cache.enabled
+        starts, ends = cache.pattern_arrays()
+        assert starts.dtype == np.int64 and ends.dtype == np.int64
+        assert starts.tolist() == list(cache._starts)
+        assert ends.tolist() == list(cache._ends)
+        again = cache.pattern_arrays()
+        assert again[0] is starts and again[1] is ends  # built once
+
+    def test_numpy_less_environment_raises_cleanly(self, monkeypatch):
+        from repro.parallel.cache import ListeningCache
+
+        protocol, _, _ = _small_pair()
+        cache = ListeningCache(protocol)
+        assert cache.enabled
+        monkeypatch.setattr(_np, "np", None)
+        with pytest.raises(BackendUnavailable, match="pattern_arrays"):
+            cache.pattern_arrays()
 
 
 class TestCustomBackendInstances:

@@ -6,11 +6,13 @@ two invariants the worst-case pipeline rests on, over *randomized*
 draws from all 13 protocol-zoo families (random family parameters,
 random omega, random turnaround):
 
-1. **Kernel parity** -- ``critical_offsets(backend="numpy")`` returns
-   the bit-identical sorted list of python ints as the pure-python
-   reference, and raises ``ValueError`` with the identical message at
-   the identical point for undersized ``max_count`` -- including the
-   bitmap-dedup and sort-dedup regimes of the vectorized kernel.
+1. **Kernel parity** -- every accelerated kernel that can run here
+   (``numpy``; ``native`` under the CI numba lane -- the list comes
+   from ``available_backends()``, so future kernels join automatically)
+   returns the bit-identical sorted list of python ints as the
+   pure-python reference, and raises ``ValueError`` with the identical
+   message at the identical point for undersized ``max_count`` --
+   including the bitmap-dedup and sort-dedup regimes.
 2. **Exactness** -- on small hyperperiods, sweeping only the enumerated
    offsets finds exactly the dense sweep's worst one-way and two-way
    latencies (POINT model) **at the drawn turnaround**: the enumeration
@@ -56,7 +58,12 @@ try:
 except ImportError:  # pragma: no cover - exercised by the no-deps CI lane
     HAVE_HYPOTHESIS = False
 
-HAVE_NUMPY = "numpy" in available_backends()
+# The accelerated kernels to pin against the reference: everything
+# registered and runnable except the reference itself and the pooled
+# wrapper (which delegates enumeration to its inner kernel).
+FAST_KERNELS = [
+    name for name in available_backends() if name not in ("python", "pooled")
+]
 
 # Dense sweeps above this hyperperiod would dominate the harness's
 # runtime; family parameters below are chosen so most draws land under
@@ -153,34 +160,36 @@ def _check_family(family: str, seed: int) -> None:
         )
     except ValueError as exc:
         # This draw's critical set explodes past the default max_count:
-        # the property left to check is that the vectorized kernel
-        # rejects it identically.
-        if HAVE_NUMPY:
+        # the property left to check is that the accelerated kernels
+        # reject it identically.
+        for kernel in FAST_KERNELS:
             with pytest.raises(ValueError) as excinfo:
                 critical_offsets(
-                    protocol_e, protocol_f, omega=omega, backend="numpy",
+                    protocol_e, protocol_f, omega=omega, backend=kernel,
                     turnaround=turnaround,
                 )
-            assert str(excinfo.value) == str(exc), (family, omega, turnaround)
+            assert str(excinfo.value) == str(exc), (
+                family, kernel, omega, turnaround,
+            )
         return
     hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
     assert reference == sorted(set(reference))
     assert all(0 <= offset < hyper for offset in reference)
 
-    if HAVE_NUMPY:
+    for kernel in FAST_KERNELS:
         vectorized = critical_offsets(
-            protocol_e, protocol_f, omega=omega, backend="numpy",
+            protocol_e, protocol_f, omega=omega, backend=kernel,
             turnaround=turnaround,
         )
         # Exact list equality -- values, order, and python-int types.
-        assert vectorized == reference, (family, omega, turnaround)
+        assert vectorized == reference, (family, kernel, omega, turnaround)
         assert all(type(offset) is int for offset in vectorized[:16])
         if len(reference) > 1:
             # Guard parity: an undersized max_count must raise the same
-            # ValueError (same guard, same message) from both kernels.
+            # ValueError (same guard, same message) from every kernel.
             undersized = max(1, len(reference) // 4)
             messages = []
-            for backend in (None, "numpy"):
+            for backend in (None, kernel):
                 with pytest.raises(ValueError) as excinfo:
                     critical_offsets(
                         protocol_e, protocol_f, omega=omega,
@@ -188,7 +197,7 @@ def _check_family(family: str, seed: int) -> None:
                         turnaround=turnaround,
                     )
                 messages.append(str(excinfo.value))
-            assert messages[0] == messages[1], (family, omega, messages)
+            assert messages[0] == messages[1], (family, kernel, omega, messages)
 
     if hyper <= _DENSE_HYPER_MAX:
         horizon = hyper * 3
@@ -212,17 +221,17 @@ def _check_family(family: str, seed: int) -> None:
         assert pruned.worst_two_way == dense.worst_two_way, (
             family, omega, turnaround,
         )
-        if HAVE_NUMPY:
+        for kernel in FAST_KERNELS:
             # Kernel parity on the pruned evaluation itself, under the
             # drawn turnaround: enumeration and sweep both dispatch.
-            numpy_engine = ParallelSweep(jobs=1, backend="numpy")
-            assert numpy_engine.sweep_offsets(
+            kernel_engine = ParallelSweep(jobs=1, backend=kernel)
+            assert kernel_engine.sweep_offsets(
                 protocol_e, protocol_f, reference, horizon,
                 turnaround=turnaround,
             ) == engine.sweep_offsets(
                 protocol_e, protocol_f, reference, horizon,
                 turnaround=turnaround,
-            ), (family, omega, turnaround)
+            ), (family, kernel, omega, turnaround)
 
 
 if HAVE_HYPOTHESIS:
@@ -293,12 +302,16 @@ class TestSizeGuardDedup:
         assert pruned.worst_one_way == dense.worst_one_way
         assert pruned.worst_two_way == dense.worst_two_way
 
-    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy extra not installed")
-    def test_fixed_guard_parity_with_numpy_kernel(self):
+    @pytest.mark.skipif(
+        not FAST_KERNELS, reason="no accelerated kernel installed"
+    )
+    def test_fixed_guard_parity_with_fast_kernels(self):
         tx, rx, omega = self._duplicate_heavy_pair()
-        assert critical_offsets(
-            tx, rx, omega=omega, max_count=200, backend="numpy"
-        ) == critical_offsets(tx, rx, omega=omega, max_count=200)
+        reference = critical_offsets(tx, rx, omega=omega, max_count=200)
+        for kernel in FAST_KERNELS:
+            assert critical_offsets(
+                tx, rx, omega=omega, max_count=200, backend=kernel
+            ) == reference, kernel
 
     def test_oversized_configs_still_rejected(self):
         tx, rx, omega = self._duplicate_heavy_pair()

@@ -33,6 +33,7 @@ import os
 import pytest
 
 from repro.backends import (
+    available_backends,
     get_pooled_backend,
     have_numpy,
     PooledBackend,
@@ -194,16 +195,10 @@ def test_family_all_paths_bit_identical(family):
             ), (family, name)
 
 
-BACKENDS = [
-    "python",
-    pytest.param(
-        "numpy",
-        marks=pytest.mark.skipif(
-            not have_numpy(), reason="NumPy extra not installed"
-        ),
-    ),
-    "pooled",
-]
+# Every kernel that can run here is pinned automatically -- new
+# backends (e.g. ``native`` under the CI numba lane) join the zoo by
+# registering, with no test edits.
+BACKENDS = available_backends()
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -254,7 +249,7 @@ def test_turnaround_guard_reaches_every_backend():
         serial = evaluate_offsets(
             protocol_e, protocol_f, offsets, horizon, model, turnaround=7
         )
-        for backend in ("python", "numpy") if have_numpy() else ("python",):
+        for backend in available_backends():
             got = evaluate_offsets(
                 protocol_e, protocol_f, offsets, horizon, model,
                 turnaround=7, backend=backend,
@@ -298,11 +293,11 @@ def test_large_pattern_regimes_bit_identical(gap, window_period, regime):
         executor = ParallelSweep(jobs=2, shared_memory=shared_memory)
         got = executor.evaluate_offsets(protocol_e, protocol_f, offsets, horizon)
         assert got == serial, (regime, shared_memory)
-    if have_numpy():
+    for backend in available_backends():
         got = evaluate_offsets(
-            protocol_e, protocol_f, offsets, horizon, backend="numpy"
+            protocol_e, protocol_f, offsets, horizon, backend=backend
         )
-        assert got == serial, (regime, "numpy")
+        assert got == serial, (regime, backend)
 
 
 def test_grid_chunk_vs_steal_with_fidelity_knobs():
