@@ -47,6 +47,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import signal
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
@@ -70,6 +71,28 @@ __all__ = [
 def _default_mp_context() -> str:
     methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else "spawn"
+
+
+def _pool_worker_init() -> None:
+    """Detach inherited asyncio signal plumbing in fork-start workers.
+
+    A fork-context worker forked from a process running an asyncio
+    event loop inherits the loop's signal wakeup fd -- one end of a
+    socketpair the parent's loop reads.  Any signal delivered to such a
+    worker (e.g. the SIGTERM ``ProcessPoolExecutor``'s broken-pool
+    cleanup sends to survivors) would be written into that shared pipe
+    and dispatched by the *parent's* loop as if the parent had received
+    it: a serve daemon would shut itself down whenever one pool child
+    died.  Resetting the wakeup fd and the handler dispositions
+    confines worker signals to the worker.  Harmless under spawn (no
+    inherited state) and for loop-less parents (fd is already -1).
+    """
+    signal.set_wakeup_fd(-1)
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (OSError, ValueError):  # pragma: no cover - exotic hosts
+            pass
 
 
 def _pooled_chunk(
@@ -144,7 +167,9 @@ class PooledBackend(SweepBackend):
         if self._executor is None:
             ctx = multiprocessing.get_context(self.mp_context)
             self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=ctx
+                max_workers=self.jobs,
+                mp_context=ctx,
+                initializer=_pool_worker_init,
             )
             _LIVE_POOLS.add(self)
             _register_atexit()

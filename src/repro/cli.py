@@ -12,6 +12,9 @@ Installed as ``repro-nd``.  Subcommands::
     repro-nd campaign run campaigns/golden.json     # resumable campaign
     repro-nd campaign status campaigns/golden.json  # store-membership view
     repro-nd campaign gc --ttl 604800               # store eviction
+    repro-nd serve --port 7643 --workers 2          # sweep-service daemon
+    repro-nd submit --port 7643 --campaign campaigns/golden.json
+    repro-nd store stats                            # store introspection
 
 Every runtime-using subcommand (``simulate``, ``sweep``, ``validate``,
 ``grid``) runs on one :class:`repro.api.Session` built from a single
@@ -376,6 +379,159 @@ def _cmd_campaign_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    from .store import ResultStore
+
+    payload = ResultStore(args.store).stats_payload()
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    counters = payload["counters"]
+    print(f"store {payload['root']}:")
+    print(f"  objects     : {payload['objects']} "
+          f"({payload['total_bytes']} bytes)")
+    print(f"  quarantined : {payload['quarantined']}")
+    print(f"  memory LRU  : {payload['memory']['entries']}"
+          f"/{payload['memory']['limit']} entries")
+    print(f"  counters    : hits={counters['hits']} "
+          f"misses={counters['misses']} writes={counters['writes']} "
+          f"corrupt={counters['corrupt']}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .service import SweepServer, SweepService
+
+    profile = _profile_from_args(args)
+
+    async def run() -> int:
+        service = SweepService(
+            profile,
+            store=args.store,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            job_timeout=args.job_timeout,
+            max_retries=args.max_retries,
+        )
+        await service.start()
+        server = SweepServer(service, args.host, args.port)
+        await server.start()
+        print(
+            f"repro-nd service listening on {server.host}:{server.port} "
+            f"(store={args.store}, workers={args.workers}, "
+            f"backend={profile.backend}, jobs={profile.jobs})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def request_stop(signum: int) -> None:
+            print(
+                f"repro-nd service stopping ({signal.Signals(signum).name})",
+                flush=True,
+            )
+            stop.set()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, request_stop, signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix event loops: Ctrl-C still raises
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+            await service.stop()
+        print("repro-nd service stopped", flush=True)
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from .api import SpecError
+    from .service import RemoteClient, RemoteError
+
+    if bool(args.campaign) == bool(args.spec_json or args.spec_file):
+        raise SpecError(
+            "submit needs exactly one of --campaign FILE or a spec "
+            "(--spec-json / --spec-file with --verb)"
+        )
+
+    def show(label: str, response: dict) -> bool:
+        job = response.get("job", {})
+        if not response.get("ok", False):
+            error = response.get("error", {})
+            print(f"FAILED {label}: {error.get('type')}: "
+                  f"{error.get('message')}")
+            return False
+        meta = response.get("store_meta") or {}
+        state = job.get("state", "submitted")
+        source = job.get("source") or ("hit" if meta.get("hit") else None)
+        line = f"{job.get('id', '?')} {label}: {state}"
+        if source:
+            line += f" ({source})"
+        if meta.get("fingerprint"):
+            line += f" fingerprint={meta['fingerprint'][:12]}"
+        print(line)
+        return True
+
+    async def run() -> int:
+        async with await RemoteClient.connect(args.host, args.port) as client:
+            failures = 0
+            if args.campaign:
+                from .campaign import Campaign
+
+                campaign = Campaign.from_file(args.campaign)
+                responses = []
+                for entry in campaign.expand():
+                    try:
+                        response = await client.submit(
+                            entry.verb,
+                            entry.spec,
+                            priority=args.priority,
+                            wait=not args.no_wait,
+                        )
+                    except RemoteError as exc:
+                        response = {"ok": False, "error": exc.payload}
+                    responses.append((entry.label, response))
+                for label, response in responses:
+                    if not show(label, response):
+                        failures += 1
+                print(f"{len(responses) - failures}/{len(responses)} "
+                      f"entries ok")
+                return 1 if failures else 0
+            spec = (
+                json.loads(args.spec_json)
+                if args.spec_json
+                else json.loads(Path(args.spec_file).read_text())
+            )
+            try:
+                response = await client.submit(
+                    args.verb, spec,
+                    priority=args.priority,
+                    wait=not args.no_wait,
+                )
+            except RemoteError as exc:
+                response = {"ok": False, "error": exc.payload}
+            ok = show(args.verb, response)
+            if ok and response.get("result") and args.json:
+                print(json.dumps(response["result"], indent=2,
+                                 sort_keys=True))
+            return 0 if ok else 1
+
+    return asyncio.run(run())
+
+
 def _cmd_protocols(args: argparse.Namespace) -> int:
     slot = args.slot_length
     zoo = [
@@ -679,6 +835,95 @@ def main(argv: list[str] | None = None) -> int:
     )
     c_gc.add_argument("--dry-run", action="store_true")
     c_gc.set_defaults(func=_cmd_campaign_gc)
+
+    p_store = sub.add_parser(
+        "store", help="inspect the content-addressed result store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    s_stats = store_sub.add_parser(
+        "stats",
+        help=(
+            "object count, total bytes, quarantine count and memory-LRU "
+            "hit/miss counters (the service 'stats' verb serves the same "
+            "payload)"
+        ),
+    )
+    s_stats.add_argument("--store", default="results/store")
+    s_stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    s_stats.set_defaults(func=_cmd_store_stats)
+
+    p_serve = sub.add_parser(
+        "serve", parents=[runtime],
+        help=(
+            "run the sweep-service daemon: JSON-lines-over-TCP job API "
+            "with store-hit fast path and single-flight dedup"
+        ),
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7643,
+        help="TCP port (0 = ephemeral, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--store", default="results/store",
+        help="result-store directory shared by every worker session",
+    )
+    p_serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="concurrent compute slots (one worker session each)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=_positive_int, default=64,
+        help="bounded admission queue depth (full = ServiceOverload)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock deadline (default: none)",
+    )
+    p_serve.add_argument(
+        "--max-retries", type=int, default=2,
+        help="crash-class retries per job beyond the first attempt",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help=(
+            "submit work to a running sweep-service daemon (single spec "
+            "or a whole campaign as a job batch)"
+        ),
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=7643)
+    p_submit.add_argument(
+        "--verb", choices=["sweep", "worst_case", "grid", "simulate"],
+        default="sweep",
+    )
+    p_submit.add_argument(
+        "--spec-json", default=None, metavar="JSON",
+        help="inline RunSpec mapping, e.g. "
+             '\'{"pair": {"kind": "symmetric", "eta": 0.01}}\'',
+    )
+    p_submit.add_argument(
+        "--spec-file", default=None, metavar="PATH",
+        help="path to a JSON RunSpec mapping",
+    )
+    p_submit.add_argument(
+        "--campaign", default=None, metavar="FILE",
+        help="submit every expanded entry of a campaign file as one job",
+    )
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return job ids immediately instead of waiting for results",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true",
+        help="print the full result payload (single-spec submits)",
+    )
+    p_submit.set_defaults(func=_cmd_submit)
 
     p_zoo = sub.add_parser("protocols", help="compare the protocol zoo")
     p_zoo.add_argument("--slot-length", type=int, default=10_000)

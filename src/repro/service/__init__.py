@@ -1,0 +1,124 @@
+"""The sweep service: an async serving daemon with single-flight dedup
+over the content-addressed result store.
+
+Promotes :class:`~repro.api.Session` from a library facade to a
+serving layer (ROADMAP direction 1): a long-lived
+:class:`SweepService` accepts ``(verb, RunSpec)`` jobs, answers store
+hits in O(lookup), and coalesces concurrent identical misses onto one
+computation.  :class:`SweepServer` exposes it over TCP;
+:class:`ServiceClient` / :class:`RemoteClient` are the in-process and
+wire clients; ``repro-nd serve`` / ``repro-nd submit`` are the CLI.
+
+Quickstart::
+
+    import asyncio
+    from repro.api import RuntimeProfile
+    from repro.service import ServiceClient, SweepService
+
+    async def main():
+        async with SweepService(
+            RuntimeProfile(backend="pooled", jobs=4),
+            store="results/store", workers=2,
+        ) as service:
+            client = ServiceClient(service)
+            result = await client.submit("sweep", {
+                "pair": {"kind": "symmetric", "eta": 0.01},
+                "samples": 256,
+            })
+            print(result.payload["worst_one_way"])
+
+    asyncio.run(main())
+
+Wire-protocol contract
+======================
+
+**Framing.**  JSON lines over TCP: one frame is one JSON *object*
+encoded compactly and terminated by a single ``\\n``.  Requests and
+responses use the same framing; frames above
+:data:`~repro.service.protocol.MAX_FRAME_BYTES` (8 MiB) are rejected.
+A connection handles one request at a time, strictly in order.
+
+**Requests.**  Every request names an ``op``:
+
+========  ============================================  =================
+op        request fields                                response
+========  ============================================  =================
+submit    ``verb`` (sweep / worst_case / grid /         with ``wait``
+          simulate), ``spec`` (RunSpec mapping),        (default true): a
+          optional ``priority`` (int, higher first),    result envelope;
+          optional ``wait``                             else the admitted
+                                                        job snapshot
+status    ``id`` (job id)                               ``{"ok", "job"}``
+result    ``id``                                        result envelope
+                                                        (blocks until
+                                                        terminal)
+stream    ``id``                                        one ``{"ok",
+                                                        "event"}`` frame
+                                                        per job event
+                                                        (history first,
+                                                        then live), then
+                                                        ``{"ok", "done",
+                                                        "job"}``
+stats     --                                            ``{"ok",
+                                                        "stats"}``:
+                                                        service counters
+                                                        + store stats
+========  ============================================  =================
+
+A **result envelope** is ``{"ok": true, "job": <snapshot>, "result":
+<RunResult.to_dict()>, "store_meta": {"hit", "fingerprint",
+"lookup_seconds"}}``.
+
+**Error envelopes.**  Every failure is ``{"ok": false, "error":
+{"type": <exception class name>, "message": <text>}}`` -- e.g.
+``SpecError`` (invalid spec / unknown verb), ``ServiceOverload`` (the
+bounded queue is full: back off and retry), ``JobFailed`` (the job
+exhausted its retries; the envelope also carries ``job``),
+``ServiceError`` (unknown job id), ``ProtocolError`` (malformed
+frame; the server answers once, then closes the connection, since the
+line discipline is lost).  Errors are per-request: the connection --
+and the service -- keep serving.
+
+**At-most-once execution per fingerprint.**  Admission computes the
+store fingerprint of ``(verb, spec)`` (the
+:mod:`repro.store` contract: ``RuntimeProfile`` never enters the
+digest).  A stored fingerprint is answered from the store without
+executing; an in-flight fingerprint coalesces onto the existing job
+(one compute, results fan out to every waiter as private clones); only
+a cold fingerprint enqueues a new computation, whose result is written
+back exactly once.  Across N concurrent submissions of one cold spec
+the compute therefore runs exactly once -- the single-flight property
+the load bench asserts as a hard gate.  Specs holding live objects
+have no fingerprint and always compute (and cannot cross the wire at
+all).  Crash-retried jobs re-execute their *incomplete* work only:
+grid jobs resume from their per-scenario checkpoint, and a timed-out
+attempt's late store write is harmless (last-writer-wins under a
+content-addressed key, both writers carrying the same numbers).
+"""
+
+from .client import RemoteClient, RemoteError, ServiceClient
+from .jobs import (
+    Job,
+    JobFailed,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverload,
+)
+from .protocol import MAX_FRAME_BYTES, ProtocolError
+from .server import SweepServer
+from .service import SweepService
+
+__all__ = [
+    "Job",
+    "JobFailed",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "RemoteClient",
+    "RemoteError",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverload",
+    "SweepServer",
+    "SweepService",
+]

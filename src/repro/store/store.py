@@ -191,6 +191,46 @@ class ResultStore:
         return {path.stem for path in objects.glob("*/*.json")}
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats_payload(self) -> dict:
+        """One JSON-shaped snapshot of the store's state: on-disk
+        object count and total bytes, quarantine count, the in-process
+        memory LRU's occupancy/limit, and the lifetime hit/miss/write/
+        corrupt counters (``repro-nd store stats`` and the service
+        ``stats`` verb both serve exactly this)."""
+        objects = self.root / "objects"
+        count = 0
+        total_bytes = 0
+        if objects.is_dir():
+            for path in objects.glob("*/*.json"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue  # racing a concurrent gc: skip, don't crash
+                count += 1
+        quarantine = self.root / "quarantine"
+        quarantined = (
+            sum(1 for _ in quarantine.glob("*.json"))
+            if quarantine.is_dir()
+            else 0
+        )
+        with self._lock:
+            counters = dict(self.stats)
+            memory_entries = len(self._memory)
+        return {
+            "root": str(self.root),
+            "objects": count,
+            "total_bytes": total_bytes,
+            "quarantined": quarantined,
+            "memory": {
+                "entries": memory_entries,
+                "limit": self.memory_entries,
+            },
+            "counters": counters,
+        }
+
+    # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
     def gc(

@@ -377,6 +377,137 @@ class TestStoreCopySemantics:
 
 
 # ----------------------------------------------------------------------
+# get/gc interleavings: eviction mid-read is a clean miss, never
+# quarantine or a torn payload
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentGetGc:
+    def test_evicted_entry_is_clean_miss_not_quarantine(self, tmp_path):
+        # The deterministic core of the race: gc lands between a
+        # reader's memory-LRU miss and its disk read.  The reader must
+        # see a plain miss (recompute path), not corruption.
+        store = ResultStore(tmp_path / "store", memory_entries=0)
+        fp = store.fingerprint("sweep", SPEC)
+        store.put(fp, _result())
+        report = store.gc(max_entries=0)
+        assert report["removed"] == [fp]
+        assert store.get(fp) is None
+        assert store.stats["corrupt"] == 0
+        assert store.stats["misses"] == 1
+        assert not (tmp_path / "store" / "quarantine").exists()
+        # The miss is recoverable exactly like a cold key: re-put, hit.
+        store.put(fp, _result())
+        assert store.get(fp) is not None
+
+    def test_gc_purges_memory_so_no_stale_hit(self, tmp_path):
+        # An entry evicted from disk must not keep being served from
+        # the in-process LRU -- a reader after gc sees the miss.
+        store = ResultStore(tmp_path / "store", memory_entries=8)
+        fp = store.fingerprint("sweep", SPEC)
+        store.put(fp, _result())
+        assert store.get(fp) is not None  # warm in memory
+        store.gc(max_entries=0)
+        assert store.get(fp) is None
+        assert store.stats["corrupt"] == 0
+
+    def test_readers_race_gc_and_rewrite(self, tmp_path):
+        # Threads hammer ``get`` while another evicts and re-puts the
+        # same fingerprints: every read is either a clean miss or a
+        # complete, correct payload -- never quarantine, never a torn
+        # or cross-contaminated result.
+        store = ResultStore(tmp_path / "store", memory_entries=2)
+        specs = [dataclasses.replace(SPEC, samples=16 + i) for i in range(4)]
+        fps = [store.fingerprint("sweep", spec) for spec in specs]
+        payloads = {
+            fp: {"worst_one_way": 1000 + i, "failures": 0}
+            for i, fp in enumerate(fps)
+        }
+        for fp in fps:
+            store.put(fp, _result(dict(payloads[fp])))
+        stop = threading.Event()
+        errors = []
+        observed = {"misses": 0, "hits": 0}
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for fp in fps:
+                        got = store.get(fp)
+                        if got is None:
+                            observed["misses"] += 1  # clean miss: fine
+                        else:
+                            assert got.payload == payloads[fp]
+                            observed["hits"] += 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+                stop.set()
+
+        def churner():
+            try:
+                for _ in range(40):
+                    store.gc(max_entries=0)  # evict everything
+                    for fp in fps:
+                        store.put(fp, _result(dict(payloads[fp])))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=churner))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert observed["hits"] > 0  # the race was actually exercised
+        assert store.stats["corrupt"] == 0
+        assert not (tmp_path / "store" / "quarantine").exists()
+        # The store converges: after the churn, every entry reads back.
+        for fp in fps:
+            assert store.get(fp).payload == payloads[fp]
+
+
+# ----------------------------------------------------------------------
+# stats_payload: the `store stats` / service `stats` snapshot
+# ----------------------------------------------------------------------
+
+
+class TestStatsPayload:
+    def test_counts_bytes_and_counters(self, tmp_path):
+        store = ResultStore(tmp_path / "store", memory_entries=8)
+        specs = [dataclasses.replace(SPEC, samples=16 + i) for i in range(3)]
+        for spec in specs:
+            store.put(store.fingerprint("sweep", spec), _result())
+        store.get(store.fingerprint("sweep", specs[0]))
+        store.get("0" * 64)  # miss
+        payload = store.stats_payload()
+        assert payload["root"] == str(tmp_path / "store")
+        assert payload["objects"] == 3
+        assert payload["total_bytes"] > 0
+        assert payload["quarantined"] == 0
+        assert payload["memory"] == {"entries": 3, "limit": 8}
+        assert payload["counters"] == {
+            "hits": 1, "misses": 1, "writes": 3, "corrupt": 0,
+        }
+        json.dumps(payload)  # wire-serializable as-is
+
+    def test_quarantine_and_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.stats_payload()["objects"] == 0
+        fp = store.fingerprint("sweep", SPEC)
+        store.put(fp, _result())
+        store._object_path(fp).write_text("{torn", encoding="utf-8")
+        store._memory.clear()
+        assert store.get(fp) is None
+        payload = store.stats_payload()
+        assert payload["objects"] == 0
+        assert payload["quarantined"] == 1
+        assert payload["counters"]["corrupt"] == 1
+
+
+# ----------------------------------------------------------------------
 # Session integration: read-through / write-back, runtime invariance
 # ----------------------------------------------------------------------
 
