@@ -83,12 +83,23 @@ speedup over python drops below 3x, or the native kernel speedup below
 15x, when the respective kernels are available.  ``--no-perf-floors``
 disables the assertion (shared/overloaded runners) while keeping the
 recorded rows.
+
+Since PR 10 a **worst_case** phase measures the adaptive-fidelity
+ladder behind ``Session.worst_case``: for every family in the 13-family
+equivalence zoo (plus the heavy Disco 101x103 pair), exact mode is
+checked bit-identical to the pre-ladder engine composition -- a hard
+exit gate -- and bounded mode reruns the same query under a 100 ms
+budget with the freshly fitted cost weights installed.  The recorded
+rows are the exact-vs-bounded latency/accuracy frontier; a perf floor
+requires at least one family where bounded mode met the budget that
+exact mode exceeded.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
@@ -103,6 +114,7 @@ from repro.backends import (
 )
 from repro.backends.pooled import PooledBackend, shutdown_pooled_backends
 from repro.core.optimal import synthesize_symmetric
+from repro.core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
 from repro.parallel import (
     derive_seed,
     fit_cost_weights,
@@ -110,10 +122,27 @@ from repro.parallel import (
     invalidate_listening_caches,
     ParallelSweep,
 )
-from repro.parallel.schedule import cost_components
-from repro.protocols import Disco, PeriodicInterval, Role
+from repro.parallel.schedule import cost_components, use_cost_weights
+from repro.protocols import (
+    Birthday,
+    CorrelatedOneWay,
+    Diffcodes,
+    Disco,
+    GridQuorum,
+    Nihao,
+    OptimalAsymmetric,
+    OptimalSlotless,
+    PeriodicInterval,
+    Role,
+    Searchlight,
+    UConnect,
+)
 from repro.simulation import critical_offsets, ReceptionModel, sweep_offsets
-from repro.simulation.runner import _run_scenario
+from repro.simulation.runner import (
+    _run_scenario,
+    _select_spot_check_offsets,
+    _verified_worst_case_impl,
+)
 from repro.workloads import dense_network, scenario_grid
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -144,6 +173,144 @@ def best_of(repeats: int, fn):
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
     return best, result
+
+
+# Worst-case ladder phase (PR 10): the per-query budget bounded mode is
+# measured against, and the engine knobs shared by every run in the
+# phase -- identical on the exact side and the legacy reference so the
+# bit-identity gate compares like with like.
+WC_BUDGET_MS = 100.0
+WC_SLOT = 200
+WC_OMEGA = 16
+WC_SPOT_CHECKS = 4
+
+
+def _wc_pair(proto):
+    return proto.device(Role.E), proto.device(Role.F)
+
+
+def _wc_float_pi_pair():
+    """Non-integer periods: exercises the uncached fallback paths."""
+    adv = NDProtocol(
+        beacons=BeaconSchedule.uniform(1, 100.1, 2),
+        reception=ReceptionSchedule.single_window(25, 600),
+    )
+    scan = NDProtocol(
+        beacons=BeaconSchedule.uniform(2, 150, 3),
+        reception=ReceptionSchedule.single_window(40.5, 350.25),
+    )
+    return adv, scan
+
+
+def worst_case_zoo():
+    """The 13-family equivalence zoo (mirrors
+    ``tests/test_parallel_equivalence_zoo.py``) plus two heavier Disco
+    pairs: ``disco-7x13``, the frontier family -- its ~2.5k-offset
+    exact sweep (plus DES cross-checks) overruns a 100 ms budget while
+    the bounded ladder answers well inside it -- and ``disco-101x103``,
+    a 10.4 s-hyperperiod stress row whose per-query setup alone
+    (window materialization over a 125 M-us horizon) exceeds the
+    budget, recording where the linear cost model's budgets stop being
+    achievable.
+    """
+    zoo = {
+        "disco": lambda: _wc_pair(
+            Disco(3, 5, slot_length=WC_SLOT, omega=WC_OMEGA)
+        ),
+        "uconnect": lambda: _wc_pair(
+            UConnect(5, slot_length=WC_SLOT, omega=WC_OMEGA)
+        ),
+        "searchlight": lambda: _wc_pair(
+            Searchlight(4, slot_length=WC_SLOT, omega=WC_OMEGA)
+        ),
+        "diffcodes": lambda: _wc_pair(
+            Diffcodes(2, slot_length=WC_SLOT, omega=WC_OMEGA)
+        ),
+        "grid-quorum": lambda: _wc_pair(
+            GridQuorum(3, slot_length=WC_SLOT, omega=WC_OMEGA)
+        ),
+        "nihao": lambda: _wc_pair(Nihao(3, slot_length=100, omega=WC_OMEGA)),
+        "birthday": lambda: _wc_pair(
+            Birthday(
+                p_tx=0.2, p_rx=0.2, slot_length=100, omega=WC_OMEGA,
+                horizon_slots=64, seed=5,
+            )
+        ),
+        "pi-bidirectional": lambda: _wc_pair(
+            PeriodicInterval(300, 700, 150, omega=WC_OMEGA, bidirectional=True)
+        ),
+        "pi-adv-scan": lambda: _wc_pair(
+            PeriodicInterval(
+                300, 700, 150, omega=WC_OMEGA, bidirectional=False
+            )
+        ),
+        "optimal-slotless": lambda: _wc_pair(
+            OptimalSlotless(eta=0.05, omega=32)
+        ),
+        "optimal-asymmetric": lambda: _wc_pair(
+            OptimalAsymmetric(eta_e=0.1, eta_f=0.05, omega=32)
+        ),
+        "correlated-one-way": lambda: _wc_pair(
+            CorrelatedOneWay(k=4, window=64, omega=32)
+        ),
+        "float-period-pi": _wc_float_pi_pair,
+        "disco-7x13": lambda: _wc_pair(
+            Disco(7, 13, slot_length=1000, omega=32)
+        ),
+        "disco-101x103": lambda: _wc_pair(
+            Disco(101, 103, slot_length=1000, omega=32)
+        ),
+    }
+    return zoo
+
+
+def _wc_horizon(protocol_e, protocol_f):
+    """12x the largest schedule period -- the ladder test suite's
+    horizon rule, so the bench measures the same queries it gates."""
+    period = 1
+    for proto in (protocol_e, protocol_f):
+        if proto.beacons is not None:
+            period = max(period, int(proto.beacons.period))
+        if proto.reception is not None:
+            period = max(period, int(proto.reception.period))
+    return period * 12
+
+
+def _legacy_worst_case(protocol_e, protocol_f, horizon, sweeper):
+    """The pre-ladder engine composition, verbatim: critical enumeration
+    (with the sampled fallback capped -- this PR's exactness fix), full
+    sweep, DES spot checks on the worst offsets.  What exact mode must
+    stay bit-identical to."""
+    try:
+        offsets = critical_offsets(
+            protocol_e,
+            protocol_f,
+            omega=WC_OMEGA,
+            max_count=200_000,
+            backend=sweeper._resolve_backend(),
+        )
+    except ValueError:
+        hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
+        step = max(1, hyper // 4096)
+        offsets = list(range(0, hyper, step))[:4096]
+    report = sweeper.sweep_offsets(
+        protocol_e, protocol_f, offsets, horizon, ReceptionModel.POINT, 0
+    )
+    check_offsets = _select_spot_check_offsets(
+        offsets,
+        (report.worst_offset_one_way, report.worst_offset_two_way),
+        WC_SPOT_CHECKS,
+    )
+    checks = sweeper.spot_check_pairs(
+        protocol_e, protocol_f, check_offsets, horizon,
+        ReceptionModel.POINT, 0,
+    )
+    agrees = all(
+        analytic.e_discovered_by_f == des.e_discovered_by_f
+        and analytic.f_discovered_by_e == des.f_discovered_by_e
+        for analytic, des in checks
+    )
+    return report, agrees, len(offsets)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -445,6 +612,97 @@ def main(argv: list[str] | None = None) -> int:
         f"(beacon={fitted[0]:.3e}, window={fitted[1]:.3e})"
     )
 
+    # Phase: adaptive-fidelity worst-case ladder (PR 10).  Exact mode
+    # must stay bit-identical to the pre-ladder engine composition
+    # across the 13-family zoo -- a hard exit gate, folded into
+    # ``identical``.  Bounded mode reruns every family under a 100 ms
+    # budget with the freshly fitted cost weights installed (so the
+    # planner prices tiers in this machine's milliseconds), plus the
+    # heavy ``disco-101x103`` pair whose exact sweep cannot meet the
+    # budget: the recorded rows are the exact-vs-bounded
+    # latency/accuracy frontier.
+    wc_rows = []
+    wc_identical = True
+    wc_budget_met = []
+    wc_exact_over = []
+    previous_weights = use_cost_weights(fitted)
+    try:
+        wc_sweeper = ParallelSweep(jobs=1)
+        for family, build in worst_case_zoo().items():
+            wc_e, wc_f = build()
+            wc_horizon = _wc_horizon(wc_e, wc_f)
+            legacy_report, legacy_agrees, legacy_n = _legacy_worst_case(
+                wc_e, wc_f, wc_horizon, wc_sweeper
+            )
+            exact_s, exact_outcome = best_of(
+                1,
+                lambda: _verified_worst_case_impl(
+                    wc_e, wc_f, wc_horizon, omega=WC_OMEGA,
+                    des_spot_checks=WC_SPOT_CHECKS, sweeper=wc_sweeper,
+                ),
+            )
+            family_identical = (
+                exact_outcome.analytic == legacy_report
+                and exact_outcome.des_agrees == legacy_agrees
+                and exact_outcome.offsets_checked == legacy_n
+            )
+            wc_identical = wc_identical and family_identical
+            bounded_s, bounded_outcome = best_of(
+                1,
+                lambda: _verified_worst_case_impl(
+                    wc_e, wc_f, wc_horizon, omega=WC_OMEGA,
+                    des_spot_checks=WC_SPOT_CHECKS, sweeper=wc_sweeper,
+                    fidelity="auto", budget_ms=WC_BUDGET_MS,
+                ),
+            )
+            truth = exact_outcome.analytic.worst_one_way
+            lo, hi = bounded_outcome.bound_interval
+            accuracy = None
+            if truth and lo is not None:
+                accuracy = lo / truth
+            if bounded_s * 1000.0 <= WC_BUDGET_MS:
+                wc_budget_met.append(family)
+            if exact_s * 1000.0 > WC_BUDGET_MS:
+                wc_exact_over.append(family)
+            wc_rows.append(
+                {
+                    "family": family,
+                    "horizon": wc_horizon,
+                    "exact_seconds": exact_s,
+                    "bounded_seconds": bounded_s,
+                    "exact_offsets": exact_outcome.offsets_checked,
+                    "bounded_offsets": bounded_outcome.offsets_checked,
+                    "bounded_fidelity": bounded_outcome.fidelity,
+                    "bound_interval": [lo, hi],
+                    "exact_worst_one_way": truth,
+                    "accuracy": accuracy,
+                    "exact_bit_identical": family_identical,
+                }
+            )
+            print(
+                f"worst-case   : {family:<20} exact {exact_s * 1000:8.1f} ms"
+                f"   bounded {bounded_s * 1000:7.1f} ms"
+                f" [{bounded_outcome.fidelity}]"
+                f"   bit-identical: {family_identical}"
+            )
+    finally:
+        use_cost_weights(previous_weights)
+    identical = identical and wc_identical
+    wc_frontier = sorted(set(wc_exact_over) & set(wc_budget_met))
+    print(
+        f"worst-case   : exact bit-identical: {wc_identical}   bounded "
+        f"met {WC_BUDGET_MS:.0f} ms where exact overran: {wc_frontier}"
+    )
+    worst_case_phase = {
+        "budget_ms": WC_BUDGET_MS,
+        "spot_checks": WC_SPOT_CHECKS,
+        "exact_bit_identical": wc_identical,
+        "families": wc_rows,
+        "bounded_met_budget": wc_budget_met,
+        "exact_over_budget": wc_exact_over,
+        "frontier_families": wc_frontier,
+    }
+
     # Phase: the content-addressed result store on the golden campaign
     # (PR 6).  Cold run executes all 14 sweeps and writes back; the warm
     # rerun must be 100% store hits with zero sweep re-execution, and
@@ -637,6 +895,7 @@ def main(argv: list[str] | None = None) -> int:
         "backends": backend_timings,
         "store": store_phase,
         "campaign": campaign_phase,
+        "worst_case": worst_case_phase,
         "per_scenario": per_scenario,
         "fitted_cost_weights": {
             "beacon": fitted[0],
@@ -661,9 +920,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"native kernel speedup {native_speedup:.2f}x over python "
                 f"fell below the 15x floor"
             )
+        if not wc_frontier:
+            floor_failures.append(
+                f"no zoo family had bounded mode meet the "
+                f"{WC_BUDGET_MS:.0f} ms budget while exact mode exceeded it"
+            )
     payload["perf_floors"] = {
         "numpy_over_python": 3.0,
         "native_over_python": 15.0,
+        "worst_case_bounded_budget_ms": WC_BUDGET_MS,
         "enforced": not args.no_perf_floors,
         "failures": floor_failures,
     }

@@ -26,6 +26,22 @@ Sessions optionally attach a content-addressed
 spec fingerprint, and :mod:`repro.campaign` orchestrates whole
 parameter lattices of specs resumably on top of that.
 
+Worst-case queries carry a per-query **fidelity budget** (PR 10):
+``RunSpec.fidelity`` selects the policy (``"exact"`` -- the default,
+bit-identical to every prior release; ``"bounded"`` -- best bound
+within ``RunSpec.budget_ms``; ``"auto"`` -- exact when unbudgeted,
+budgeted otherwise), and the adaptive ladder behind
+``Session.worst_case`` prices its tiers (analytic bound, critical
+enumeration, dense low-discrepancy sweep, DES spot checks) with the
+fitted cost weights of :mod:`repro.parallel.schedule`.  Every
+:class:`~repro.simulation.PairWorstCase` carries the **provenance
+contract**: ``fidelity`` of the verdict, the one-way ``bound_interval``
+(``(w, w)`` when exact), the ``tiers`` that ran with their planner
+estimates (never measured wall-clock, so identical queries produce
+identical provenance), ``fallback_used``, and the ``budget_ms`` it was
+answered under -- serialized under ``payload["provenance"]`` and
+rehydrated by :func:`repro.api.result.rehydrate_raw`.
+
 The pre-Session entry points (``evaluate_offsets(backend=)``,
 ``verified_worst_case(jobs=)``, ``sweep_network_grid(schedule=)``, ...)
 remain as thin shims over this facade behind the single deprecation

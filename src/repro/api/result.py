@@ -111,10 +111,21 @@ def rehydrate_raw(verb: str, payload: dict):
             from ..simulation.analytic import SweepReport
             from ..simulation.runner import PairWorstCase
 
+            # Pre-PR-10 payloads carry no provenance block; rebuild with
+            # the dataclass defaults so old stores keep rehydrating.
+            provenance = payload.get("provenance") or {}
+            interval = provenance.get("bound_interval")
             return PairWorstCase(
                 analytic=SweepReport(**payload["analytic"]),
                 des_agrees=payload["des_agrees"],
                 offsets_checked=payload["offsets_checked"],
+                fidelity=provenance.get("fidelity", "exact"),
+                bound_interval=tuple(interval)
+                if interval is not None else None,
+                tiers=tuple(dict(tier)
+                            for tier in provenance.get("tiers", ())),
+                fallback_used=provenance.get("fallback_used", False),
+                budget_ms=provenance.get("budget_ms"),
             )
         if verb == "simulate":
             # The simulate payload embeds the network fields directly

@@ -416,7 +416,7 @@ class Session:
         profile vectorizes the breakpoint generation as well as the
         sweep -- bit-identical offsets by the backend contract.
         """
-        from ..simulation import critical_offsets
+        from ..simulation import critical_offsets, CriticalSetTooLarge
 
         sampling = spec.sampling
         if spec.sampling == "critical":
@@ -429,10 +429,12 @@ class Session:
                     backend=self.backend,
                     turnaround=spec.turnaround,
                 ), "critical"
-            except ValueError:
+            except CriticalSetTooLarge:
                 # Critical set exceeded max_critical: fall back to a
                 # uniform sweep, and *say so* in the result payload --
-                # a sampled sweep must never masquerade as exact.
+                # a sampled sweep must never masquerade as exact.  Any
+                # other ValueError is a genuine kernel bug and
+                # propagates.
                 sampling = "uniform-fallback"
         hyper = self._pair_hyperperiod(protocol_e, protocol_f)
         step = max(1, hyper // spec.samples)
@@ -494,13 +496,22 @@ class Session:
         )
 
     def worst_case(self, spec) -> RunResult:
-        """Exact worst-case latency with DES spot-check cross-validation.
+        """Worst-case latency with DES spot-check cross-validation.
 
         ``raw``: the :class:`repro.simulation.PairWorstCase`.  The
         session's resolved kernel runs the whole pipeline -- critical
         enumeration (``critical_offsets(backend=...)``, vectorized
         under numpy), the sweep, and (for pooled profiles) the
         spot-check sharding over the arena-warmed persistent pool.
+
+        Exact by default.  With ``spec.budget_ms`` set (and
+        ``spec.fidelity`` ``"auto"``/``"bounded"``), the adaptive
+        fidelity ladder answers within the budget instead: analytic
+        bound first, the exact enumeration only when its priced sweep
+        fits, a nested low-discrepancy dense tier over what remains,
+        DES spot-checks allocated by disagreement.  The verdict
+        (``fidelity``, ``bound_interval``) and per-tier provenance ride
+        in both ``raw`` and ``payload["provenance"]``.
         """
         return self._through_store(
             "worst_case", _as_spec(spec), self._worst_case
@@ -529,6 +540,9 @@ class Session:
             des_spot_checks=spec.des_spot_checks,
             fallback_samples=spec.fallback_samples,
             sweeper=engine,
+            fidelity=spec.fidelity,
+            budget_ms=spec.budget_ms,
+            analytic_upper=base,
         )
         t2 = time.perf_counter()
         payload = {
@@ -538,6 +552,14 @@ class Session:
             "horizon": horizon,
             "protocols": [protocol_e.name, protocol_f.name],
             "eta": [protocol_e.eta, protocol_f.eta],
+            "provenance": {
+                "fidelity": outcome.fidelity,
+                "bound_interval": list(outcome.bound_interval)
+                if outcome.bound_interval is not None else None,
+                "tiers": [dict(tier) for tier in outcome.tiers],
+                "fallback_used": outcome.fallback_used,
+                "budget_ms": outcome.budget_ms,
+            },
         }
         return self._result(
             "worst_case",

@@ -329,6 +329,7 @@ def build_grid(grid) -> list:
 
 _MODELS = ("point", "any-overlap", "containment")
 _SAMPLINGS = ("uniform", "critical")
+_FIDELITIES = ("exact", "bounded", "auto")
 
 
 @dataclass
@@ -374,6 +375,24 @@ class RunSpec(_SerializableConfig):
     """DES spot-check policy: replays cross-checked per worst-case run."""
     max_critical: int = 200_000
     fallback_samples: int = 4096
+    fidelity: str = "exact"
+    """Worst-case engine fidelity policy (the adaptive ladder):
+
+    * ``"exact"`` (default) -- the full exact ladder: critical-offset
+      enumeration, complete sweep, uniform DES spot checks.  Refuses a
+      ``budget_ms`` (an exact answer cannot promise a latency budget).
+    * ``"bounded"`` -- best bound within ``budget_ms`` (required): the
+      planner prices each tier with the fitted scheduler cost weights
+      and never *plans* work beyond the budget; the result carries a
+      ``bound_interval`` and is marked exact only when the exact tier
+      fit the budget.
+    * ``"auto"`` -- exact when no ``budget_ms`` is given, budgeted
+      (identical to ``"bounded"``) when one is.
+    """
+    budget_ms: float | None = None
+    """Per-query compute budget in milliseconds for the worst-case
+    ladder planner (``fidelity="bounded"``/``"auto"``); ``None`` means
+    unbudgeted."""
 
     def __post_init__(self) -> None:
         try:
@@ -401,6 +420,25 @@ class RunSpec(_SerializableConfig):
                      "turnaround", "advertising_jitter"):
             if getattr(self, name) < 0:
                 raise SpecError(f"RunSpec.{name} must be >= 0")
+        if self.fidelity not in _FIDELITIES:
+            raise SpecError(
+                f"unknown fidelity {self.fidelity!r}; one of {_FIDELITIES}"
+            )
+        if self.budget_ms is not None and not float(self.budget_ms) > 0:
+            raise SpecError(
+                f"RunSpec.budget_ms must be a positive number of "
+                f"milliseconds or None, got {self.budget_ms!r}"
+            )
+        if self.fidelity == "bounded" and self.budget_ms is None:
+            raise SpecError(
+                "fidelity='bounded' needs a budget_ms to bound against; "
+                "use fidelity='exact' (or 'auto') for unbudgeted queries"
+            )
+        if self.fidelity == "exact" and self.budget_ms is not None:
+            raise SpecError(
+                "fidelity='exact' cannot honour a budget_ms; use "
+                "fidelity='bounded' or 'auto' for budgeted queries"
+            )
 
     # ------------------------------------------------------------------
     def reception_model(self):

@@ -137,6 +137,7 @@ per-call ``backend=`` kwargs, which survive only as deprecated shims.
 from .base import (
     available_backends,
     BackendUnavailable,
+    CriticalSetTooLarge,
     default_backend_name,
     get_backend,
     register_backend,
@@ -164,6 +165,7 @@ __all__ = [
     "available_backends",
     "BackendUnavailable",
     "CachedPairEvaluator",
+    "CriticalSetTooLarge",
     "default_backend_name",
     "get_backend",
     "get_pooled_backend",

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "BackendUnavailable",
+    "CriticalSetTooLarge",
     "SweepParams",
     "SweepBackend",
     "available_backends",
@@ -42,6 +43,19 @@ __all__ = [
 class BackendUnavailable(RuntimeError):
     """A requested backend cannot run in this environment (e.g. the
     ``numpy`` backend without NumPy installed)."""
+
+
+class CriticalSetTooLarge(ValueError):
+    """A critical-offset enumeration tripped its ``max_count`` guard.
+
+    Every kernel raises exactly this type (message-identical across
+    backends -- the guard-parity contract) from the two enumeration
+    size guards.  It subclasses :class:`ValueError` so pre-existing
+    ``except ValueError`` callers keep working, but the worst-case
+    engine's sampled fallback triggers **only** on this type: a plain
+    ``ValueError`` out of a kernel is a genuine error and propagates
+    instead of silently degrading exactness.
+    """
 
 
 @dataclass(frozen=True)
@@ -105,8 +119,8 @@ class SweepBackend(ABC):
         explosion guard.  The contract mirrors
         :meth:`evaluate_offsets_batch`: every implementation must
         return the **bit-identical** sorted offset list -- and raise
-        ``ValueError`` for the same oversized configurations -- as the
-        pure-python reference
+        :class:`CriticalSetTooLarge` for the same oversized
+        configurations -- as the pure-python reference
         (:func:`repro.backends.python_loop.enumerate_critical_offsets_reference`),
         which this default delegates to.
         """

@@ -51,7 +51,13 @@ from ..core.sequences import NDProtocol
 from ..parallel.cache import get_listening_cache, ListeningCache
 from ..simulation.analytic import DiscoveryOutcome, ReceptionModel
 from . import _np, _numba
-from .base import BackendUnavailable, get_backend, SweepBackend, SweepParams
+from .base import (
+    BackendUnavailable,
+    CriticalSetTooLarge,
+    get_backend,
+    SweepBackend,
+    SweepParams,
+)
 from .numpy_kernel import (
     _BITMAP_MAX_HYPER,
     _direction_vectorizable,
@@ -405,7 +411,7 @@ class NativeBackend(SweepBackend):
                 tx, rx_protocol, hyper, omega, params.turnaround
             )
             if len(beacon_times) * len(window_bounds) > max_count * 4:
-                raise ValueError(
+                raise CriticalSetTooLarge(
                     f"critical set too large "
                     f"({len(beacon_times)} beacons x "
                     f"{len(window_bounds)} bounds); "
@@ -422,7 +428,7 @@ class NativeBackend(SweepBackend):
             )
             count = int(np.count_nonzero(mask))
             if count > max_count:
-                raise ValueError(
+                raise CriticalSetTooLarge(
                     f"critical set exceeded {max_count} offsets; "
                     f"use a uniform sweep"
                 )

@@ -39,7 +39,13 @@ from ..core.sequences import NDProtocol
 from ..parallel.cache import get_listening_cache, ListeningCache
 from ..simulation.analytic import DiscoveryOutcome, ReceptionModel
 from . import _np
-from .base import BackendUnavailable, get_backend, SweepBackend, SweepParams
+from .base import (
+    BackendUnavailable,
+    CriticalSetTooLarge,
+    get_backend,
+    SweepBackend,
+    SweepParams,
+)
 from .incremental import arithmetic_stride, first_discovery_incremental
 
 __all__ = ["NumpyBackend"]
@@ -239,7 +245,7 @@ class NumpyBackend(SweepBackend):
                 tx, rx_protocol, hyper, omega, turnaround
             )
             if len(beacon_times) * len(window_bounds) > max_count * 4:
-                raise ValueError(
+                raise CriticalSetTooLarge(
                     f"critical set too large "
                     f"({len(beacon_times)} beacons x "
                     f"{len(window_bounds)} bounds); "
@@ -271,7 +277,7 @@ class NumpyBackend(SweepBackend):
                 )
                 count = int(merged.size)
             if count > max_count:
-                raise ValueError(
+                raise CriticalSetTooLarge(
                     f"critical set exceeded {max_count} offsets; "
                     f"use a uniform sweep"
                 )

@@ -19,7 +19,7 @@ from typing import Sequence
 from ..core.sequences import BeaconSchedule, NDProtocol, ReceptionSchedule
 from ..parallel.cache import get_listening_cache, ListeningCache
 from ..simulation.analytic import DiscoveryOutcome, ReceptionModel
-from .base import SweepBackend, SweepParams
+from .base import CriticalSetTooLarge, SweepBackend, SweepParams
 
 __all__ = [
     "CachedPairEvaluator",
@@ -167,7 +167,7 @@ def enumerate_critical_offsets_reference(
             tx, rx_protocol, hyper, omega, turnaround
         )
         if len(beacon_times) * len(window_bounds) > max_count * 4:
-            raise ValueError(
+            raise CriticalSetTooLarge(
                 f"critical set too large "
                 f"({len(beacon_times)} beacons x {len(window_bounds)} bounds); "
                 f"use a uniform sweep"
@@ -179,7 +179,7 @@ def enumerate_critical_offsets_reference(
                 offsets.add((base_offset - 1) % hyper)
                 offsets.add((base_offset + 1) % hyper)
         if len(offsets) > max_count:
-            raise ValueError(
+            raise CriticalSetTooLarge(
                 f"critical set exceeded {max_count} offsets; "
                 f"use a uniform sweep"
             )

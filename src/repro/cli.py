@@ -201,6 +201,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         horizon_multiple=args.horizon_multiple,
         omega=args.omega,
         turnaround=args.turnaround,
+        fidelity=args.fidelity,
+        budget_ms=args.budget_ms,
     )
     with Session(_profile_from_args(args)) as session:
         result = session.worst_case(spec)
@@ -214,6 +216,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     )
     print(f"worst one-way    : {format_seconds(outcome.analytic.worst_one_way)}")
     print(f"bound (Thm 5.5)  : {format_seconds(bound)}")
+    fidelity_line = outcome.fidelity
+    if outcome.budget_ms is not None:
+        fidelity_line += f" (budget {outcome.budget_ms:g} ms)"
+    if outcome.fallback_used:
+        fidelity_line += " [sampled fallback]"
+    print(f"fidelity         : {fidelity_line}")
+    if outcome.fidelity != "exact" and outcome.bound_interval is not None:
+        lo, hi = outcome.bound_interval
+        print(
+            f"bound interval   : "
+            f"[{format_seconds(lo) if lo is not None else '-'}, "
+            f"{format_seconds(hi) if hi is not None else '-'}]"
+        )
+    ran = [t["tier"] for t in outcome.tiers if t.get("ran")]
+    if ran:
+        print(f"tiers ran        : {', '.join(ran)}")
     print(f"DES agrees       : {outcome.des_agrees}")
     if not outcome.des_agrees:
         print("FAIL: event-driven simulation disagrees with analytic sweep")
@@ -466,6 +484,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             "submit needs exactly one of --campaign FILE or a spec "
             "(--spec-json / --spec-file with --verb)"
         )
+    if args.stream and args.campaign:
+        raise SpecError("--stream follows one job; not usable with --campaign")
 
     def show(label: str, response: dict) -> bool:
         job = response.get("job", {})
@@ -515,6 +535,42 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 if args.spec_json
                 else json.loads(Path(args.spec_file).read_text())
             )
+            if args.stream:
+                # Admit without waiting, then follow the job's event
+                # stream to the terminal summary frame.
+                try:
+                    response = await client.submit(
+                        args.verb, spec, priority=args.priority, wait=False
+                    )
+                except RemoteError as exc:
+                    show(args.verb, {"ok": False, "error": exc.payload})
+                    return 1
+                job_id = response.get("job", {}).get("id")
+                summary = None
+                async for frame in client.stream(job_id):
+                    if frame.get("done"):
+                        summary = frame.get("job", {})
+                        break
+                    event = frame.get("event", {})
+                    line = f"{event.get('job', job_id)} {event.get('kind', '?')}"
+                    if event.get("data"):
+                        line += " " + json.dumps(
+                            event["data"], sort_keys=True, default=str
+                        )
+                    print(line, flush=True)
+                summary = summary or {}
+                ok = summary.get("state") == "done"
+                line = f"{job_id} {args.verb}: {summary.get('state', '?')}"
+                if summary.get("source"):
+                    line += f" ({summary['source']})"
+                if summary.get("error"):
+                    line += f" error={summary['error']}"
+                print(line)
+                if ok and args.json:
+                    result = await client.result(job_id)
+                    print(json.dumps(result.get("result"), indent=2,
+                                     sort_keys=True))
+                return 0 if ok else 1
             try:
                 response = await client.submit(
                     args.verb, spec,
@@ -743,6 +799,21 @@ def main(argv: list[str] | None = None) -> int:
     p_val.add_argument("--alpha", type=float, default=1.0)
     p_val.add_argument("--horizon-multiple", type=_positive_int, default=3)
     p_val.add_argument("--turnaround", type=int, default=0)
+    p_val.add_argument(
+        "--budget-ms", type=float, default=None,
+        help=(
+            "per-query compute budget in milliseconds: run the adaptive "
+            "fidelity ladder (bounded verdict allowed) instead of the "
+            "always-exact engine"
+        ),
+    )
+    p_val.add_argument(
+        "--fidelity", choices=["exact", "bounded", "auto"], default="auto",
+        help=(
+            "worst-case fidelity policy; 'auto' (default) is exact "
+            "without --budget-ms and budgeted with it"
+        ),
+    )
     p_val.set_defaults(func=_cmd_validate)
 
     p_grid = sub.add_parser(
@@ -922,6 +993,14 @@ def main(argv: list[str] | None = None) -> int:
     p_submit.add_argument(
         "--json", action="store_true",
         help="print the full result payload (single-spec submits)",
+    )
+    p_submit.add_argument(
+        "--stream", action="store_true",
+        help=(
+            "follow the job's event stream live (submitted / running / "
+            "progress / retry / done) instead of waiting silently; "
+            "single-spec submits only"
+        ),
     )
     p_submit.set_defaults(func=_cmd_submit)
 

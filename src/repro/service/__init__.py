@@ -29,6 +29,25 @@ Quickstart::
 
     asyncio.run(main())
 
+Budgeted queries keep tail latency flat under load: a ``worst_case``
+spec with ``budget_ms`` set answers with the best bound the adaptive
+fidelity ladder can prove in that budget (``fidelity: "auto"`` falls
+back to exact when the exact tier is affordable), and the service
+derives each attempt's timeout from the budget so a budgeted job can
+never ride the global ``job_timeout``::
+
+    result = await client.submit("worst_case", {
+        "pair": {"kind": "zoo", "protocol": "Disco",
+                 "params": {"prime1": 3, "prime2": 5}},
+        "fidelity": "auto",
+        "budget_ms": 100.0,
+    })
+    provenance = result.payload["provenance"]
+    print(provenance["fidelity"], provenance["bound_interval"])
+    # e.g. "exact" [2184, 2184] -- or a widening interval under
+    # tighter budgets, with the priced tier decisions in
+    # provenance["tiers"].
+
 Wire-protocol contract
 ======================
 

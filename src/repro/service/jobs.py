@@ -75,7 +75,8 @@ class Job:
         "id", "verb", "spec", "fingerprint", "priority", "state",
         "source", "attempts", "requeues", "coalesced", "error",
         "result", "future", "checkpoint", "events", "created",
-        "started", "finished", "_subscribers",
+        "started", "finished", "created_mono", "started_mono",
+        "finished_mono", "_subscribers",
     )
 
     def __init__(
@@ -107,9 +108,15 @@ class Job:
         self.future: asyncio.Future = _new_future()
         self.checkpoint: dict[int, Any] = {}
         self.events: list[dict] = []
+        #: Wall-clock unix timestamps, for **display only** (they jump
+        #: with NTP slews / clock steps).  Every duration derives from
+        #: the ``*_mono`` monotonic counterparts below.
         self.created = time.time()
         self.started: float | None = None
         self.finished: float | None = None
+        self.created_mono = time.monotonic()
+        self.started_mono: float | None = None
+        self.finished_mono: float | None = None
         self._subscribers: list[asyncio.Queue] = []
 
     # ------------------------------------------------------------------
@@ -173,8 +180,33 @@ class Job:
         clone.store_meta = copy.deepcopy(result.store_meta)
         return clone
 
+    def queued_seconds(self) -> float | None:
+        """Admission-to-compute-start latency (monotonic clock; immune
+        to wall-clock steps).  ``None`` until compute starts."""
+        if self.started_mono is None:
+            return None
+        return self.started_mono - self.created_mono
+
+    def run_seconds(self) -> float | None:
+        """Compute-start-to-terminal duration of the *last* attempt arc
+        (monotonic clock).  ``None`` until terminal; ``0.0``-adjacent
+        for store hits, which never start."""
+        if self.finished_mono is None:
+            return None
+        base = (
+            self.started_mono
+            if self.started_mono is not None
+            else self.created_mono
+        )
+        return self.finished_mono - base
+
     def snapshot(self) -> dict:
-        """JSON-shaped status view (the ``status`` verb's payload)."""
+        """JSON-shaped status view (the ``status`` verb's payload).
+
+        ``created``/``started``/``finished`` are wall-clock display
+        timestamps; ``queued_seconds``/``run_seconds`` are the
+        monotonic-clock durations -- never subtract the timestamps.
+        """
         return {
             "id": self.id,
             "verb": self.verb,
@@ -189,6 +221,8 @@ class Job:
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
+            "queued_seconds": self.queued_seconds(),
+            "run_seconds": self.run_seconds(),
             "events": len(self.events),
             "checkpointed": len(self.checkpoint),
         }

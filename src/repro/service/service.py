@@ -83,6 +83,12 @@ RETRYABLE = (BrokenProcessPool, EOFError, OSError, TimeoutError)
 #: How many finished jobs stay addressable for status/result lookups.
 JOB_HISTORY = 1024
 
+#: Budget-derived attempt deadline: wall-clock slack over the spec's
+#: ``budget_ms`` (planner prices are estimates, not guarantees) plus a
+#: floor covering session/pool warm-up.  See ``_attempt_timeout``.
+BUDGET_TIMEOUT_SLACK = 4.0
+BUDGET_TIMEOUT_FLOOR = 1.0
+
 
 class SweepService:
     """Async serving daemon over a store-backed session (module docs).
@@ -312,7 +318,8 @@ class SweepService:
         job.state = DONE
         job.source = "hit"
         job.result = result
-        job.finished = time.time()
+        job.finished = time.time()  # display; durations use monotonic
+        job.finished_mono = time.monotonic()
         job.future.set_result(result)
         self._register(job)
         job.emit("submitted", {"fingerprint": fingerprint})
@@ -411,15 +418,39 @@ class SweepService:
                     self._enqueue(job)
                 self._spawn_worker()
 
+    def _attempt_timeout(self, job: Job) -> float | None:
+        """Per-attempt deadline in seconds: the service-wide
+        ``job_timeout``, *tightened* (never loosened) by the spec's own
+        compute budget -- a budgeted submission must not hold a worker
+        past its deadline tier even when the service allows longer jobs.
+
+        The planner's budget prices estimated compute, not wall-clock
+        guarantees, so the deadline grants a fixed slack factor plus a
+        floor covering session/pool warm-up before declaring a timeout.
+        """
+        budget_ms = getattr(job.spec, "budget_ms", None)
+        if budget_ms is None:
+            return self.job_timeout
+        budgeted = (
+            float(budget_ms) / 1000.0 * BUDGET_TIMEOUT_SLACK
+            + BUDGET_TIMEOUT_FLOOR
+        )
+        if self.job_timeout is None:
+            return budgeted
+        return min(self.job_timeout, budgeted)
+
     async def _run_job(self, job: Job) -> None:
         job.attempts += 1
         job.state = RUNNING
-        job.started = time.time()
+        job.started = time.time()  # display; durations use monotonic
+        job.started_mono = time.monotonic()
         job.emit(RUNNING, {"attempt": job.attempts})
         loop = asyncio.get_running_loop()
         try:
             future = loop.run_in_executor(self._pool, self._compute, job)
-            result = await asyncio.wait_for(future, timeout=self.job_timeout)
+            result = await asyncio.wait_for(
+                future, timeout=self._attempt_timeout(job)
+            )
         except asyncio.CancelledError:
             raise  # worker shutdown / supervisor path, not a job failure
         except Exception as exc:
@@ -452,7 +483,8 @@ class SweepService:
             self._track(asyncio.create_task(self._requeue_later(job, delay)))
             return
         job.state = FAILED
-        job.finished = time.time()
+        job.finished = time.time()  # display; durations use monotonic
+        job.finished_mono = time.monotonic()
         job.error = f"{type(exc).__name__}: {exc}"
         if job.fingerprint is not None:
             self._inflight.pop(job.fingerprint, None)
@@ -477,7 +509,8 @@ class SweepService:
 
     def _finish(self, job: Job, result: RunResult) -> None:
         job.state = DONE
-        job.finished = time.time()
+        job.finished = time.time()  # display; durations use monotonic
+        job.finished_mono = time.monotonic()
         if job.source is None:
             job.source = (
                 "hit"

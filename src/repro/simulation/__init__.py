@@ -23,6 +23,7 @@ from .analytic import (
     sweep_offsets,
     SweepReport,
 )
+from ..backends.base import CriticalSetTooLarge
 from .channel import Channel, Transmission
 from .clock import DriftingClock, IdealClock
 from .engine import Event, Simulator
@@ -40,6 +41,7 @@ from .runner import (
 
 __all__ = [
     "Channel",
+    "CriticalSetTooLarge",
     "DiscoveryOutcome",
     "DriftingClock",
     "Event",

@@ -298,11 +298,13 @@ def critical_offsets(
     bit-identically.
 
     Considers both directions (E's beacons vs F's windows and vice
-    versa).  Raises ``ValueError`` if the critical set would exceed
+    versa).  Raises :class:`repro.backends.CriticalSetTooLarge` (a
+    ``ValueError`` subclass) if the critical set would exceed
     ``max_count`` (fall back to a uniform sweep for such configs); the
     size guard runs on the *deduplicated* window-bound count, so
     duplicate-heavy schedules are judged by the breakpoints they
-    actually produce.
+    actually produce.  Any *other* ``ValueError`` out of a kernel is a
+    genuine error, never an overflow signal.
 
     The enumeration is the second kernel-dispatched
     :mod:`repro.backends` operation (PR 5).  ``backend=None`` (the

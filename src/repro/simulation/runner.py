@@ -20,6 +20,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
+from ..backends.base import CriticalSetTooLarge
 from ..core.sequences import NDProtocol
 from .analytic import (
     critical_offsets,
@@ -353,12 +354,43 @@ def simulate_pair_mutual_assistance(
 
 @dataclass(frozen=True)
 class PairWorstCase:
-    """Exact worst-case discovery of a protocol pair with DES cross-check."""
+    """Worst-case discovery of a protocol pair with DES cross-check.
+
+    Since PR 10 every instance carries a provenance block describing
+    *how* the verdict was produced (which ladder tiers ran, whether the
+    sampled fallback degraded exactness, the budget the planner worked
+    against) next to the result itself.  The provenance contract:
+
+    * ``fidelity`` -- the **verdict**, not the request: ``"exact"``
+      only when the critical-offset tier swept the complete breakpoint
+      set, ``"bounded"`` whenever a sampled sweep stood in for it.
+    * ``bound_interval`` -- ``(lo, hi)`` on the worst one-way latency:
+      ``lo`` is the observed worst (a lower bound for sampled sweeps,
+      the exact value otherwise, ``None`` when nothing discovered),
+      ``hi`` the cheapest sound upper bound (``lo`` again when exact;
+      else the analytic prediction capped by the horizon).
+    * ``tiers`` -- one record per ladder tier in execution order
+      (``analytic`` / ``critical`` / ``dense`` / ``des``), each with
+      ``ran`` and, for budgeted queries, the planner's ``estimated_ms``
+      price -- estimates, never wall-clock, so equal runs compare equal.
+    * ``fallback_used`` -- the sampled (dense) tier replaced the exact
+      enumeration, whether by guard overflow or by budget.
+    """
 
     analytic: SweepReport
     des_agrees: bool
     """Did the event-driven simulator reproduce the analytic worst case?"""
     offsets_checked: int
+    fidelity: str = "exact"
+    """Verdict: ``"exact"`` or ``"bounded"`` (see class docstring)."""
+    bound_interval: tuple | None = None
+    """``(lo, hi)`` bounds on the worst one-way latency."""
+    tiers: tuple = ()
+    """Per-tier provenance records, in execution order."""
+    fallback_used: bool = False
+    """Did a sampled sweep replace the exact critical enumeration?"""
+    budget_ms: float | None = None
+    """The planner's budget for this query; ``None`` = unbudgeted."""
 
 
 def _select_spot_check_offsets(
@@ -399,6 +431,59 @@ def _select_spot_check_offsets(
 _UNSET = object()
 
 
+def _des_mismatches(checks) -> list[int]:
+    """Offsets where the event-driven replay contradicts the analytic
+    outcome (either discovery direction)."""
+    return [
+        analytic_outcome.offset
+        for analytic_outcome, des_outcome in checks
+        if analytic_outcome.e_discovered_by_f != des_outcome.e_discovered_by_f
+        or analytic_outcome.f_discovered_by_e != des_outcome.f_discovered_by_e
+    ]
+
+
+def _one_way_upper(horizon: int, analytic_upper, lo) -> int:
+    """Soundest cheap upper bound on the worst one-way latency: the
+    analytic prediction capped by the horizon, never below an observed
+    ``lo`` (an observation beating the model's bound wins)."""
+    hi = int(horizon)
+    if analytic_upper is not None:
+        hi = min(hi, int(analytic_upper))
+    if lo is not None and lo > hi:
+        hi = int(lo)
+    return hi
+
+
+def _neighbour_offsets(offsets, anchors, count: int, exclude) -> list[int]:
+    """Up to ``count`` already-evaluated offsets nearest (by rank in the
+    sorted sweep grid) to the disagreeing ``anchors``, skipping
+    ``exclude``.  Deterministic: anchors in sweep-report order, their
+    neighbours nearest-first."""
+    grid = sorted(dict.fromkeys(offsets))
+    index = {offset: i for i, offset in enumerate(grid)}
+    taken = set(exclude)
+    picked: list[int] = []
+    for anchor in anchors:
+        centre = index.get(anchor)
+        if centre is None:
+            continue
+        for distance in range(1, len(grid)):
+            if len(picked) >= count:
+                return picked
+            hit = False
+            for i in (centre - distance, centre + distance):
+                if 0 <= i < len(grid) and grid[i] not in taken:
+                    taken.add(grid[i])
+                    picked.append(grid[i])
+                    hit = True
+                    if len(picked) >= count:
+                        return picked
+            if not hit and (centre - distance < 0
+                            and centre + distance >= len(grid)):
+                break
+    return picked
+
+
 def _verified_worst_case_impl(
     protocol_e: NDProtocol,
     protocol_f: NDProtocol,
@@ -410,28 +495,48 @@ def _verified_worst_case_impl(
     des_spot_checks: int = 16,
     fallback_samples: int = 4096,
     sweeper=None,
+    fidelity: str = "exact",
+    budget_ms: float | None = None,
+    analytic_upper=None,
 ) -> PairWorstCase:
     """The worst-case verification engine behind
     :meth:`repro.api.Session.worst_case` (and, through it, the legacy
     :func:`verified_worst_case` shim).
 
-    Uses the critical-offset enumeration for exactness (falling back to a
-    uniform sweep when the critical set explodes), then replays a handful
-    of offsets -- including the worst ones -- through the event-driven
-    simulator and checks for exact agreement.  ``sweeper`` is the
-    session's configured :class:`repro.parallel.ParallelSweep`; its
-    resolved kernel runs *both* halves of the setup -- the critical
-    enumeration (`critical_offsets(backend=...)`, vectorized under the
-    numpy kernel since PR 5) and the offset sweep itself.  The report
-    and the verdict are bit-identical for every runtime profile
-    (enumeration and spot-check selection are deterministic, each
-    replay is an independent computation, and every kernel is pinned
-    against the exact reference).
+    Two paths, selected by ``budget_ms``:
+
+    * **Unbudgeted** (``budget_ms=None``, the default and the only
+      pre-PR-10 behaviour): critical-offset enumeration for exactness,
+      falling back to a uniform sweep capped at ``fallback_samples``
+      offsets only when the enumeration trips its guard
+      (:class:`~repro.backends.base.CriticalSetTooLarge` -- any other
+      ``ValueError`` out of a kernel is a genuine bug and propagates),
+      then DES spot checks on the most informative offsets.
+    * **Budgeted** (``fidelity`` ``"bounded"``/``"auto"`` with a
+      budget): the adaptive ladder in :func:`_budgeted_worst_case`.
+
+    ``sweeper`` is the session's configured
+    :class:`repro.parallel.ParallelSweep`; its resolved kernel runs
+    *both* halves of the setup -- the critical enumeration
+    (`critical_offsets(backend=...)`, vectorized under the numpy kernel
+    since PR 5) and the offset sweep itself.  The report and the verdict
+    are bit-identical for every runtime profile (enumeration, planning
+    and spot-check selection are deterministic, each replay is an
+    independent computation, and every kernel is pinned against the
+    exact reference).
     """
     if sweeper is None:
         from ..parallel import ParallelSweep
 
         sweeper = ParallelSweep(jobs=1)
+    if budget_ms is not None and fidelity in ("bounded", "auto"):
+        return _budgeted_worst_case(
+            protocol_e, protocol_f, horizon, omega, reception_model,
+            turnaround, max_critical, des_spot_checks, sweeper,
+            float(budget_ms), analytic_upper,
+        )
+    exact = True
+    fallback_used = False
     try:
         offsets = critical_offsets(
             protocol_e,
@@ -441,10 +546,24 @@ def _verified_worst_case_impl(
             backend=sweeper._resolve_backend(),
             turnaround=turnaround,
         )
-    except ValueError:
+        tier_records = [
+            {"tier": "critical", "ran": True, "offsets": len(offsets)},
+        ]
+    except CriticalSetTooLarge:
+        exact = False
+        fallback_used = True
         hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
         step = max(1, hyper // fallback_samples)
-        offsets = list(range(0, hyper, step))
+        # range(0, hyper, step) yields ceil(hyper / step) offsets, which
+        # overshoots whenever fallback_samples does not divide hyper --
+        # cap the sample at exactly what the spec asked for.
+        offsets = list(range(0, hyper, step))[:fallback_samples]
+        tier_records = [
+            {"tier": "critical", "ran": False,
+             "reason": "critical-set-too-large"},
+            {"tier": "dense", "ran": True, "offsets": len(offsets),
+             "requested": fallback_samples},
+        ]
     report = sweeper.sweep_offsets(
         protocol_e, protocol_f, offsets, horizon, reception_model, turnaround
     )
@@ -460,13 +579,184 @@ def _verified_worst_case_impl(
         protocol_e, protocol_f, check_offsets, horizon,
         reception_model, turnaround,
     )
-    agrees = all(
-        analytic_outcome.e_discovered_by_f == des_outcome.e_discovered_by_f
-        and analytic_outcome.f_discovered_by_e == des_outcome.f_discovered_by_e
-        for analytic_outcome, des_outcome in checks
+    agrees = not _des_mismatches(checks)
+    tier_records.append(
+        {"tier": "des", "ran": bool(check_offsets),
+         "checks": len(check_offsets), "escalated": False},
     )
+    lo = report.worst_one_way
+    hi = lo if exact else _one_way_upper(horizon, analytic_upper, lo)
     return PairWorstCase(
-        analytic=report, des_agrees=agrees, offsets_checked=len(offsets)
+        analytic=report,
+        des_agrees=agrees,
+        offsets_checked=len(offsets),
+        fidelity="exact" if exact else "bounded",
+        bound_interval=(lo, hi),
+        tiers=tuple(tier_records),
+        fallback_used=fallback_used,
+        budget_ms=None,
+    )
+
+
+def _budgeted_worst_case(
+    protocol_e: NDProtocol,
+    protocol_f: NDProtocol,
+    horizon: int,
+    omega: int | None,
+    reception_model: ReceptionModel,
+    turnaround: int,
+    max_critical: int,
+    des_spot_checks: int,
+    sweeper,
+    budget_ms: float,
+    analytic_upper,
+) -> PairWorstCase:
+    """The adaptive fidelity ladder for one budgeted worst-case query.
+
+    Tiers run cheapest-first, each priced by
+    :class:`repro.simulation.ladder.LadderPlanner` before it runs:
+
+    1. **analytic** -- free: the predicted worst-case latency (capped by
+       the horizon) seeds the upper bound.
+    2. **critical** -- the exact enumeration, run only when its implied
+       full sweep fits the remaining budget; when it does, the verdict
+       is exact and the interval collapses.  The tier is pre-priced from
+       :func:`~repro.simulation.ladder.estimate_critical_count` so a
+       hopelessly over-budget query never pays the enumeration itself.
+    3. **dense** -- otherwise, a prefix-nested low-discrepancy sample
+       sized to the budget left after a small DES reserve; its sweep
+       maximum is the lower bound.
+    4. **des** -- spot checks from the leftover budget, allocated by
+       disagreement: half up front (always covering the worst offsets),
+       the rest escalated to the neighbours of disagreeing offsets.
+
+    All prices are planner estimates -- never measured wall-clock -- so
+    identical queries produce identical provenance.
+    """
+    from .ladder import (
+        estimate_critical_count,
+        LadderPlanner,
+        low_discrepancy_offsets,
+    )
+
+    planner = LadderPlanner(protocol_e, protocol_f, horizon)
+    remaining = float(budget_ms)
+    hyper = math.lcm(protocol_e.hyperperiod(), protocol_f.hyperperiod())
+    upper0 = _one_way_upper(horizon, analytic_upper, None)
+    tier_records = [
+        {"tier": "analytic", "ran": True, "upper_bound": upper0,
+         "estimated_ms": 0.0},
+    ]
+    offsets = None
+    exact = False
+    fallback_used = False
+    # Pre-price the exact tier from the analytic count estimate: when
+    # even the estimated sweep dwarfs the budget, skip the enumeration
+    # itself -- on large pairs it costs more than the whole budget.
+    guess = estimate_critical_count(protocol_e, protocol_f, hyper)
+    guess_ms = planner.sweep_ms(guess)
+    candidate = None
+    if guess_ms > remaining:
+        tier_records.append(
+            {"tier": "critical", "ran": False,
+             "estimated_offsets": guess, "estimated_ms": guess_ms,
+             "reason": "over-budget"},
+        )
+    else:
+        try:
+            candidate = critical_offsets(
+                protocol_e,
+                protocol_f,
+                omega=omega,
+                max_count=max_critical,
+                backend=sweeper._resolve_backend(),
+                turnaround=turnaround,
+            )
+        except CriticalSetTooLarge:
+            tier_records.append(
+                {"tier": "critical", "ran": False,
+                 "reason": "critical-set-too-large"},
+            )
+    if candidate is not None:
+        estimate = planner.sweep_ms(len(candidate))
+        if estimate <= remaining:
+            offsets = candidate
+            exact = True
+            remaining -= estimate
+            tier_records.append(
+                {"tier": "critical", "ran": True,
+                 "offsets": len(candidate), "estimated_ms": estimate},
+            )
+        else:
+            tier_records.append(
+                {"tier": "critical", "ran": False,
+                 "offsets": len(candidate), "estimated_ms": estimate,
+                 "reason": "over-budget"},
+            )
+    if offsets is None:
+        fallback_used = True
+        size = planner.dense_tier_size(remaining, des_spot_checks, hyper)
+        offsets = low_discrepancy_offsets(hyper, size)
+        estimate = planner.sweep_ms(len(offsets))
+        remaining -= estimate
+        tier_records.append(
+            {"tier": "dense", "ran": True, "offsets": len(offsets),
+             "estimated_ms": estimate},
+        )
+    report = sweeper.sweep_offsets(
+        protocol_e, protocol_f, offsets, horizon, reception_model, turnaround
+    )
+
+    # DES spot checks sized to the leftover budget, never the other way
+    # round (with the planner's price margin, since replay prices are
+    # optimistic on long-hyperperiod pairs); half the allocation replays
+    # up front (always covering the worst offsets), the rest only where
+    # analytic and DES disagree.
+    allocation = planner.spot_check_allocation(remaining, des_spot_checks)
+    checked: list[int] = []
+    agrees = True
+    escalated = False
+    if allocation > 0:
+        first = max(1, allocation // 2)
+        checked = _select_spot_check_offsets(
+            offsets,
+            (report.worst_offset_one_way, report.worst_offset_two_way),
+            first,
+        )
+        checks = sweeper.spot_check_pairs(
+            protocol_e, protocol_f, checked, horizon,
+            reception_model, turnaround,
+        )
+        mismatched = _des_mismatches(checks)
+        agrees = not mismatched
+        headroom = allocation - len(checked)
+        if mismatched and headroom > 0:
+            escalated = True
+            extra = _neighbour_offsets(
+                offsets, mismatched, headroom, exclude=checked
+            )
+            if extra:
+                sweeper.spot_check_pairs(
+                    protocol_e, protocol_f, extra, horizon,
+                    reception_model, turnaround,
+                )
+                checked = checked + extra
+    tier_records.append(
+        {"tier": "des", "ran": bool(checked), "checks": len(checked),
+         "allocation": allocation, "escalated": escalated,
+         "estimated_ms": planner.checks_ms(len(checked))},
+    )
+    lo = report.worst_one_way
+    hi = lo if exact else _one_way_upper(horizon, analytic_upper, lo)
+    return PairWorstCase(
+        analytic=report,
+        des_agrees=agrees,
+        offsets_checked=len(offsets),
+        fidelity="exact" if exact else "bounded",
+        bound_interval=(lo, hi),
+        tiers=tuple(tier_records),
+        fallback_used=fallback_used,
+        budget_ms=budget_ms,
     )
 
 
